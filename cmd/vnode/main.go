@@ -1,0 +1,128 @@
+// Command vnode runs a real V IPC node over UDP: either a page server
+// (registering the well-known fileserver logical id) or a client that
+// locates the server and exercises page reads and writes.
+//
+// Server:  vnode -host 2 -listen 127.0.0.1:4040 -serve
+// Client:  vnode -host 1 -listen 127.0.0.1:0 -peer 2=127.0.0.1:4040 -reads 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vkernel/internal/ipc"
+)
+
+const pageSize = 512
+
+func main() {
+	var (
+		host   = flag.Int("host", 1, "logical host id of this node")
+		listen = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers  = flag.String("peer", "", "comma-separated host=addr peer list")
+		serve  = flag.Bool("serve", false, "run the page server")
+		reads  = flag.Int("reads", 100, "client: number of page reads")
+	)
+	flag.Parse()
+
+	tr, err := ipc.NewUDPTransport(*listen)
+	fatalIf(err)
+	for _, spec := range strings.Split(*peers, ",") {
+		if spec == "" {
+			continue
+		}
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatalIf(fmt.Errorf("bad -peer entry %q", spec))
+		}
+		h, err := strconv.Atoi(parts[0])
+		fatalIf(err)
+		addr, err := net.ResolveUDPAddr("udp", parts[1])
+		fatalIf(err)
+		tr.AddPeer(ipc.LogicalHost(h), addr)
+	}
+	node := ipc.NewNode(ipc.LogicalHost(*host), tr, ipc.NodeConfig{})
+	defer node.Close()
+	fmt.Printf("vnode: host %d listening on %v\n", *host, tr.Addr())
+
+	if *serve {
+		runServer(node)
+		return
+	}
+	runClient(node, *reads)
+}
+
+func runServer(node *ipc.Node) {
+	done := make(chan struct{})
+	node.Spawn("pageserver", func(p *ipc.Proc) {
+		defer close(done)
+		store := make([]byte, 128*pageSize)
+		p.SetPid(1, p.Pid(), ipc.ScopeBoth)
+		fmt.Printf("vnode: page server %v registered as logical id 1\n", p.Pid())
+		buf := make([]byte, pageSize)
+		for {
+			msg, src, n, err := p.ReceiveWithSegment(buf)
+			if err != nil {
+				return
+			}
+			page := int(msg.Word(2)) % 128
+			var reply ipc.Message
+			switch msg.Word(1) {
+			case 1:
+				err = p.ReplyWithSegment(&reply, src, 0, store[page*pageSize:(page+1)*pageSize])
+			case 2:
+				copy(store[page*pageSize:], buf[:n])
+				err = p.Reply(&reply, src)
+			default:
+				reply.SetWord(1, 1)
+				err = p.Reply(&reply, src)
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+	<-done
+}
+
+func runClient(node *ipc.Node, reads int) {
+	client := node.Attach("client")
+	defer node.Detach(client)
+	server := client.GetPid(1, ipc.ScopeBoth)
+	if server == 0 {
+		fatalIf(fmt.Errorf("page server not resolved; is -serve running and -peer set?"))
+	}
+	fmt.Printf("vnode: resolved page server -> %v\n", server)
+
+	out := make([]byte, pageSize)
+	for i := range out {
+		out[i] = byte(i)
+	}
+	var w ipc.Message
+	w.SetWord(1, 2)
+	w.SetWord(2, 3)
+	fatalIf(client.Send(&w, server, &ipc.Segment{Data: out, Access: ipc.SegRead}))
+
+	in := make([]byte, pageSize)
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		var m ipc.Message
+		m.SetWord(1, 1)
+		m.SetWord(2, uint32(i))
+		fatalIf(client.Send(&m, server, &ipc.Segment{Data: in, Access: ipc.SegWrite}))
+	}
+	per := time.Since(start) / time.Duration(reads)
+	fmt.Printf("vnode: %d page reads, %v/page\n", reads, per)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnode: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command vsim runs a configurable V kernel simulation scenario and
+// prints measured operation times plus kernel/network statistics.
+//
+// Examples:
+//
+//	vsim -workload srr -mhz 8                       # Table 5-1 style exchange
+//	vsim -workload page -mhz 10 -stations 4         # several page-reading clients
+//	vsim -workload load -net 10mb -unit 16384       # program loading on 10 Mb
+//	vsim -workload seq -disklat 15ms                # sequential reads, Table 6-2 style
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vkernel/internal/core"
+	"vkernel/internal/cost"
+	"vkernel/internal/disk"
+	"vkernel/internal/ether"
+	"vkernel/internal/fsrv"
+	"vkernel/internal/sim"
+	"vkernel/internal/stats"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "srr", "srr | page | seq | load")
+		stations = flag.Int("stations", 1, "number of client workstations")
+		mhz      = flag.Float64("mhz", 8, "processor clock (8 or 10 are calibrated)")
+		netKind  = flag.String("net", "3mb", "3mb | 10mb")
+		iters    = flag.Int("iters", 500, "operations per client")
+		unit     = flag.Int("unit", 16384, "transfer unit for -workload load")
+		diskLat  = flag.Duration("disklat", 0, "fixed disk latency (e.g. 15ms) for -workload seq")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		drop     = flag.Float64("drop", 0, "random packet drop probability")
+		bug      = flag.Bool("bug", false, "enable the 3 Mb undetected-collision hardware bug")
+	)
+	flag.Parse()
+
+	netCfg := ether.Ethernet3Mb()
+	iface := cost.Iface3Mb
+	if *netKind == "10mb" {
+		netCfg = ether.Ethernet10Mb()
+		iface = cost.Iface10Mb
+	}
+	netCfg.DropRate = *drop
+	netCfg.HWCollisionBug = *bug
+	prof := cost.MC68000(*mhz, iface)
+
+	cluster := core.NewCluster(*seed, netCfg)
+	kFS := cluster.AddWorkstation("server", prof, core.Config{})
+
+	// Server side per workload.
+	var serverPid core.Pid
+	switch *workload {
+	case "srr":
+		serverPid = kFS.Spawn("echo", func(p *core.Process) {
+			for {
+				_, src, err := p.Receive()
+				if err != nil {
+					return
+				}
+				var m core.Message
+				if err := p.Reply(&m, src); err != nil {
+					return
+				}
+			}
+		}).Pid()
+	case "page", "seq", "load":
+		drive := disk.New(cluster.Eng, disk.Fixed(512, maxDur(sim.Time(*diskLat), sim.Millisecond)))
+		drive.Preload(1, make([]byte, 64*1024))
+		srvCfg := fsrv.Config{TransferUnit: *unit}
+		if *workload == "seq" && *diskLat > 0 {
+			srvCfg.InterRequestDelay = sim.Time(*diskLat)
+		}
+		srv := fsrv.Start(kFS, drive, srvCfg)
+		srv.WarmFile(1)
+		serverPid = srv.Pid()
+	default:
+		fmt.Fprintf(os.Stderr, "vsim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	var agg stats.Sample
+	done := 0
+	for i := 0; i < *stations; i++ {
+		k := cluster.AddWorkstation(fmt.Sprintf("ws%d", i), prof, core.Config{})
+		k.Spawn("client", func(p *core.Process) {
+			defer func() {
+				done++
+				if done == *stations {
+					cluster.Eng.Stop()
+				}
+			}()
+			switch *workload {
+			case "srr":
+				for n := 0; n < *iters; n++ {
+					t0 := p.GetTime()
+					var m core.Message
+					if err := p.Send(&m, serverPid); err != nil {
+						return
+					}
+					agg.Add((p.GetTime() - t0).Milliseconds())
+				}
+			case "page", "seq":
+				cl := fsrv.NewClient(p, serverPid, 4096)
+				buf := make([]byte, 512)
+				for n := 0; n < *iters; n++ {
+					blk := uint32(n % 128)
+					t0 := p.GetTime()
+					if _, err := cl.ReadBlock(1, blk, buf); err != nil {
+						return
+					}
+					agg.Add((p.GetTime() - t0).Milliseconds())
+				}
+			case "load":
+				cl := fsrv.NewClient(p, serverPid, 64*1024)
+				for n := 0; n < *iters/10+1; n++ {
+					t0 := p.GetTime()
+					if _, err := cl.ReadLarge(1, 0, 64*1024); err != nil {
+						return
+					}
+					agg.Add((p.GetTime() - t0).Milliseconds())
+				}
+			}
+		})
+	}
+
+	cluster.Eng.MaxSteps = 1_000_000_000
+	if err := cluster.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "vsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s stations=%d profile=%s net=%s\n", *workload, *stations, prof.Name, netCfg.Name)
+	fmt.Printf("ops=%d mean=%.3fms p90=%.3fms max=%.3fms\n",
+		agg.N(), agg.Mean(), agg.Percentile(0.9), agg.Max())
+	fmt.Printf("virtual time=%v server CPU=%v (%.1f%%)\n",
+		cluster.Eng.Now(), kFS.CPU().Busy(),
+		100*float64(kFS.CPU().Busy())/float64(cluster.Eng.Now()))
+	ns := cluster.Net.Stats()
+	fmt.Printf("network: frames=%d bytes=%d collisions=%d corrupted=%d drops=%d deferrals=%d\n",
+		ns.Frames, ns.Bytes, ns.Collisions, ns.CorruptedDrops, ns.RandomDrops, ns.Deferrals)
+	ks := kFS.Stats()
+	fmt.Printf("server kernel: receives=%d remote-replies=%d retransmits=%d dups=%d reply-pendings=%d\n",
+		ks.Receives, ks.RemoteReplies, ks.Retransmits, ks.DupsFiltered, ks.ReplyPendingsSent)
+}
+
+func maxDur(a sim.Time, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

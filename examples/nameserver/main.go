@@ -1,0 +1,83 @@
+// Name service: SetPid/GetPid with local and network-wide scopes (§2.1,
+// §3.1). Three workstations each run a "time of day" service; one
+// registers network-wide, the others locally. Clients resolve by logical
+// id — local lookups stay on the machine, remote lookups go out as
+// broadcast interkernel packets that any knowing kernel may answer.
+package main
+
+import (
+	"fmt"
+
+	"vkernel/internal/core"
+	"vkernel/internal/cost"
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+)
+
+const logicalClock = 77 // our well-known logical id
+
+func clockService(scope core.Scope) func(*core.Process) {
+	return func(p *core.Process) {
+		p.SetPid(logicalClock, p.Pid(), scope)
+		for {
+			_, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			var reply core.Message
+			reply.SetWord(1, uint32(p.GetTime().Microseconds()))
+			reply.SetWord(2, uint32(p.Pid()))
+			if err := p.Reply(&reply, src); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func main() {
+	cluster := core.NewCluster(7, ether.Ethernet10Mb())
+	prof := cost.MC68000(10, cost.Iface10Mb)
+	// The 10 Mb configuration uses discovered host mappings (§3.1): the
+	// first packet to an unknown host is broadcast, then unicast.
+	cfg := core.Config{DiscoveredMapping: true}
+
+	kA := cluster.AddWorkstation("a", prof, cfg)
+	kB := cluster.AddWorkstation("b", prof, cfg)
+	kC := cluster.AddWorkstation("c", prof, cfg)
+
+	kA.Spawn("clock", clockService(core.ScopeBoth))  // network-visible
+	kB.Spawn("clock", clockService(core.ScopeLocal)) // machine-private
+	kC.Spawn("probe", func(p *core.Process) {
+		p.Delay(sim.Millisecond) // let services register
+		// Local lookup on c: nothing registered here.
+		if pid := p.GetPid(logicalClock, core.ScopeLocal); pid == 0 {
+			fmt.Println("c: no local clock service (as expected)")
+		}
+		// Network lookup: resolves a's network-scoped registration; b's
+		// local-only one must not answer.
+		pid := p.GetPid(logicalClock, core.ScopeBoth)
+		fmt.Printf("c: network clock service resolved to %v\n", pid)
+		var m core.Message
+		if err := p.Send(&m, pid); err != nil {
+			panic(err)
+		}
+		fmt.Printf("c: time from %v is %d us (answered by pid %d)\n",
+			pid, m.Word(1), m.Word(2))
+	})
+	kB.Spawn("probe", func(p *core.Process) {
+		p.Delay(sim.Millisecond)
+		// b sees its own local service under ScopeLocal.
+		pid := p.GetPid(logicalClock, core.ScopeLocal)
+		fmt.Printf("b: local clock service is %v\n", pid)
+		var m core.Message
+		if err := p.Send(&m, pid); err != nil {
+			panic(err)
+		}
+		fmt.Printf("b: local time is %d us\n", m.Word(1))
+	})
+
+	if err := cluster.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("broadcast lookups on the wire: %d\n", cluster.Net.Stats().Broadcasts)
+}

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"testing"
+
+	"vkernel/internal/cost"
+	"vkernel/internal/ether"
+	"vkernel/internal/netpenalty"
+	"vkernel/internal/sim"
+)
+
+func TestWFSPageReadNearPenaltyBound(t *testing.T) {
+	prof := cost.MC68000(10, cost.Iface3Mb)
+	net := ether.Ethernet3Mb()
+	res, err := MeasureWFSPageRead(prof, net, 512, 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := netpenalty.Analytic(prof, net, 64) + netpenalty.Analytic(prof, net, 576)
+	diff := res.PerOp - bound
+	if diff < 0 || diff > 100*sim.Microsecond {
+		t.Fatalf("WFS read %v vs penalty bound %v (diff %v)", res.PerOp, bound, diff)
+	}
+}
+
+func TestWFSServerProcessingAdds(t *testing.T) {
+	prof := cost.MC68000(10, cost.Iface3Mb)
+	net := ether.Ethernet3Mb()
+	fast, err := MeasureWFSPageRead(prof, net, 512, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := MeasureWFSPageRead(prof, net, 512, sim.Millisecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := slow.PerOp - fast.PerOp
+	if d < 900*sim.Microsecond || d > 1100*sim.Microsecond {
+		t.Fatalf("1 ms of server processing changed per-op by %v", d)
+	}
+}
+
+func TestStreamingPacedByDisk(t *testing.T) {
+	prof := cost.MC68000(10, cost.Iface3Mb)
+	net := ether.Ethernet3Mb()
+	for _, lat := range []sim.Time{10 * sim.Millisecond, 15 * sim.Millisecond, 20 * sim.Millisecond} {
+		res, err := MeasureStreaming(prof, net, StreamConfig{
+			PageSize:    512,
+			DiskLatency: lat,
+			Pages:       100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A streaming protocol can hide network latency but not disk
+		// latency: per-page must be >= latency and within ~15 % of it.
+		if res.PerPage < lat {
+			t.Fatalf("lat %v: per-page %v beat the disk", lat, res.PerPage)
+		}
+		if res.PerPage > lat+lat*15/100 {
+			t.Fatalf("lat %v: per-page %v way above disk pace", lat, res.PerPage)
+		}
+	}
+}
+
+func TestStreamingSlowReaderGainIsBounded(t *testing.T) {
+	// §6.2: application reading every 20 ms — streamed pages are local, so
+	// the gain over non-streamed access is bounded by ~20 %.
+	prof := cost.MC68000(10, cost.Iface3Mb)
+	net := ether.Ethernet3Mb()
+	res, err := MeasureStreaming(prof, net, StreamConfig{
+		PageSize:    512,
+		DiskLatency: 10 * sim.Millisecond,
+		Consume:     20 * sim.Millisecond,
+		Pages:       100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vPerPage := 20*sim.Millisecond + 5560*sim.Microsecond // compute + remote read
+	gain := float64(vPerPage-res.PerPage) / float64(vPerPage)
+	if gain > 0.25 || gain < 0 {
+		t.Fatalf("slow-reader streaming gain %.1f%%, paper bounds it near 20%%", gain*100)
+	}
+}
+
+func TestStreamingWindowOneStillProgresses(t *testing.T) {
+	prof := cost.MC68000(10, cost.Iface3Mb)
+	net := ether.Ethernet3Mb()
+	res, err := MeasureStreaming(prof, net, StreamConfig{
+		PageSize:    512,
+		DiskLatency: 5 * sim.Millisecond,
+		Window:      1,
+		Pages:       50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerPage <= 0 {
+		t.Fatal("no progress")
+	}
+}

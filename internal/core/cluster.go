@@ -1,0 +1,41 @@
+package core
+
+import (
+	"vkernel/internal/cost"
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+)
+
+// Cluster bundles an engine, a network and a set of workstation kernels —
+// the common setup for experiments, examples and tests.
+type Cluster struct {
+	Eng      *sim.Engine
+	Net      *ether.Network
+	Kernels  []*Kernel
+	nextHost LogicalHost
+}
+
+// NewCluster creates an engine (seeded for determinism) and an Ethernet
+// segment.
+func NewCluster(seed int64, netCfg ether.Config) *Cluster {
+	eng := sim.NewEngine(seed)
+	return &Cluster{
+		Eng: eng,
+		Net: ether.New(eng, netCfg),
+	}
+}
+
+// AddWorkstation boots a kernel with the given profile on the next logical
+// host id.
+func (c *Cluster) AddWorkstation(name string, prof cost.Profile, cfg Config) *Kernel {
+	c.nextHost++
+	k := NewKernel(c.Eng, c.Net, name, c.nextHost, prof, cfg)
+	c.Kernels = append(c.Kernels, k)
+	return k
+}
+
+// Run drives the simulation to completion (or error).
+func (c *Cluster) Run() error { return c.Eng.Run() }
+
+// RunFor drives the simulation for d of virtual time.
+func (c *Cluster) RunFor(d sim.Time) error { return c.Eng.RunUntil(c.Eng.Now() + d) }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"vkernel/internal/vproto"
+)
+
+// Forward passes a received message to another process as if the original
+// sender had sent it there directly: the sender — which must be awaiting a
+// reply from this process — becomes awaiting the new destination's reply,
+// and that reply returns straight to the sender without passing back
+// through the forwarder. Forward is the V kernel manual's multiplexor
+// primitive (inherited from Thoth); name servers use it to hand clients
+// over to the service they asked for.
+//
+// The interkernel protocol makes the network case free: the forwarded
+// Send packet carries the sender's pid and original sequence number, so
+// the destination kernel's Reply packet matches the sender's outstanding
+// exchange wherever it is. If the destination does not exist, the sender
+// is released with an error (as for a Send to a missing process) and
+// Forward reports ErrNoProcess.
+func (p *Process) Forward(msg *Message, from, to Pid) error {
+	k := p.k
+	// Locate the sender and validate it awaits our reply, as Reply does.
+	var sender *Process
+	if a, ok := k.aliens[from]; ok && a.state == StateAwaitingReply && a.awaiting == p.pid {
+		sender = a
+	} else if lp, ok := k.procs[from]; ok && lp.state == StateAwaitingReply && lp.awaiting == p.pid {
+		sender = lp
+	} else {
+		k.cpu.Charge(p.task, k.prof.LocalReply, "forward")
+		return ErrNotAwaitingReply
+	}
+
+	if to.Host() == k.host {
+		k.stats.Forwards++
+		k.cpu.Charge(p.task, k.prof.LocalSend, "forward")
+		rcv, ok := k.procs[to]
+		if !ok {
+			k.failSender(sender, ErrNoProcess)
+			return ErrNoProcess
+		}
+		sender.msg = *msg
+		if rcv.state == StateReceiveBlocked {
+			sender.state = StateAwaitingReply
+			sender.awaiting = to
+			rcv.state = StateRunning
+			rcv.task.Unpark(parkResult{sender: sender})
+		} else {
+			sender.state = StateSendQueued
+			sender.awaiting = to
+			sender.queuedOn = rcv
+			rcv.queue = append(rcv.queue, sender)
+		}
+		return nil
+	}
+
+	// Remote destination.
+	k.stats.Forwards++
+	k.cpu.Charge(p.task, k.prof.RemoteSendPrepare, "forward-remote")
+	if sender.alien {
+		// Re-emit the original Send under its original sequence number;
+		// the destination kernel replies directly to the origin. Our
+		// alien remembers the forward so origin retransmissions propagate
+		// down the chain instead of stalling here.
+		pkt := &vproto.Packet{
+			Kind: vproto.KindSend,
+			Seq:  sender.alienSeq,
+			Src:  sender.pid,
+			Dst:  to,
+			Msg:  *msg,
+			Data: sender.alienData,
+		}
+		sender.msg = *msg
+		sender.awaiting = to
+		sender.forwardPkt = pkt
+		k.transmit(pkt, to.Host())
+		return nil
+	}
+	// A local sender forwarded to a remote destination: set up the full
+	// outstanding-send machinery on its behalf.
+	pkt := &vproto.Packet{
+		Kind: vproto.KindSend,
+		Seq:  k.nextSeq(),
+		Src:  sender.pid,
+		Dst:  to,
+		Msg:  *msg,
+	}
+	// Carry the inline prefix of a read-access segment, reading the data
+	// from the sender's space through its own grant (§3.4).
+	if start, size, access, ok := msg.Segment(); ok && access&vproto.SegFlagRead != 0 && k.cfg.InlineSegMax > 0 {
+		n := int(size)
+		if n > k.cfg.InlineSegMax {
+			n = k.cfg.InlineSegMax
+		}
+		if n > 0 && sender.checkSpan(start, uint32(n)) {
+			pkt.Data = sender.ReadSpace(start, n)
+			pkt.Count = uint32(n)
+		}
+	}
+	sender.msg = *msg
+	sender.awaiting = to
+	sender.pendingSeq = pkt.Seq
+	rs := &remoteSend{proc: sender, dst: to, seq: pkt.Seq, pkt: pkt}
+	k.pending[pkt.Seq] = rs
+	k.transmit(pkt, to.Host())
+	rs.timer = k.eng.Schedule(k.retransmitDelay(), "retransmit", func() { k.retransmit(rs) })
+	return nil
+}

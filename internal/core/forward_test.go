@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// TestForwardLocalToLocal: a dispatcher forwards a client to a worker on
+// the same machine; the worker's reply reaches the client directly.
+func TestForwardLocalToLocal(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	worker := k.Spawn("worker", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		var reply Message
+		reply.SetWord(1, msg.Word(1)*3)
+		_ = p.Reply(&reply, src)
+	})
+	dispatcher := k.Spawn("dispatcher", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		if err := p.Forward(&msg, src, worker.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	var got uint32
+	k.Spawn("client", func(p *Process) {
+		var m Message
+		m.SetWord(1, 5)
+		if err := p.Send(&m, dispatcher.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		got = m.Word(1)
+	})
+	mustRun(t, c)
+	if got != 15 {
+		t.Fatalf("reply = %d, want 15 (from the worker)", got)
+	}
+}
+
+// TestForwardRemoteChain: client on host 1 sends to a dispatcher on host
+// 2, which forwards to a worker on host 3; the worker's reply crosses the
+// network directly back to the client.
+func TestForwardRemoteChain(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k1 := c.AddWorkstation("client-ws", prof8(), Config{})
+	k2 := c.AddWorkstation("dispatch-ws", prof8(), Config{})
+	k3 := c.AddWorkstation("worker-ws", prof8(), Config{})
+	worker := k3.Spawn("worker", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		var reply Message
+		reply.SetWord(1, msg.Word(1)+100)
+		_ = p.Reply(&reply, src)
+	})
+	dispatcher := k2.Spawn("dispatcher", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		if err := p.Forward(&msg, src, worker.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	var got uint32
+	k1.Spawn("client", func(p *Process) {
+		var m Message
+		m.SetWord(1, 7)
+		if err := p.Send(&m, dispatcher.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		got = m.Word(1)
+	})
+	mustRun(t, c)
+	if got != 107 {
+		t.Fatalf("reply = %d, want 107", got)
+	}
+	if k2.Stats().Forwards != 1 {
+		t.Fatalf("dispatcher stats: %+v", k2.Stats())
+	}
+}
+
+// TestForwardLocalSenderToRemote: the sender and dispatcher share a
+// machine; the worker is remote. The dispatcher's kernel must stand up the
+// full outstanding-send machinery on the sender's behalf.
+func TestForwardLocalSenderToRemote(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k1 := c.AddWorkstation("near", prof8(), Config{})
+	k2 := c.AddWorkstation("far", prof8(), Config{})
+	worker := k2.Spawn("worker", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		var reply Message
+		reply.SetWord(1, msg.Word(1)^0xFF)
+		_ = p.Reply(&reply, src)
+	})
+	dispatcher := k1.Spawn("dispatcher", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		if err := p.Forward(&msg, src, worker.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	var got uint32
+	k1.Spawn("client", func(p *Process) {
+		var m Message
+		m.SetWord(1, 0x0F)
+		if err := p.Send(&m, dispatcher.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		got = m.Word(1)
+	})
+	mustRun(t, c)
+	if got != 0xF0 {
+		t.Fatalf("reply = %#x", got)
+	}
+}
+
+// TestForwardCarriesSegmentGrant: a forwarded page write still delivers
+// its inline data to the final receiver, and MoveTo through the grant
+// works for the new destination.
+func TestForwardCarriesSegmentGrant(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k1 := c.AddWorkstation("client-ws", prof8(), Config{})
+	k2 := c.AddWorkstation("dispatch-ws", prof8(), Config{})
+	k3 := c.AddWorkstation("fs-ws", prof8(), Config{})
+	page := make([]byte, 512)
+	for i := range page {
+		page[i] = byte(i * 13)
+	}
+	var stored []byte
+	fs := k3.Spawn("fs", func(p *Process) {
+		buf := p.Alloc(1024)
+		_, src, n, err := p.ReceiveWithSegment(buf, 1024)
+		if err != nil {
+			return
+		}
+		stored = p.ReadSpace(buf, n)
+		var reply Message
+		_ = p.Reply(&reply, src)
+	})
+	dispatcher := k2.Spawn("dispatcher", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		if err := p.Forward(&msg, src, fs.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	k1.Spawn("client", func(p *Process) {
+		addr := p.Alloc(512)
+		p.WriteSpace(addr, page)
+		var m Message
+		m.SetSegment(addr, 512, vproto.SegFlagRead)
+		if err := p.Send(&m, dispatcher.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	mustRun(t, c)
+	if !bytes.Equal(stored, page) {
+		t.Fatalf("forwarded write stored %d bytes, corrupted or short", len(stored))
+	}
+}
+
+// TestForwardToMissingProcessFailsSender: the sender is released with an
+// error and the forwarder learns about it.
+func TestForwardToMissingProcessFailsSender(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	var fwdErr error
+	dispatcher := k.Spawn("dispatcher", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		fwdErr = p.Forward(&msg, src, vproto.MakePid(k.Host(), 999))
+	})
+	var sendErr error
+	k.Spawn("client", func(p *Process) {
+		var m Message
+		sendErr = p.Send(&m, dispatcher.Pid())
+	})
+	mustRun(t, c)
+	if fwdErr != ErrNoProcess || sendErr != ErrNoProcess {
+		t.Fatalf("fwdErr = %v, sendErr = %v", fwdErr, sendErr)
+	}
+}
+
+// TestForwardWithoutReceiveFails mirrors Reply's validation.
+func TestForwardWithoutReceiveFails(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	other := k.Spawn("other", func(p *Process) { p.Delay(10 * sim.Millisecond) })
+	var err error
+	k.Spawn("fwd", func(p *Process) {
+		var m Message
+		err = p.Forward(&m, other.Pid(), other.Pid())
+	})
+	mustRun(t, c)
+	if err != ErrNotAwaitingReply {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestForwardSurvivesPacketLoss: the forward packet or its reply may be
+// lost; origin retransmissions propagate down the chain and the exchange
+// still completes exactly once.
+func TestForwardSurvivesPacketLoss(t *testing.T) {
+	cfg := ether.Ethernet3Mb()
+	cfg.DropRate = 0.15
+	c := NewCluster(23, cfg)
+	kcfg := Config{RetransmitTimeout: 20 * sim.Millisecond, Retries: 50}
+	k1 := c.AddWorkstation("client-ws", prof8(), kcfg)
+	k2 := c.AddWorkstation("dispatch-ws", prof8(), kcfg)
+	k3 := c.AddWorkstation("worker-ws", prof8(), kcfg)
+	executions := 0
+	worker := k3.Spawn("worker", func(p *Process) {
+		for {
+			msg, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			executions++
+			var reply Message
+			reply.SetWord(1, msg.Word(1)+1)
+			_ = p.Reply(&reply, src)
+		}
+	})
+	dispatcher := k2.Spawn("dispatcher", func(p *Process) {
+		for {
+			msg, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			_ = p.Forward(&msg, src, worker.Pid())
+		}
+	})
+	completed := 0
+	k1.Spawn("client", func(p *Process) {
+		for i := uint32(0); i < 20; i++ {
+			var m Message
+			m.SetWord(1, i)
+			if err := p.Send(&m, dispatcher.Pid()); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if m.Word(1) != i+1 {
+				t.Errorf("reply %d = %d", i, m.Word(1))
+			}
+			completed++
+		}
+	})
+	c.Eng.MaxSteps = 100_000_000
+	c.Eng.Schedule(300*sim.Second, "stop", func() { c.Eng.Stop() })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 20 {
+		t.Fatalf("completed %d/20", completed)
+	}
+	if executions != 20 {
+		t.Fatalf("worker executed %d times, want exactly 20", executions)
+	}
+}

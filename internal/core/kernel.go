@@ -1,0 +1,455 @@
+// Package core implements the distributed V kernel on the simulated
+// workstation hardware: small processes communicating by 32-byte messages
+// with synchronous Send/Receive/Reply, separate bulk data transfer
+// (MoveTo/MoveFrom), the segment extensions (ReceiveWithSegment /
+// ReplyWithSegment), and a flat global process naming space with an
+// embedded logical-host field (paper §2–§3).
+//
+// One Kernel runs per simulated workstation. Remote operations are
+// implemented directly in the kernel (no process-level network server):
+// when a pid fails the locality test, the operation writes an interkernel
+// packet straight to the network interface. Reliable message transmission
+// is built on the unreliable datagram layer using the reply as the
+// acknowledgement, alien process descriptors for duplicate filtering and
+// reply caching, reply-pending packets, and bounded retransmission.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vkernel/internal/cost"
+	"vkernel/internal/cpu"
+	"vkernel/internal/ether"
+	"vkernel/internal/nic"
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// Re-exported protocol types, so kernel users need only this package.
+type (
+	// Pid is a 32-bit globally unique process identifier.
+	Pid = vproto.Pid
+	// LogicalHost is the host subfield of a Pid.
+	LogicalHost = vproto.LogicalHost
+	// Message is the fixed 32-byte V message.
+	Message = vproto.Message
+)
+
+// Kernel operation errors.
+var (
+	ErrNoProcess        = errors.New("vkernel: no such process")
+	ErrTimeout          = errors.New("vkernel: retransmission limit exceeded")
+	ErrNotAwaitingReply = errors.New("vkernel: process not awaiting reply from replier")
+	ErrBadAddress       = errors.New("vkernel: address outside granted segment")
+	ErrNoAccess         = errors.New("vkernel: segment access not granted")
+	ErrSegTooBig        = errors.New("vkernel: segment exceeds one packet")
+	ErrDeadlock         = errors.New("vkernel: send to self would deadlock")
+	ErrDestroyed        = errors.New("vkernel: process destroyed")
+)
+
+// Scope selects the visibility of a logical-id registration (§2.1 SetPid).
+type Scope int
+
+// Name-service scopes.
+const (
+	ScopeLocal Scope = 1 << iota
+	ScopeRemote
+	ScopeBoth Scope = ScopeLocal | ScopeRemote
+)
+
+// Well-known logical ids (§2.1 gives fileserver and nameserver as examples).
+const (
+	LogicalFileServer uint32 = 1
+	LogicalNameServer uint32 = 2
+)
+
+// Config carries per-kernel tunables. The zero value gets sensible
+// defaults from fillDefaults.
+type Config struct {
+	// AlienDescriptors bounds the alien (remote-sender) descriptor pool.
+	AlienDescriptors int
+	// RetransmitTimeout is the kernel-level message retransmission period.
+	RetransmitTimeout sim.Time
+	// Retries is the number of retransmissions before a Send fails (§3.2's N).
+	Retries int
+	// GetPidTimeout/GetPidRetries bound broadcast name lookups.
+	GetPidTimeout sim.Time
+	GetPidRetries int
+	// ChunkSize is the bulk-transfer packet payload ("maximally-sized
+	// packets", §3.3).
+	ChunkSize int
+	// InlineSegMax bounds the segment prefix carried inside a Send packet
+	// (§3.4; at least a file block so a page write is one exchange).
+	// Negative disables the inline-segment extension entirely — the
+	// original Thoth behaviour, used by the §6.1 ablation.
+	InlineSegMax int
+	// DiscoveredMapping, when true, resolves logical hosts to network
+	// addresses through a table learned from traffic, with broadcast
+	// fallback (the 10 Mb configuration, §3.1). When false (default) the
+	// network address is derived from the logical-host field directly
+	// (the 3 Mb configuration).
+	DiscoveredMapping bool
+	// SpaceSize is the default process address-space size.
+	SpaceSize int
+	// NIC configures the network interface model.
+	NIC nic.Config
+
+	// Ablations (all off for the calibrated kernel).
+	// ViaNetworkServer models relaying remote operations through a
+	// process-level network server (§3 item 1: "a factor of four").
+	ViaNetworkServer bool
+	// IPLayer models wrapping interkernel packets in internet headers
+	// (§3 item 2: ~20 % slower exchanges).
+	IPLayer bool
+}
+
+func (c Config) fillDefaults() Config {
+	if c.AlienDescriptors == 0 {
+		c.AlienDescriptors = 64
+	}
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = 100 * sim.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 5
+	}
+	if c.GetPidTimeout == 0 {
+		c.GetPidTimeout = 20 * sim.Millisecond
+	}
+	if c.GetPidRetries == 0 {
+		c.GetPidRetries = 3
+	}
+	if c.ChunkSize == 0 || c.ChunkSize > vproto.MaxData {
+		c.ChunkSize = vproto.MaxData
+	}
+	switch {
+	case c.InlineSegMax < 0:
+		c.InlineSegMax = 0
+	case c.InlineSegMax == 0 || c.InlineSegMax > vproto.MaxData:
+		c.InlineSegMax = vproto.MaxData
+	}
+	if c.SpaceSize == 0 {
+		c.SpaceSize = 256 * 1024
+	}
+	return c
+}
+
+// Stats counts kernel-level activity.
+type Stats struct {
+	LocalSends        int
+	RemoteSends       int
+	Receives          int
+	Replies           int
+	Forwards          int
+	RemoteReplies     int
+	Retransmits       int
+	ReplyPendingsSent int
+	ReplyPendingsSeen int
+	NacksSent         int
+	DupsFiltered      int
+	MoveToOps         int
+	MoveFromOps       int
+	MoveBytes         int64
+	GetPidBroadcasts  int
+	AlienExhaustion   int
+	BadPackets        int
+}
+
+type nameEntry struct {
+	pid   Pid
+	scope Scope
+}
+
+// Kernel is the V kernel instance on one workstation.
+type Kernel struct {
+	eng  *sim.Engine
+	name string
+	host LogicalHost
+	prof cost.Profile
+	cfg  Config
+	cpu  *cpu.CPU
+	nic  *nic.NIC
+	net  *ether.Network
+
+	nextLocal uint16
+	procs     map[Pid]*Process
+
+	names map[uint32]nameEntry
+
+	seq      uint32
+	pending  map[uint32]*remoteSend // outstanding remote Sends by seq
+	aliens   map[Pid]*Process       // alien descriptors by remote sender pid
+	alienLRU int64
+	hostMap  map[LogicalHost]ether.Addr
+	moves    map[uint32]*moveOp   // outstanding bulk transfers initiated here
+	moveRx   map[moveKey]*moveRx  // in-progress inbound MoveTo transfers
+	moveDone map[Pid]doneTransfer // last completed inbound transfer per source
+	lookups  map[uint32][]*lookup // outstanding GetPid broadcasts by logical id
+
+	stats Stats
+}
+
+type moveKey struct {
+	src Pid
+	seq uint32
+}
+
+type doneTransfer struct {
+	seq   uint32
+	count uint32
+}
+
+// NewKernel boots a kernel on the given network with the given calibration
+// profile. The logical host id doubles as the station address under
+// DirectMapping.
+func NewKernel(eng *sim.Engine, net *ether.Network, name string, host LogicalHost, prof cost.Profile, cfg Config) *Kernel {
+	k := &Kernel{
+		eng:      eng,
+		name:     name,
+		host:     host,
+		prof:     prof,
+		cfg:      cfg.fillDefaults(),
+		net:      net,
+		procs:    make(map[Pid]*Process),
+		names:    make(map[uint32]nameEntry),
+		pending:  make(map[uint32]*remoteSend),
+		aliens:   make(map[Pid]*Process),
+		hostMap:  make(map[LogicalHost]ether.Addr),
+		moves:    make(map[uint32]*moveOp),
+		moveRx:   make(map[moveKey]*moveRx),
+		moveDone: make(map[Pid]doneTransfer),
+		lookups:  make(map[uint32][]*lookup),
+	}
+	k.cpu = cpu.New(eng, name)
+	k.nic = nic.New(eng, k.cpu, prof, k.cfg.NIC, net, ether.Addr(host), k.handleFrame)
+	return k
+}
+
+// Name returns the workstation name.
+func (k *Kernel) Name() string { return k.name }
+
+// Host returns the kernel's logical host identifier.
+func (k *Kernel) Host() LogicalHost { return k.host }
+
+// CPU exposes the workstation processor (for utilization measurement).
+func (k *Kernel) CPU() *cpu.CPU { return k.cpu }
+
+// NIC exposes the network interface (for statistics).
+func (k *Kernel) NIC() *nic.NIC { return k.nic }
+
+// Profile returns the kernel's calibration profile.
+func (k *Kernel) Profile() cost.Profile { return k.prof }
+
+// Stats returns a copy of the kernel's counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Spawn creates a process and schedules its body. The body runs in a
+// simulated task; all kernel primitives must be called from it.
+func (k *Kernel) Spawn(name string, body func(p *Process)) *Process {
+	k.nextLocal++
+	if k.nextLocal == 0 {
+		panic("vkernel: local pid space exhausted")
+	}
+	pid := vproto.MakePid(k.host, k.nextLocal)
+	p := &Process{
+		k:     k,
+		pid:   pid,
+		name:  name,
+		state: StateRunning,
+		space: make([]byte, k.cfg.SpaceSize),
+	}
+	k.procs[pid] = p
+	p.task = k.eng.Spawn(fmt.Sprintf("%s/%s", k.name, name), func(t *sim.Task) {
+		body(p)
+		p.state = StateDead
+		delete(k.procs, pid)
+	})
+	return p
+}
+
+// Lookup returns the local process with the given pid, if any.
+func (k *Kernel) Lookup(pid Pid) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Destroy removes a local process. Any process blocked sending to it is
+// released with ErrNoProcess; a parked victim is released with
+// ErrDestroyed (its body should return promptly).
+func (k *Kernel) Destroy(pid Pid) error {
+	p, ok := k.procs[pid]
+	if !ok {
+		return ErrNoProcess
+	}
+	delete(k.procs, pid)
+	p.state = StateDead
+	// Release queued senders.
+	for _, s := range p.queue {
+		k.failSender(s, ErrNoProcess)
+	}
+	p.queue = nil
+	if p.task != nil && p.task.Parked() {
+		p.task.Unpark(parkResult{err: ErrDestroyed})
+	}
+	return nil
+}
+
+// failSender releases a sender (local or alien) with an error.
+func (k *Kernel) failSender(s *Process, err error) {
+	if s.alien {
+		// Remote sender: negative acknowledgement.
+		k.sendNack(s)
+		k.releaseAlien(s)
+		return
+	}
+	s.state = StateRunning
+	s.task.Unpark(parkResult{err: err})
+}
+
+// SetPidKernel registers a logical-id → pid mapping outside any process
+// context (used at boot by experiment harnesses).
+func (k *Kernel) SetPidKernel(logicalID uint32, pid Pid, scope Scope) {
+	k.names[logicalID] = nameEntry{pid: pid, scope: scope}
+}
+
+// addrForHost maps a logical host to a station address, reporting whether
+// the mapping is known. Under DirectMapping the address is derived from
+// the host field itself (§3.1: "the top bits of the logical host
+// identifier are the physical network address").
+func (k *Kernel) addrForHost(h LogicalHost) (ether.Addr, bool) {
+	if !k.cfg.DiscoveredMapping {
+		return ether.Addr(h), true
+	}
+	a, ok := k.hostMap[h]
+	return a, ok
+}
+
+// transmit encodes and sends an interkernel packet, broadcasting when the
+// destination host is unknown (§3.1).
+func (k *Kernel) transmit(pkt *vproto.Packet, toHost LogicalHost) {
+	buf, err := pkt.Encode()
+	if err != nil {
+		panic("vkernel: " + err.Error())
+	}
+	dst := ether.BroadcastAddr
+	if a, ok := k.addrForHost(toHost); ok {
+		dst = a
+	}
+	if k.cfg.IPLayer {
+		// Ablation: internet headers cost processor time at each end and
+		// 20 bytes on the wire (carried as a trailer here so the checksum
+		// stays over the interkernel packet).
+		k.cpu.Run(k.prof.IPPerPacket, "ip:encap", nil)
+		wrapped := make([]byte, len(buf)+20)
+		copy(wrapped, buf)
+		buf = wrapped
+	}
+	if k.cfg.ViaNetworkServer {
+		// Ablation: relay through a process-level network server — extra
+		// copying and process switching before the packet reaches the wire.
+		k.cpu.Run(k.prof.NetServerRelay, "netserver:relay", nil)
+	}
+	k.nic.Send(ether.Frame{Dst: dst, Bytes: len(buf) + wireOverhead(k.cfg), Payload: buf})
+}
+
+func wireOverhead(cfg Config) int {
+	if cfg.IPLayer {
+		return 0 // the 20 IP bytes were appended to the payload already
+	}
+	return 0
+}
+
+// broadcast transmits an interkernel packet to every station.
+func (k *Kernel) broadcast(pkt *vproto.Packet) {
+	buf, err := pkt.Encode()
+	if err != nil {
+		panic("vkernel: " + err.Error())
+	}
+	k.nic.Send(ether.Frame{Dst: ether.BroadcastAddr, Bytes: len(buf), Payload: buf})
+}
+
+// handleFrame is the NIC receive upcall: decode and dispatch.
+func (k *Kernel) handleFrame(f ether.Frame) {
+	buf := f.Payload
+	if k.cfg.IPLayer {
+		if len(buf) < 20 {
+			k.stats.BadPackets++
+			return
+		}
+		k.cpu.Run(k.prof.IPPerPacket, "ip:decap", nil)
+		buf = buf[:len(buf)-20]
+	}
+	if k.cfg.ViaNetworkServer {
+		k.cpu.Run(k.prof.NetServerRelay, "netserver:relay-rx", nil)
+	}
+	pkt, err := vproto.Decode(buf)
+	if err != nil {
+		k.stats.BadPackets++
+		return
+	}
+	// Discover logical-host → station mappings from traffic (§3.1).
+	if k.cfg.DiscoveredMapping {
+		k.hostMap[pkt.Src.Host()] = f.Src
+	}
+	k.dispatch(pkt)
+}
+
+func (k *Kernel) dispatch(pkt *vproto.Packet) {
+	// Packets addressed to a process are only meaningful on the kernel of
+	// that process's logical host; a broadcast fallback (unknown host
+	// mapping) reaches every station and the others must stay silent.
+	switch pkt.Kind {
+	case vproto.KindGetPid:
+		// Broadcast by design; any kernel may answer.
+	default:
+		if pkt.Dst.Host() != k.host {
+			return
+		}
+	}
+	switch pkt.Kind {
+	case vproto.KindSend:
+		k.handleSend(pkt)
+	case vproto.KindReply:
+		k.handleReply(pkt)
+	case vproto.KindReplyPending:
+		k.handleReplyPending(pkt)
+	case vproto.KindNack:
+		k.handleNack(pkt)
+	case vproto.KindMoveToData:
+		k.handleMoveToData(pkt)
+	case vproto.KindMoveToAck:
+		k.handleMoveAck(pkt)
+	case vproto.KindMoveFromReq:
+		k.handleMoveFromReq(pkt)
+	case vproto.KindMoveFromData:
+		k.handleMoveFromData(pkt)
+	case vproto.KindGetPid:
+		k.handleGetPid(pkt)
+	case vproto.KindGetPidReply:
+		k.handleGetPidReply(pkt)
+	default:
+		k.stats.BadPackets++
+	}
+}
+
+// retransmitDelay returns the retransmission timeout with a small random
+// component, modelling timer-tick skew between independent workstation
+// clocks (without it, kernels that lose packets to the same collision
+// retransmit in lockstep and collide forever).
+func (k *Kernel) retransmitDelay() sim.Time {
+	t := k.cfg.RetransmitTimeout
+	return t + sim.Time(k.eng.Rand().Int63n(int64(t/16+1)))
+}
+
+// nextSeq returns a fresh interkernel sequence number.
+func (k *Kernel) nextSeq() uint32 {
+	k.seq++
+	if k.seq == 0 {
+		k.seq++
+	}
+	return k.seq
+}

@@ -1,0 +1,695 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"vkernel/internal/cost"
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+func prof8() cost.Profile  { return cost.MC68000(8, cost.Iface3Mb) }
+func prof10() cost.Profile { return cost.MC68000(10, cost.Iface3Mb) }
+
+func twoStations(t *testing.T, cfg Config) (*Cluster, *Kernel, *Kernel) {
+	t.Helper()
+	c := NewCluster(1, ether.Ethernet3Mb())
+	ka := c.AddWorkstation("a", prof8(), cfg)
+	kb := c.AddWorkstation("b", prof8(), cfg)
+	return c, ka, kb
+}
+
+func mustRun(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.Eng.MaxSteps = 50_000_000
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSendReceiveReply(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	var serverPid Pid
+	var got uint32
+	server := k.Spawn("server", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = msg.Word(1)
+		var reply Message
+		reply.SetWord(1, got*2)
+		if err := p.Reply(&reply, src); err != nil {
+			t.Error(err)
+		}
+	})
+	serverPid = server.Pid()
+	var replied uint32
+	k.Spawn("client", func(p *Process) {
+		var msg Message
+		msg.SetWord(1, 21)
+		if err := p.Send(&msg, serverPid); err != nil {
+			t.Error(err)
+			return
+		}
+		replied = msg.Word(1)
+	})
+	mustRun(t, c)
+	if got != 21 || replied != 42 {
+		t.Fatalf("got=%d replied=%d", got, replied)
+	}
+}
+
+func TestLocalSendBlocksUntilReply(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	var sendDone, replyAt sim.Time
+	server := k.Spawn("server", func(p *Process) {
+		_, src, _ := p.Receive()
+		p.Delay(5 * sim.Millisecond)
+		replyAt = p.GetTime()
+		var m Message
+		_ = p.Reply(&m, src)
+	})
+	k.Spawn("client", func(p *Process) {
+		var m Message
+		_ = p.Send(&m, server.Pid())
+		sendDone = p.GetTime()
+	})
+	mustRun(t, c)
+	if sendDone < replyAt {
+		t.Fatalf("send returned at %v before reply at %v", sendDone, replyAt)
+	}
+	if sendDone < 5*sim.Millisecond {
+		t.Fatalf("send returned too early: %v", sendDone)
+	}
+}
+
+func TestLocalFCFSQueueing(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	var order []uint32
+	server := k.Spawn("server", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			msg, src, err := p.Receive()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order = append(order, msg.Word(1))
+			var m Message
+			_ = p.Reply(&m, src)
+		}
+	})
+	// Spawn three clients that send in a staggered but known order.
+	for i := uint32(1); i <= 3; i++ {
+		i := i
+		k.Spawn("client", func(p *Process) {
+			p.Delay(sim.Time(i) * sim.Millisecond)
+			var m Message
+			m.SetWord(1, i)
+			_ = p.Send(&m, server.Pid())
+		})
+	}
+	mustRun(t, c)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSendToMissingProcess(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	var err error
+	k.Spawn("client", func(p *Process) {
+		var m Message
+		err = p.Send(&m, vproto.MakePid(k.Host(), 999))
+	})
+	mustRun(t, c)
+	if err != ErrNoProcess {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendToSelfDeadlock(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	var err error
+	k.Spawn("p", func(p *Process) {
+		var m Message
+		err = p.Send(&m, p.Pid())
+	})
+	mustRun(t, c)
+	if err != ErrDeadlock {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplyWithoutReceiveFails(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	other := k.Spawn("other", func(p *Process) { p.Delay(10 * sim.Millisecond) })
+	var err error
+	k.Spawn("replier", func(p *Process) {
+		var m Message
+		err = p.Reply(&m, other.Pid())
+	})
+	mustRun(t, c)
+	if err != ErrNotAwaitingReply {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteSendReceiveReply(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	server := kb.Spawn("server", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var reply Message
+		reply.SetWord(1, msg.Word(1)+1)
+		if err := p.Reply(&reply, src); err != nil {
+			t.Error(err)
+		}
+	})
+	var got uint32
+	ka.Spawn("client", func(p *Process) {
+		var m Message
+		m.SetWord(1, 99)
+		if err := p.Send(&m, server.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		got = m.Word(1)
+	})
+	mustRun(t, c)
+	if got != 100 {
+		t.Fatalf("got = %d", got)
+	}
+	if ka.Stats().RemoteSends != 1 || kb.Stats().RemoteReplies != 1 {
+		t.Fatalf("stats: %+v / %+v", ka.Stats(), kb.Stats())
+	}
+}
+
+func TestRemoteSendToMissingProcessNacks(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	var err error
+	ka.Spawn("client", func(p *Process) {
+		var m Message
+		err = p.Send(&m, vproto.MakePid(kb.Host(), 777))
+	})
+	mustRun(t, c)
+	if err != ErrNoProcess {
+		t.Fatalf("err = %v", err)
+	}
+	if kb.Stats().NacksSent != 1 {
+		t.Fatalf("stats: %+v", kb.Stats())
+	}
+}
+
+func TestRemoteSendToMissingHostTimesOut(t *testing.T) {
+	c, ka, _ := twoStations(t, Config{})
+	var err error
+	var elapsed sim.Time
+	ka.Spawn("client", func(p *Process) {
+		var m Message
+		start := p.GetTime()
+		err = p.Send(&m, vproto.MakePid(55, 1))
+		elapsed = p.GetTime() - start
+	})
+	mustRun(t, c)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+	// 1 original + 5 retries at 100 ms.
+	if elapsed < 500*sim.Millisecond {
+		t.Fatalf("gave up too fast: %v", elapsed)
+	}
+	if ka.Stats().Retransmits != 5 {
+		t.Fatalf("retransmits = %d", ka.Stats().Retransmits)
+	}
+}
+
+func TestRemoteExchangeSurvivesPacketLoss(t *testing.T) {
+	cfg := ether.Ethernet3Mb()
+	cfg.DropRate = 0.2
+	c := NewCluster(7, cfg)
+	ka := c.AddWorkstation("a", prof8(), Config{})
+	kb := c.AddWorkstation("b", prof8(), Config{})
+	const n = 40
+	var received, completed int
+	server := kb.Spawn("server", func(p *Process) {
+		for {
+			msg, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			received++
+			var reply Message
+			reply.SetWord(1, msg.Word(1)*10)
+			_ = p.Reply(&reply, src)
+		}
+	})
+	ka.Spawn("client", func(p *Process) {
+		for i := uint32(1); i <= n; i++ {
+			var m Message
+			m.SetWord(1, i)
+			if err := p.Send(&m, server.Pid()); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if m.Word(1) != i*10 {
+				t.Errorf("reply %d = %d", i, m.Word(1))
+				return
+			}
+			completed++
+		}
+	})
+	c.Eng.MaxSteps = 50_000_000
+	c.Eng.Schedule(200*sim.Second, "stop", func() { c.Eng.Stop() })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != n {
+		t.Fatalf("completed %d/%d exchanges", completed, n)
+	}
+	// At-least-once delivery with duplicate filtering: the server must see
+	// each message exactly once even though packets were lost.
+	if received != n {
+		t.Fatalf("server received %d messages, want exactly %d", received, n)
+	}
+}
+
+func TestPageReadWithSegments(t *testing.T) {
+	// A page read: Send with a write-access segment grant;
+	// server replies with ReplyWithSegment carrying the page.
+	c, ka, kb := twoStations(t, Config{})
+	page := make([]byte, 512)
+	for i := range page {
+		page[i] = byte(i * 7)
+	}
+	server := kb.Spawn("fs", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start, size, access, ok := msg.Segment()
+		if !ok || access&vproto.SegFlagWrite == 0 || size != 512 {
+			t.Errorf("bad segment: %v %v %v %v", start, size, access, ok)
+		}
+		var reply Message
+		if err := p.ReplyWithSegment(&reply, src, start, page); err != nil {
+			t.Error(err)
+		}
+	})
+	var got []byte
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(512)
+		var m Message
+		m.SetSegment(buf, 512, vproto.SegFlagWrite)
+		if err := p.Send(&m, server.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		got = p.ReadSpace(buf, 512)
+	})
+	mustRun(t, c)
+	if !bytes.Equal(got, page) {
+		t.Fatal("page data corrupted in transit")
+	}
+}
+
+func TestPageWriteWithInlineSegment(t *testing.T) {
+	// A page write: Send with a read-access segment; the first part of the
+	// segment travels inside the Send packet and ReceiveWithSegment picks
+	// it up — a single two-packet exchange (§3.4).
+	c, ka, kb := twoStations(t, Config{})
+	page := make([]byte, 512)
+	for i := range page {
+		page[i] = byte(255 - i%251)
+	}
+	var stored []byte
+	server := kb.Spawn("fs", func(p *Process) {
+		buf := p.Alloc(1024)
+		_, src, count, err := p.ReceiveWithSegment(buf, 1024)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		stored = p.ReadSpace(buf, count)
+		var reply Message
+		_ = p.Reply(&reply, src)
+	})
+	ka.Spawn("client", func(p *Process) {
+		addr := p.Alloc(512)
+		p.WriteSpace(addr, page)
+		var m Message
+		m.SetSegment(addr, 512, vproto.SegFlagRead)
+		if err := p.Send(&m, server.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	mustRun(t, c)
+	if !bytes.Equal(stored, page) {
+		t.Fatalf("stored %d bytes, corrupted or short", len(stored))
+	}
+	// The whole write must have been two packets: one Send (with inline
+	// data) and one Reply.
+	if got := c.Net.Stats().Frames; got != 2 {
+		t.Fatalf("page write used %d packets, want 2", got)
+	}
+}
+
+func TestMoveToTransfersDataRemote(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	const size = 10_000 // multiple packets
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i % 131)
+	}
+	server := kb.Spawn("server", func(p *Process) {
+		src := p.Alloc(size)
+		p.WriteSpace(src, data)
+		msg, from, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		if err := p.MoveTo(from, start, src, size); err != nil {
+			t.Error(err)
+			return
+		}
+		var reply Message
+		_ = p.Reply(&reply, from)
+	})
+	var got []byte
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(size)
+		var m Message
+		m.SetSegment(buf, size, vproto.SegFlagWrite)
+		if err := p.Send(&m, server.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		got = p.ReadSpace(buf, size)
+	})
+	mustRun(t, c)
+	if !bytes.Equal(got, data) {
+		t.Fatal("MoveTo corrupted data")
+	}
+}
+
+func TestMoveFromTransfersDataRemote(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	const size = 5_000
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i % 97)
+	}
+	var got []byte
+	server := kb.Spawn("server", func(p *Process) {
+		buf := p.Alloc(size)
+		msg, from, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		if err := p.MoveFrom(from, buf, start, size); err != nil {
+			t.Error(err)
+			return
+		}
+		got = p.ReadSpace(buf, size)
+		var reply Message
+		_ = p.Reply(&reply, from)
+	})
+	ka.Spawn("client", func(p *Process) {
+		src := p.Alloc(size)
+		p.WriteSpace(src, data)
+		var m Message
+		m.SetSegment(src, size, vproto.SegFlagRead)
+		if err := p.Send(&m, server.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	mustRun(t, c)
+	if !bytes.Equal(got, data) {
+		t.Fatal("MoveFrom corrupted data")
+	}
+}
+
+func TestMoveSurvivesPacketLoss(t *testing.T) {
+	cfg := ether.Ethernet3Mb()
+	cfg.DropRate = 0.05
+	c := NewCluster(13, cfg)
+	ka := c.AddWorkstation("a", prof8(), Config{})
+	kb := c.AddWorkstation("b", prof8(), Config{})
+	const size = 20_000
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	server := kb.Spawn("server", func(p *Process) {
+		src := p.Alloc(size)
+		p.WriteSpace(src, data)
+		msg, from, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		if err := p.MoveTo(from, start, src, size); err != nil {
+			t.Error(err)
+			return
+		}
+		var reply Message
+		_ = p.Reply(&reply, from)
+	})
+	var got []byte
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(size)
+		var m Message
+		m.SetSegment(buf, size, vproto.SegFlagWrite)
+		if err := p.Send(&m, server.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		got = p.ReadSpace(buf, size)
+	})
+	c.Eng.MaxSteps = 50_000_000
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("MoveTo under loss corrupted data")
+	}
+}
+
+func TestMoveToWithoutGrantFails(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	server := kb.Spawn("server", func(p *Process) {
+		_, from, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		src := p.Alloc(128)
+		if err := p.MoveTo(from, 0, src, 128); err != ErrNoAccess {
+			t.Errorf("MoveTo err = %v, want ErrNoAccess", err)
+		}
+		var reply Message
+		_ = p.Reply(&reply, from)
+	})
+	ka.Spawn("client", func(p *Process) {
+		var m Message // no segment grant
+		_ = p.Send(&m, server.Pid())
+	})
+	mustRun(t, c)
+}
+
+func TestMoveToOutsideGrantFails(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	server := kb.Spawn("server", func(p *Process) {
+		msg, from, err := p.Receive()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		src := p.Alloc(1024)
+		// Write past the end of the 512-byte grant.
+		if err := p.MoveTo(from, start+256, src, 512); err != ErrBadAddress {
+			t.Errorf("MoveTo err = %v, want ErrBadAddress", err)
+		}
+		var reply Message
+		_ = p.Reply(&reply, from)
+	})
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(512)
+		var m Message
+		m.SetSegment(buf, 512, vproto.SegFlagWrite)
+		_ = p.Send(&m, server.Pid())
+	})
+	mustRun(t, c)
+}
+
+func TestGetPidBroadcastResolution(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	fs := kb.Spawn("fs", func(p *Process) {
+		p.SetPid(LogicalFileServer, p.Pid(), ScopeBoth)
+		_, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		var m Message
+		_ = p.Reply(&m, src)
+	})
+	var resolved Pid
+	ka.Spawn("client", func(p *Process) {
+		p.Delay(sim.Millisecond) // let the server register
+		resolved = p.GetPid(LogicalFileServer, ScopeBoth)
+		if resolved != vproto.Nil {
+			var m Message
+			_ = p.Send(&m, resolved)
+		}
+	})
+	mustRun(t, c)
+	if resolved != fs.Pid() {
+		t.Fatalf("resolved %v, want %v", resolved, fs.Pid())
+	}
+	if ka.Stats().GetPidBroadcasts == 0 {
+		t.Fatal("lookup did not use broadcast")
+	}
+}
+
+func TestGetPidLocalScope(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	k.Spawn("p", func(p *Process) {
+		p.SetPid(7, p.Pid(), ScopeLocal)
+		if got := p.GetPid(7, ScopeLocal); got != p.Pid() {
+			t.Errorf("local lookup = %v", got)
+		}
+	})
+	mustRun(t, c)
+}
+
+func TestGetPidUnknownTimesOut(t *testing.T) {
+	c, ka, _ := twoStations(t, Config{})
+	var got Pid = 1
+	ka.Spawn("client", func(p *Process) {
+		got = p.GetPid(0xDEAD, ScopeBoth)
+	})
+	mustRun(t, c)
+	if got != vproto.Nil {
+		t.Fatalf("lookup of unknown id = %v", got)
+	}
+}
+
+func TestDestroyReleasesBlockedSenders(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	k := c.AddWorkstation("w", prof8(), Config{})
+	server := k.Spawn("server", func(p *Process) {
+		p.Delay(50 * sim.Millisecond) // never receives
+	})
+	var err error
+	k.Spawn("client", func(p *Process) {
+		var m Message
+		err = p.Send(&m, server.Pid())
+	})
+	c.Eng.Schedule(10*sim.Millisecond, "kill", func() {
+		if derr := k.Destroy(server.Pid()); derr != nil {
+			t.Error(derr)
+		}
+	})
+	mustRun(t, c)
+	if err != ErrNoProcess {
+		t.Fatalf("sender err = %v", err)
+	}
+}
+
+func TestAlienExhaustionRecovers(t *testing.T) {
+	// More concurrent remote clients than alien descriptors: the kernel
+	// sends reply-pending packets, clients retry, everyone completes.
+	c := NewCluster(3, ether.Ethernet3Mb())
+	kb := c.AddWorkstation("server", prof8(), Config{AlienDescriptors: 2})
+	serverK := kb
+	done := 0
+	server := serverK.Spawn("fs", func(p *Process) {
+		for {
+			_, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			p.Delay(2 * sim.Millisecond) // hold aliens long enough to clash
+			var m Message
+			_ = p.Reply(&m, src)
+		}
+	})
+	const clients = 5
+	for i := 0; i < clients; i++ {
+		kc := c.AddWorkstation("c", prof8(), Config{})
+		kc.Spawn("client", func(p *Process) {
+			var m Message
+			if err := p.Send(&m, server.Pid()); err != nil {
+				t.Errorf("client send: %v", err)
+				return
+			}
+			done++
+		})
+	}
+	c.Eng.MaxSteps = 50_000_000
+	c.Eng.Schedule(30*sim.Second, "stop", func() { c.Eng.Stop() })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != clients {
+		t.Fatalf("completed %d/%d", done, clients)
+	}
+}
+
+func TestDiscoveredHostMapping(t *testing.T) {
+	// 10 Mb configuration: logical hosts resolve via broadcast + learning.
+	c := NewCluster(5, ether.Ethernet10Mb())
+	cfg := Config{DiscoveredMapping: true}
+	ka := c.AddWorkstation("a", cost.MC68000(8, cost.Iface10Mb), cfg)
+	kb := c.AddWorkstation("b", cost.MC68000(8, cost.Iface10Mb), cfg)
+	server := kb.Spawn("server", func(p *Process) {
+		for i := 0; i < 2; i++ {
+			_, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			var m Message
+			_ = p.Reply(&m, src)
+		}
+	})
+	ok := 0
+	ka.Spawn("client", func(p *Process) {
+		for i := 0; i < 2; i++ {
+			var m Message
+			if err := p.Send(&m, server.Pid()); err != nil {
+				t.Error(err)
+				return
+			}
+			ok++
+		}
+	})
+	mustRun(t, c)
+	if ok != 2 {
+		t.Fatalf("exchanges = %d", ok)
+	}
+	// The first exchange was broadcast; the second must have been unicast
+	// via the learned mapping.
+	if got := c.Net.Stats().Broadcasts; got != 1 {
+		t.Fatalf("broadcasts = %d, want 1 (learned mapping after first)", got)
+	}
+}

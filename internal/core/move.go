@@ -1,0 +1,363 @@
+package core
+
+import (
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// Bulk data transfer (§3.3). MoveTo streams maximally-sized data packets
+// back to back and waits for a single acknowledgement when the transfer is
+// complete; MoveFrom sends a request that is acknowledged by the requested
+// data packets — "essentially the reverse of MoveTo". Retransmission
+// resumes from the last correctly received data packet to avoid repeating
+// identical back-to-back failures.
+
+type moveKind int
+
+const (
+	moveTo moveKind = iota
+	moveFrom
+)
+
+// moveOp is an outstanding bulk transfer initiated on this kernel.
+type moveOp struct {
+	kind    moveKind
+	p       *Process
+	peer    Pid
+	seq     uint32
+	local   uint32 // local address: MoveTo source / MoveFrom destination
+	remote  uint32 // remote address: MoveTo destination / MoveFrom source
+	count   uint32
+	got     uint32 // MoveFrom: contiguously received bytes
+	retries int
+	timer   *sim.Event
+}
+
+// moveRx tracks an in-progress inbound MoveTo transfer.
+type moveRx struct {
+	base     uint32 // destination base address
+	count    uint32
+	expected uint32
+}
+
+// MoveTo copies count bytes from srcAddr in this process's space to
+// destAddr in the space of dst, which must be awaiting a reply from this
+// process and must have granted write access covering the destination
+// range (§2.1).
+func (p *Process) MoveTo(dst Pid, destAddr, srcAddr uint32, count uint32) error {
+	k := p.k
+	k.stats.MoveToOps++
+	k.stats.MoveBytes += int64(count)
+	if !p.checkSpan(srcAddr, count) {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "moveto")
+		return ErrBadAddress
+	}
+	target, alien, err := k.moveTarget(p, dst)
+	if err != nil {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "moveto")
+		return err
+	}
+	if err := grantedSpan(&target.msg, destAddr, count, vproto.SegFlagWrite); err != nil {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "moveto")
+		return err
+	}
+	if count == 0 {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "moveto")
+		return nil
+	}
+	if !alien {
+		// Local: a direct copy between address spaces, no kernel buffering.
+		k.cpu.Charge(p.task, k.prof.LocalMoveFixed+k.prof.LocalCopy(int(count)), "moveto")
+		if !target.checkSpan(destAddr, count) {
+			return ErrBadAddress
+		}
+		copy(target.space[destAddr:], p.space[srcAddr:srcAddr+count])
+		return nil
+	}
+	k.cpu.Charge(p.task, k.prof.MoveSetup, "moveto-setup")
+	op := &moveOp{kind: moveTo, p: p, peer: dst, seq: k.nextSeq(), local: srcAddr, remote: destAddr, count: count}
+	k.moves[op.seq] = op
+	k.streamMoveTo(op, 0)
+	// Transfer bookkeeping overlaps the wire while we wait for the ack.
+	k.cpu.Run(k.prof.MoveMoverOverlap, "moveto-overlap", nil)
+	op.timer = k.eng.Schedule(k.retransmitDelay(), "moveto-timeout", func() { k.moveTimeout(op) })
+	res := p.park("moveto")
+	return res.err
+}
+
+// MoveFrom copies count bytes from srcAddr in the space of src — which
+// must be awaiting a reply from this process and must have granted read
+// access — to destAddr in this process's space (§2.1).
+func (p *Process) MoveFrom(src Pid, destAddr, srcAddr uint32, count uint32) error {
+	k := p.k
+	k.stats.MoveFromOps++
+	k.stats.MoveBytes += int64(count)
+	if !p.checkSpan(destAddr, count) {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "movefrom")
+		return ErrBadAddress
+	}
+	target, alien, err := k.moveTarget(p, src)
+	if err != nil {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "movefrom")
+		return err
+	}
+	if err := grantedSpan(&target.msg, srcAddr, count, vproto.SegFlagRead); err != nil {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "movefrom")
+		return err
+	}
+	if count == 0 {
+		k.cpu.Charge(p.task, k.prof.KernelOp, "movefrom")
+		return nil
+	}
+	if !alien {
+		k.cpu.Charge(p.task, k.prof.LocalMoveFixed+k.prof.LocalCopy(int(count)), "movefrom")
+		if !target.checkSpan(srcAddr, count) {
+			return ErrBadAddress
+		}
+		copy(p.space[destAddr:], target.space[srcAddr:srcAddr+count])
+		return nil
+	}
+	k.cpu.Charge(p.task, k.prof.MoveSetup, "movefrom-setup")
+	op := &moveOp{kind: moveFrom, p: p, peer: src, seq: k.nextSeq(), local: destAddr, remote: srcAddr, count: count}
+	k.moves[op.seq] = op
+	k.sendMoveFromReq(op)
+	k.cpu.Run(k.prof.MoveMoverOverlap, "movefrom-overlap", nil)
+	op.timer = k.eng.Schedule(k.retransmitDelay(), "movefrom-timeout", func() { k.moveTimeout(op) })
+	res := p.park("movefrom")
+	return res.err
+}
+
+// moveTarget resolves the peer of a bulk transfer: a local process or an
+// alien descriptor, in either case required to be awaiting a reply from p.
+func (k *Kernel) moveTarget(p *Process, pid Pid) (*Process, bool, error) {
+	if a, ok := k.aliens[pid]; ok && a.state == StateAwaitingReply && a.awaiting == p.pid {
+		return a, true, nil
+	}
+	if lp, ok := k.procs[pid]; ok {
+		if lp.state != StateAwaitingReply || lp.awaiting != p.pid {
+			return nil, false, ErrNotAwaitingReply
+		}
+		return lp, false, nil
+	}
+	return nil, false, ErrNoProcess
+}
+
+// streamMoveTo transmits data packets back to back starting at offset from
+// (resuming there after a partial ack).
+func (k *Kernel) streamMoveTo(op *moveOp, from uint32) {
+	chunk := uint32(k.cfg.ChunkSize)
+	for off := from; off < op.count; off += chunk {
+		n := op.count - off
+		if n > chunk {
+			n = chunk
+		}
+		pkt := &vproto.Packet{
+			Kind:   vproto.KindMoveToData,
+			Seq:    op.seq,
+			Src:    op.p.pid,
+			Dst:    op.peer,
+			Offset: off,
+			Count:  op.count,
+			Data:   op.p.ReadSpace(op.local+off, int(n)),
+		}
+		pkt.Msg.SetWord(1, op.remote) // destination base address
+		if off+n == op.count {
+			pkt.Flags |= vproto.FlagLast
+		}
+		k.cpu.Run(k.prof.MovePerPacket, "moveto-pkt", nil)
+		k.transmit(pkt, op.peer.Host())
+	}
+}
+
+// resendLast retransmits only the final data packet to re-elicit an ack
+// carrying the receiver's progress.
+func (k *Kernel) resendLast(op *moveOp) {
+	chunk := uint32(k.cfg.ChunkSize)
+	last := (op.count - 1) / chunk * chunk
+	k.streamMoveTo(op, last)
+}
+
+func (k *Kernel) sendMoveFromReq(op *moveOp) {
+	pkt := &vproto.Packet{
+		Kind:   vproto.KindMoveFromReq,
+		Seq:    op.seq,
+		Src:    op.p.pid,
+		Dst:    op.peer,
+		Offset: op.got, // resume point
+		Count:  op.count,
+	}
+	pkt.Msg.SetWord(1, op.remote) // source base address
+	k.transmit(pkt, op.peer.Host())
+}
+
+// moveTimeout drives retransmission for both transfer directions.
+func (k *Kernel) moveTimeout(op *moveOp) {
+	if k.moves[op.seq] != op {
+		return
+	}
+	op.retries++
+	if op.retries > k.cfg.Retries {
+		delete(k.moves, op.seq)
+		op.p.task.Unpark(parkResult{err: ErrTimeout})
+		return
+	}
+	k.stats.Retransmits++
+	switch op.kind {
+	case moveTo:
+		k.resendLast(op)
+	case moveFrom:
+		k.sendMoveFromReq(op)
+	}
+	op.timer = k.eng.Schedule(k.retransmitDelay(), "move-timeout", func() { k.moveTimeout(op) })
+}
+
+// handleMoveToData runs on the kernel of the process receiving a MoveTo:
+// data goes directly from the packet into the destination address space.
+func (k *Kernel) handleMoveToData(pkt *vproto.Packet) {
+	proc, ok := k.procs[pkt.Dst]
+	if !ok || proc.state != StateAwaitingReply || proc.awaiting != pkt.Src {
+		k.stats.BadPackets++
+		return
+	}
+	base := pkt.Msg.Word(1)
+	if grantedSpan(&proc.msg, base, pkt.Count, vproto.SegFlagWrite) != nil || !proc.checkSpan(base, pkt.Count) {
+		k.stats.BadPackets++
+		return
+	}
+	key := moveKey{src: pkt.Src, seq: pkt.Seq}
+	st := k.moveRx[key]
+	if st == nil {
+		if d, ok := k.moveDone[pkt.Src]; ok && d.seq == pkt.Seq {
+			// Transfer already completed; the ack must have been lost.
+			if pkt.Flags&vproto.FlagLast != 0 {
+				k.sendMoveAck(pkt, d.count, true)
+			}
+			return
+		}
+		st = &moveRx{base: base, count: pkt.Count}
+		k.moveRx[key] = st
+	}
+	if pkt.Offset == st.expected {
+		k.cpu.Run(k.prof.MoveRxPerPacket, "moveto-rx", nil)
+		copy(proc.space[base+pkt.Offset:], pkt.Data)
+		st.expected += uint32(len(pkt.Data))
+	}
+	// Packets beyond the expected offset indicate a gap: drop them; the
+	// sender resumes from st.expected when it sees our ack.
+	if pkt.Flags&vproto.FlagLast != 0 {
+		complete := st.expected >= st.count
+		if complete {
+			k.moveDone[pkt.Src] = doneTransfer{seq: pkt.Seq, count: st.count}
+			delete(k.moveRx, key)
+			k.cpu.Run(k.prof.MoveDataDeliver, "moveto-ack", nil)
+		}
+		k.sendMoveAck(pkt, st.expected, complete)
+		if complete {
+			// Grantor-side buffer bookkeeping overlaps the ack flight.
+			k.cpu.Run(k.prof.MoveGrantorOverlap, "moveto-grantor-overlap", nil)
+		}
+	}
+}
+
+func (k *Kernel) sendMoveAck(pkt *vproto.Packet, received uint32, complete bool) {
+	ack := &vproto.Packet{
+		Kind:   vproto.KindMoveToAck,
+		Seq:    pkt.Seq,
+		Src:    pkt.Dst,
+		Dst:    pkt.Src,
+		Offset: received,
+	}
+	if complete {
+		ack.Flags |= vproto.FlagLast
+	}
+	k.transmit(ack, pkt.Src.Host())
+}
+
+// handleMoveAck completes or resumes an outstanding MoveTo.
+func (k *Kernel) handleMoveAck(pkt *vproto.Packet) {
+	op, ok := k.moves[pkt.Seq]
+	if !ok || op.kind != moveTo {
+		return
+	}
+	if pkt.Flags&vproto.FlagLast != 0 && pkt.Offset >= op.count {
+		delete(k.moves, op.seq)
+		op.timer.Cancel()
+		k.cpu.Run(k.prof.MoveComplete, "moveto-done", func() {
+			op.p.task.Unpark(parkResult{})
+		})
+		return
+	}
+	// Partial: resume from the last correctly received byte (§3.3).
+	op.retries = 0
+	op.timer.Cancel()
+	k.streamMoveTo(op, pkt.Offset)
+	op.timer = k.eng.Schedule(k.retransmitDelay(), "moveto-timeout", func() { k.moveTimeout(op) })
+}
+
+// handleMoveFromReq runs on the kernel owning the data: validate the grant
+// and stream the requested range back; the data packets are the
+// acknowledgement of the request.
+func (k *Kernel) handleMoveFromReq(pkt *vproto.Packet) {
+	proc, ok := k.procs[pkt.Dst]
+	if !ok || proc.state != StateAwaitingReply || proc.awaiting != pkt.Src {
+		k.stats.BadPackets++
+		return
+	}
+	base := pkt.Msg.Word(1)
+	if grantedSpan(&proc.msg, base, pkt.Count, vproto.SegFlagRead) != nil || !proc.checkSpan(base, pkt.Count) {
+		k.stats.BadPackets++
+		return
+	}
+	k.cpu.Run(k.prof.MoveDataDeliver, "movefrom-serve", nil)
+	defer k.cpu.Run(k.prof.MoveGrantorOverlap, "movefrom-grantor-overlap", nil)
+	chunk := uint32(k.cfg.ChunkSize)
+	for off := pkt.Offset; off < pkt.Count; off += chunk {
+		n := pkt.Count - off
+		if n > chunk {
+			n = chunk
+		}
+		out := &vproto.Packet{
+			Kind:   vproto.KindMoveFromData,
+			Seq:    pkt.Seq,
+			Src:    pkt.Dst,
+			Dst:    pkt.Src,
+			Offset: off,
+			Count:  pkt.Count,
+			Data:   proc.ReadSpace(base+off, int(n)),
+		}
+		if off+n == pkt.Count {
+			out.Flags |= vproto.FlagLast
+		}
+		k.cpu.Run(k.prof.MovePerPacket, "movefrom-pkt", nil)
+		k.transmit(out, pkt.Src.Host())
+	}
+}
+
+// handleMoveFromData accumulates streamed data into the requester's space.
+func (k *Kernel) handleMoveFromData(pkt *vproto.Packet) {
+	op, ok := k.moves[pkt.Seq]
+	if !ok || op.kind != moveFrom {
+		return
+	}
+	if pkt.Offset == op.got {
+		k.cpu.Run(k.prof.MoveRxPerPacket, "movefrom-rx", nil)
+		copy(op.p.space[op.local+pkt.Offset:], pkt.Data)
+		op.got += uint32(len(pkt.Data))
+	}
+	if op.got >= op.count {
+		delete(k.moves, op.seq)
+		op.timer.Cancel()
+		k.cpu.Run(k.prof.MoveComplete, "movefrom-done", func() {
+			op.p.task.Unpark(parkResult{})
+		})
+		return
+	}
+	if pkt.Flags&vproto.FlagLast != 0 {
+		// The stream ended but we have a gap: re-request immediately from
+		// the last correctly received byte.
+		op.retries = 0
+		op.timer.Cancel()
+		k.sendMoveFromReq(op)
+		op.timer = k.eng.Schedule(k.retransmitDelay(), "movefrom-timeout", func() { k.moveTimeout(op) })
+	}
+}

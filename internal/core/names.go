@@ -1,0 +1,132 @@
+package core
+
+import (
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// Process naming (§2.1, §3.1). SetPid associates a pid with a well-known
+// logical id in a scope; GetPid resolves a logical id, using network
+// broadcast when the mapping is not known locally — any kernel knowing the
+// mapping may respond.
+
+// lookup is an outstanding broadcast GetPid on this kernel.
+type lookup struct {
+	p       *Process
+	id      uint32
+	retries int
+	timer   *sim.Event
+	done    bool
+}
+
+// SetPid associates pid with logicalID in the given scope (§2.1).
+func (p *Process) SetPid(logicalID uint32, pid Pid, scope Scope) {
+	p.k.cpu.Charge(p.task, p.k.prof.KernelOp, "setpid")
+	p.k.names[logicalID] = nameEntry{pid: pid, scope: scope}
+}
+
+// GetPid returns the pid associated with logicalID in the given scope, or
+// vproto.Nil if the lookup fails. Lookups in ScopeRemote (or ScopeBoth)
+// that miss locally are broadcast on the network (§3.1).
+func (p *Process) GetPid(logicalID uint32, scope Scope) Pid {
+	k := p.k
+	k.cpu.Charge(p.task, k.prof.KernelOp, "getpid")
+	if e, ok := k.names[logicalID]; ok && e.scope&scope != 0 {
+		return e.pid
+	}
+	if scope&ScopeRemote == 0 {
+		return vproto.Nil
+	}
+	lk := &lookup{p: p, id: logicalID}
+	k.lookups[logicalID] = append(k.lookups[logicalID], lk)
+	k.broadcastGetPid(lk)
+	lk.timer = k.eng.Schedule(k.cfg.GetPidTimeout, "getpid-timeout", func() { k.getPidTimeout(lk) })
+	res := p.park("getpid")
+	if res.err != nil {
+		return vproto.Nil
+	}
+	return res.pid
+}
+
+func (k *Kernel) broadcastGetPid(lk *lookup) {
+	k.stats.GetPidBroadcasts++
+	pkt := &vproto.Packet{
+		Kind:  vproto.KindGetPid,
+		Seq:   k.nextSeq(),
+		Src:   lk.p.pid,
+		Flags: vproto.FlagScopeRemote,
+	}
+	pkt.Msg.SetWord(1, lk.id)
+	k.broadcast(pkt)
+}
+
+// getPidTimeout retries the broadcast a bounded number of times.
+func (k *Kernel) getPidTimeout(lk *lookup) {
+	if lk.done {
+		return
+	}
+	lk.retries++
+	if lk.retries > k.cfg.GetPidRetries {
+		k.finishLookup(lk, vproto.Nil, false)
+		return
+	}
+	k.broadcastGetPid(lk)
+	lk.timer = k.eng.Schedule(k.cfg.GetPidTimeout, "getpid-timeout", func() { k.getPidTimeout(lk) })
+}
+
+// handleGetPid answers a broadcast lookup if this kernel knows a mapping
+// registered with remote visibility.
+func (k *Kernel) handleGetPid(pkt *vproto.Packet) {
+	id := pkt.Msg.Word(1)
+	e, ok := k.names[id]
+	if !ok || e.scope&ScopeRemote == 0 {
+		return
+	}
+	k.cpu.Run(k.prof.KernelOp, "getpid-answer", nil)
+	out := &vproto.Packet{
+		Kind: vproto.KindGetPidReply,
+		Seq:  pkt.Seq,
+		Dst:  pkt.Src,
+	}
+	out.Msg.SetWord(1, id)
+	out.Msg.SetWord(2, uint32(e.pid))
+	k.transmit(out, pkt.Src.Host())
+}
+
+// handleGetPidReply completes outstanding lookups for the logical id.
+func (k *Kernel) handleGetPidReply(pkt *vproto.Packet) {
+	id := pkt.Msg.Word(1)
+	pid := Pid(pkt.Msg.Word(2))
+	waiters := k.lookups[id]
+	if len(waiters) == 0 {
+		return
+	}
+	k.cpu.Run(k.prof.KernelOp, "getpid-reply", nil)
+	for _, lk := range waiters {
+		k.finishLookup(lk, pid, true)
+	}
+}
+
+func (k *Kernel) finishLookup(lk *lookup, pid Pid, ok bool) {
+	if lk.done {
+		return
+	}
+	lk.done = true
+	lk.timer.Cancel()
+	// Remove from the waiter list.
+	ws := k.lookups[lk.id]
+	for i, w := range ws {
+		if w == lk {
+			k.lookups[lk.id] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(k.lookups[lk.id]) == 0 {
+		delete(k.lookups, lk.id)
+	}
+	if !ok {
+		lk.p.task.Unpark(parkResult{err: ErrTimeout})
+		return
+	}
+	lk.p.task.Unpark(parkResult{pid: pid})
+}

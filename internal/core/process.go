@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// State is a process descriptor state.
+type State int
+
+// Process states. Aliens move SendQueued → AwaitingReply → AlienCached.
+const (
+	StateRunning State = iota
+	StateReceiveBlocked
+	StateSendQueued    // Send executed, message not yet received
+	StateAwaitingReply // message received, waiting for Reply
+	StateAlienCached   // alien retained only for duplicate filtering / reply cache
+	StateDead
+)
+
+var stateNames = [...]string{
+	"running", "receive-blocked", "send-queued", "awaiting-reply", "alien-cached", "dead",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// parkResult is the value delivered to a parked process task.
+type parkResult struct {
+	sender *Process // for receivers: the sender whose message was delivered
+	pid    Pid      // for GetPid waiters: the resolved pid
+	err    error
+}
+
+// Process is a V kernel process descriptor. Remote senders are represented
+// by alien process descriptors, which reuse this struct ("a standard kernel
+// process descriptor", §3.2) but never execute.
+type Process struct {
+	k     *Kernel
+	pid   Pid
+	name  string
+	task  *sim.Task
+	state State
+
+	// queue holds senders (local processes and aliens) in FCFS order.
+	queue    []*Process
+	queuedOn *Process // the receiver whose queue this process sits on
+
+	// msg is the in-transit message: for a blocked sender, the sent
+	// message (the segment descriptor in it stays authoritative for
+	// MoveTo/MoveFrom validation); for an alien, the saved remote message.
+	msg      Message
+	awaiting Pid // pid this process awaits a reply from
+
+	space    []byte
+	allocPtr uint32
+
+	// Receive-side bookkeeping while blocked in Receive.
+	wantSeg    bool
+	recvSegPtr uint32
+	recvSegMax int
+
+	// Sender-side bookkeeping while blocked in a remote Send.
+	pendingSeq uint32
+
+	// Alien fields.
+	alien      bool
+	alienSeq   uint32 // sequence number of the message the alien carries
+	alienData  []byte // inline segment prefix carried with the Send packet
+	replyPkt   *vproto.Packet
+	forwardPkt *vproto.Packet // set when the message was forwarded onwards
+	lru        int64
+}
+
+// Pid returns the process identifier.
+func (p *Process) Pid() Pid { return p.pid }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// State returns the descriptor state (primarily for tests and diagnostics).
+func (p *Process) State() State { return p.state }
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// --- Address space helpers -------------------------------------------------
+
+// Alloc reserves n bytes of the process address space and returns the
+// start address. It panics when the space is exhausted (a configuration
+// error in a simulation scenario).
+func (p *Process) Alloc(n int) uint32 {
+	if int(p.allocPtr)+n > len(p.space) {
+		panic(fmt.Sprintf("vkernel: %s/%s address space exhausted", p.k.name, p.name))
+	}
+	a := p.allocPtr
+	p.allocPtr += uint32(n)
+	return a
+}
+
+// WriteSpace copies data into the process address space at addr.
+func (p *Process) WriteSpace(addr uint32, data []byte) {
+	copy(p.space[addr:], data)
+}
+
+// ReadSpace returns a copy of n bytes of the address space at addr.
+func (p *Process) ReadSpace(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	copy(out, p.space[addr:])
+	return out
+}
+
+// Space returns the raw address space slice (for zero-copy access by
+// co-resident device code; simulation only).
+func (p *Process) Space() []byte { return p.space }
+
+// removeFromQueue detaches the process from the receive queue it sits on.
+func (p *Process) removeFromQueue() {
+	rcv := p.queuedOn
+	if rcv == nil {
+		return
+	}
+	for i, q := range rcv.queue {
+		if q == p {
+			rcv.queue = append(rcv.queue[:i], rcv.queue[i+1:]...)
+			break
+		}
+	}
+	p.queuedOn = nil
+}
+
+// checkSpan reports whether [addr, addr+n) lies within the space.
+func (p *Process) checkSpan(addr uint32, n uint32) bool {
+	end := uint64(addr) + uint64(n)
+	return end <= uint64(len(p.space))
+}
+
+// grantedSpan validates that the message msg grants access bits covering
+// [addr, addr+n).
+func grantedSpan(msg *Message, addr, n uint32, access byte) error {
+	start, size, got, ok := msg.Segment()
+	if !ok || got&access != access {
+		return ErrNoAccess
+	}
+	if addr < start || uint64(addr)+uint64(n) > uint64(start)+uint64(size) {
+		return ErrBadAddress
+	}
+	return nil
+}
+
+// --- Trivial kernel operations ----------------------------------------------
+
+// GetTime returns the kernel-maintained time (§5.2's trivial operation).
+func (p *Process) GetTime() sim.Time {
+	p.k.cpu.Charge(p.task, p.k.prof.KernelOp, "gettime")
+	return p.k.eng.Now()
+}
+
+// Delay suspends the process for d of virtual time without consuming
+// processor time (modelling a device wait or timer). The timer starts
+// immediately; the trap's processor cost is accounted for but overlaps the
+// wait, so pending interrupt-level work proceeds under the timer.
+func (p *Process) Delay(d sim.Time) {
+	p.k.cpu.Run(p.k.prof.KernelOp, "delay", nil)
+	p.task.Sleep(d)
+}
+
+// Compute occupies the processor on behalf of the process for d
+// (application-level work).
+func (p *Process) Compute(d sim.Time) {
+	p.k.cpu.Charge(p.task, d, "compute")
+}
+
+// Await runs setup with a completion callback and suspends the process
+// until that callback fires (from a later event — e.g. a device completion
+// interrupt). It lets device models (disks) block a process without
+// exposing the kernel's internal park/unpark protocol.
+func (p *Process) Await(setup func(done func())) {
+	setup(func() { p.task.Unpark(parkResult{}) })
+	p.park("await")
+}
+
+// --- Send -------------------------------------------------------------------
+
+// Send sends the 32-byte message to pid and blocks until the receiver
+// replies; the reply overwrites *msg (§2.1). The message's segment
+// descriptor, if any, governs what the receiver may access with
+// MoveTo/MoveFrom or receive inline.
+func (p *Process) Send(msg *Message, dst Pid) error {
+	if dst == p.pid {
+		return ErrDeadlock
+	}
+	if dst.Host() != p.k.host {
+		return p.k.nonLocalSend(p, msg, dst)
+	}
+	k := p.k
+	k.stats.LocalSends++
+	k.cpu.Charge(p.task, k.prof.LocalSend, "send")
+	rcv, ok := k.procs[dst]
+	if !ok {
+		return ErrNoProcess
+	}
+	p.msg = *msg
+	p.awaiting = dst
+	if rcv.state == StateReceiveBlocked {
+		p.state = StateAwaitingReply
+		rcv.state = StateRunning
+		rcv.task.Unpark(parkResult{sender: p})
+	} else {
+		p.state = StateSendQueued
+		p.queuedOn = rcv
+		rcv.queue = append(rcv.queue, p)
+	}
+	res := p.park("send")
+	if res.err != nil {
+		return res.err
+	}
+	*msg = p.msg // reply overwrote the message area
+	return nil
+}
+
+// park blocks the process task and normalizes the resume value.
+func (p *Process) park(why string) parkResult {
+	v := p.task.Park(why)
+	res, ok := v.(parkResult)
+	if !ok {
+		panic(fmt.Sprintf("vkernel: %s resumed with %T", p.name, v))
+	}
+	return res
+}
+
+// --- Receive ----------------------------------------------------------------
+
+// Receive blocks until a message arrives and returns it with the sender's
+// pid. Messages are queued in FCFS order (§2.1).
+func (p *Process) Receive() (Message, Pid, error) {
+	msg, src, _, err := p.receive(false, 0, 0)
+	return msg, src, err
+}
+
+// ReceiveWithSegment is Receive, but if the arriving message specifies a
+// read-access segment, up to segMax bytes of it are transferred into the
+// receiver's space at segPtr; count reports how many (§2.1).
+func (p *Process) ReceiveWithSegment(segPtr uint32, segMax int) (Message, Pid, int, error) {
+	return p.receive(true, segPtr, segMax)
+}
+
+func (p *Process) receive(wantSeg bool, segPtr uint32, segMax int) (Message, Pid, int, error) {
+	k := p.k
+	k.stats.Receives++
+	k.cpu.Charge(p.task, k.prof.LocalReceive, "receive")
+	var s *Process
+	for len(p.queue) > 0 && p.queue[0].state == StateDead {
+		p.queue[0].queuedOn = nil
+		p.queue = p.queue[1:] // drop senders destroyed while queued
+	}
+	if len(p.queue) > 0 {
+		s = p.queue[0]
+		p.queue = p.queue[1:]
+		s.queuedOn = nil
+	} else {
+		p.state = StateReceiveBlocked
+		p.wantSeg, p.recvSegPtr, p.recvSegMax = wantSeg, segPtr, segMax
+		res := p.park("receive")
+		p.wantSeg = false
+		if res.err != nil {
+			return Message{}, vproto.Nil, 0, res.err
+		}
+		s = res.sender
+	}
+	s.state = StateAwaitingReply
+	s.awaiting = p.pid
+	msg := s.msg
+	count := 0
+	if wantSeg {
+		count = p.consumeSegment(s, segPtr, segMax)
+	}
+	return msg, s.pid, count, nil
+}
+
+// consumeSegment implements the segment-receive side of
+// ReceiveWithSegment for both local senders (direct copy out of the
+// sender's space) and aliens (the inline prefix that travelled with the
+// Send packet, §3.4).
+func (p *Process) consumeSegment(s *Process, segPtr uint32, segMax int) int {
+	k := p.k
+	start, size, access, ok := s.msg.Segment()
+	if !ok || access&vproto.SegFlagRead == 0 || segMax <= 0 {
+		return 0
+	}
+	if s.alien {
+		n := len(s.alienData)
+		if n > segMax {
+			n = segMax
+		}
+		if !p.checkSpan(segPtr, uint32(n)) {
+			return 0
+		}
+		copy(p.space[segPtr:], s.alienData[:n])
+		k.cpu.Charge(p.task, k.prof.SegmentRxFixed, "seg-rx")
+		return n
+	}
+	n := int(size)
+	if n > segMax {
+		n = segMax
+	}
+	if !p.checkSpan(segPtr, uint32(n)) || !s.checkSpan(start, uint32(n)) {
+		return 0
+	}
+	copy(p.space[segPtr:], s.space[start:start+uint32(n)])
+	k.cpu.Charge(p.task, k.prof.LocalSegmentFixed+k.prof.LocalCopy(n), "seg-copy")
+	return n
+}
+
+// --- Reply ------------------------------------------------------------------
+
+// Reply sends the 32-byte reply to pid, which must be awaiting a reply
+// from this process; the replier does not block (§2.1).
+func (p *Process) Reply(msg *Message, dst Pid) error {
+	return p.reply(msg, dst, 0, nil)
+}
+
+// ReplyWithSegment replies and also transmits data into the destination
+// process's space at destPtr (§2.1). The destination must have granted
+// write access covering [destPtr, destPtr+len(data)) in its request
+// message. The segment must fit in one packet for remote destinations.
+func (p *Process) ReplyWithSegment(msg *Message, dst Pid, destPtr uint32, data []byte) error {
+	return p.reply(msg, dst, destPtr, data)
+}
+
+func (p *Process) reply(msg *Message, dst Pid, destPtr uint32, data []byte) error {
+	k := p.k
+	k.stats.Replies++
+	var target *Process
+	if a, ok := k.aliens[dst]; ok && a.state == StateAwaitingReply {
+		target = a
+	} else if lp, ok := k.procs[dst]; ok {
+		target = lp
+	} else {
+		k.cpu.Charge(p.task, k.prof.LocalReply, "reply")
+		return ErrNoProcess
+	}
+	if target.state != StateAwaitingReply || target.awaiting != p.pid {
+		k.cpu.Charge(p.task, k.prof.LocalReply, "reply")
+		return ErrNotAwaitingReply
+	}
+	if target.alien {
+		return k.remoteReply(p, msg, target, destPtr, data)
+	}
+	// Local reply.
+	k.cpu.Charge(p.task, k.prof.LocalReply, "reply")
+	if len(data) > 0 {
+		if err := grantedSpan(&target.msg, destPtr, uint32(len(data)), vproto.SegFlagWrite); err != nil {
+			return err
+		}
+		if !target.checkSpan(destPtr, uint32(len(data))) {
+			return ErrBadAddress
+		}
+		copy(target.space[destPtr:], data)
+		k.cpu.Charge(p.task, k.prof.LocalSegmentFixed+k.prof.LocalCopy(len(data)), "reply-seg")
+	}
+	target.msg = *msg
+	target.state = StateRunning
+	target.task.Unpark(parkResult{})
+	return nil
+}

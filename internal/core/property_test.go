@@ -1,0 +1,349 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// Property: for any assignment of client requests to two servers, every
+// exchange completes with the matching reply, and each server sees its
+// messages in FCFS order of send time.
+func TestExchangeCompletenessProperty(t *testing.T) {
+	f := func(assignRaw []bool, seed int64) bool {
+		if len(assignRaw) == 0 {
+			return true
+		}
+		if len(assignRaw) > 40 {
+			assignRaw = assignRaw[:40]
+		}
+		c := NewCluster(seed, ether.Ethernet3Mb())
+		k := c.AddWorkstation("w", prof8(), Config{})
+		mkServer := func() *Process {
+			return k.Spawn("srv", func(p *Process) {
+				for {
+					msg, src, err := p.Receive()
+					if err != nil {
+						return
+					}
+					var reply Message
+					reply.SetWord(1, msg.Word(1)+7)
+					if p.Reply(&reply, src) != nil {
+						return
+					}
+				}
+			})
+		}
+		s0, s1 := mkServer(), mkServer()
+		okAll := true
+		done := 0
+		for i, toS1 := range assignRaw {
+			i, toS1 := i, toS1
+			k.Spawn("client", func(p *Process) {
+				dst := s0.Pid()
+				if toS1 {
+					dst = s1.Pid()
+				}
+				var m Message
+				m.SetWord(1, uint32(i))
+				if err := p.Send(&m, dst); err != nil || m.Word(1) != uint32(i)+7 {
+					okAll = false
+				}
+				done++
+			})
+		}
+		c.Eng.MaxSteps = 10_000_000
+		c.Eng.Schedule(10*sim.Second, "stop", func() { c.Eng.Stop() })
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return okAll && done == len(assignRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: page reads of any size up to one packet round-trip
+// byte-identical data through ReplyWithSegment, under any seed.
+func TestPageIntegrityProperty(t *testing.T) {
+	f := func(sizeRaw uint16, seed int64) bool {
+		size := int(sizeRaw)%vproto.MaxData + 1
+		c := NewCluster(seed, ether.Ethernet3Mb())
+		ka := c.AddWorkstation("a", prof10(), Config{})
+		kb := c.AddWorkstation("b", prof10(), Config{})
+		page := make([]byte, size)
+		r := seed
+		for i := range page {
+			r = r*6364136223846793005 + 1442695040888963407
+			page[i] = byte(r >> 32)
+		}
+		server := kb.Spawn("fs", func(p *Process) {
+			msg, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			start, _, _, _ := msg.Segment()
+			var reply Message
+			_ = p.ReplyWithSegment(&reply, src, start, page)
+		})
+		ok := false
+		ka.Spawn("client", func(p *Process) {
+			buf := p.Alloc(size)
+			var m Message
+			m.SetSegment(buf, uint32(size), vproto.SegFlagWrite)
+			if err := p.Send(&m, server.Pid()); err != nil {
+				return
+			}
+			ok = bytes.Equal(p.ReadSpace(buf, size), page)
+		})
+		c.Eng.MaxSteps = 10_000_000
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MoveTo of any size and chunking delivers byte-identical data,
+// and the number of data packets is ceil(size/chunk).
+func TestMoveChunkingProperty(t *testing.T) {
+	f := func(sizeRaw uint16, chunkRaw uint8, seed int64) bool {
+		size := uint32(sizeRaw)%20000 + 1
+		chunk := int(chunkRaw)%vproto.MaxData + 1
+		c := NewCluster(seed, ether.Ethernet3Mb())
+		cfg := Config{ChunkSize: chunk, RetransmitTimeout: 100 * sim.Second}
+		ka := c.AddWorkstation("a", prof8(), cfg)
+		kb := c.AddWorkstation("b", prof8(), cfg)
+		data := make([]byte, size)
+		r := seed
+		for i := range data {
+			r = r*25214903917 + 11
+			data[i] = byte(r >> 24)
+		}
+		server := kb.Spawn("srv", func(p *Process) {
+			src := p.Alloc(int(size))
+			p.WriteSpace(src, data)
+			msg, from, err := p.Receive()
+			if err != nil {
+				return
+			}
+			start, _, _, _ := msg.Segment()
+			if err := p.MoveTo(from, start, src, size); err != nil {
+				return
+			}
+			var reply Message
+			_ = p.Reply(&reply, from)
+		})
+		ok := false
+		ka.Spawn("client", func(p *Process) {
+			buf := p.Alloc(int(size))
+			var m Message
+			m.SetSegment(buf, size, vproto.SegFlagWrite)
+			if err := p.Send(&m, server.Pid()); err != nil {
+				return
+			}
+			ok = bytes.Equal(p.ReadSpace(buf, int(size)), data)
+		})
+		c.Eng.MaxSteps = 50_000_000
+		if err := c.Run(); err != nil {
+			return false
+		}
+		if !ok {
+			return false
+		}
+		// Packet accounting: request + reply + ack + ceil(size/chunk) data.
+		wantData := int((size + uint32(chunk) - 1) / uint32(chunk))
+		frames := c.Net.Stats().Frames
+		return frames == wantData+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism — identical seeds give identical virtual-time
+// traces for a mixed workload; different seeds are allowed to differ.
+func TestClusterDeterminismProperty(t *testing.T) {
+	run := func(seed int64) (sim.Time, Stats) {
+		c := NewCluster(seed, ether.Ethernet3Mb())
+		ka := c.AddWorkstation("a", prof8(), Config{})
+		kb := c.AddWorkstation("b", prof8(), Config{})
+		server := echoForever(kb)
+		ka.Spawn("client", func(p *Process) {
+			for i := 0; i < 20; i++ {
+				p.Delay(sim.Time(c.Eng.Rand().Int63n(int64(sim.Millisecond))))
+				var m Message
+				if err := p.Send(&m, server.Pid()); err != nil {
+					return
+				}
+			}
+		})
+		c.Eng.MaxSteps = 10_000_000
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Eng.Now(), ka.Stats()
+	}
+	t1, s1 := run(42)
+	t2, s2 := run(42)
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", t1, s1, t2, s2)
+	}
+}
+
+func echoForever(k *Kernel) *Process {
+	return k.Spawn("echo", func(p *Process) {
+		for {
+			_, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			var m Message
+			if p.Reply(&m, src) != nil {
+				return
+			}
+		}
+	})
+}
+
+// Edge cases around segments and grants.
+
+func TestReceiveWithSegmentNoSegmentMessage(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	count := -1
+	server := kb.Spawn("srv", func(p *Process) {
+		buf := p.Alloc(128)
+		_, src, n, err := p.ReceiveWithSegment(buf, 128)
+		if err != nil {
+			return
+		}
+		count = n
+		var m Message
+		_ = p.Reply(&m, src)
+	})
+	ka.Spawn("client", func(p *Process) {
+		var m Message // no segment at all
+		_ = p.Send(&m, server.Pid())
+	})
+	mustRun(t, c)
+	if count != 0 {
+		t.Fatalf("count = %d, want 0", count)
+	}
+}
+
+func TestWriteGrantDoesNotLeakDataInline(t *testing.T) {
+	// A write-access-only grant must not put segment bytes on the wire
+	// with the Send (only read grants are carried inline, §3.4).
+	c, ka, kb := twoStations(t, Config{})
+	server := kb.Spawn("srv", func(p *Process) {
+		buf := p.Alloc(1024)
+		_, src, n, err := p.ReceiveWithSegment(buf, 1024)
+		if err != nil {
+			return
+		}
+		if n != 0 {
+			t.Errorf("write grant delivered %d inline bytes", n)
+		}
+		var m Message
+		_ = p.Reply(&m, src)
+	})
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(512)
+		var m Message
+		m.SetSegment(buf, 512, vproto.SegFlagWrite)
+		_ = p.Send(&m, server.Pid())
+	})
+	mustRun(t, c)
+	// The Send packet must be small (no 512-byte payload).
+	var maxFrame int64
+	if s := c.Net.Stats(); s.Bytes > 0 {
+		maxFrame = s.Bytes / int64(s.Frames)
+	}
+	if maxFrame > 128 {
+		t.Fatalf("average frame %d bytes; write grant leaked inline data", maxFrame)
+	}
+}
+
+func TestReplyWithSegmentOutsideGrantFails(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	var replyErr error
+	server := kb.Spawn("srv", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		var reply Message
+		replyErr = p.ReplyWithSegment(&reply, src, start+1024, make([]byte, 512))
+		_ = p.Reply(&reply, src)
+	})
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(512)
+		var m Message
+		m.SetSegment(buf, 512, vproto.SegFlagWrite)
+		_ = p.Send(&m, server.Pid())
+	})
+	mustRun(t, c)
+	if replyErr != ErrBadAddress {
+		t.Fatalf("ReplyWithSegment err = %v", replyErr)
+	}
+}
+
+func TestReplyWithOversizeSegmentFails(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	var replyErr error
+	server := kb.Spawn("srv", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		var reply Message
+		replyErr = p.ReplyWithSegment(&reply, src, start, make([]byte, vproto.MaxData+1))
+		_ = p.Reply(&reply, src)
+	})
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(2 * vproto.MaxData)
+		var m Message
+		m.SetSegment(buf, 2*vproto.MaxData, vproto.SegFlagWrite)
+		_ = p.Send(&m, server.Pid())
+	})
+	mustRun(t, c)
+	if replyErr != ErrSegTooBig {
+		t.Fatalf("err = %v", replyErr)
+	}
+}
+
+func TestMoveToZeroBytes(t *testing.T) {
+	c, ka, kb := twoStations(t, Config{})
+	var moveErr error
+	server := kb.Spawn("srv", func(p *Process) {
+		msg, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		src2 := p.Alloc(16)
+		moveErr = p.MoveTo(src, start, src2, 0)
+		var m Message
+		_ = p.Reply(&m, src)
+	})
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(64)
+		var m Message
+		m.SetSegment(buf, 64, vproto.SegFlagWrite)
+		_ = p.Send(&m, server.Pid())
+	})
+	mustRun(t, c)
+	if moveErr != nil {
+		t.Fatalf("zero-byte MoveTo: %v", moveErr)
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// remoteSend tracks one outstanding remote Send from this kernel (§3.2).
+type remoteSend struct {
+	proc    *Process
+	dst     Pid
+	seq     uint32
+	pkt     *vproto.Packet
+	retries int
+	timer   *sim.Event
+}
+
+// nonLocalSend implements Send when the pid fails the locality test: write
+// an interkernel packet directly on the network, retransmit on timeout,
+// treat the reply as the acknowledgement (§3.2).
+func (k *Kernel) nonLocalSend(p *Process, msg *Message, dst Pid) error {
+	k.stats.RemoteSends++
+	k.cpu.Charge(p.task, k.prof.RemoteSendPrepare, "remote-send")
+
+	pkt := &vproto.Packet{
+		Kind: vproto.KindSend,
+		Seq:  k.nextSeq(),
+		Src:  p.pid,
+		Dst:  dst,
+		Msg:  *msg,
+	}
+	// §3.4: transmit the first part of a read-access segment inline.
+	if start, size, access, ok := msg.Segment(); ok && access&vproto.SegFlagRead != 0 && k.cfg.InlineSegMax > 0 {
+		n := int(size)
+		if n > k.cfg.InlineSegMax {
+			n = k.cfg.InlineSegMax
+		}
+		if p.checkSpan(start, uint32(n)) && n > 0 {
+			pkt.Data = p.ReadSpace(start, n)
+			pkt.Offset = 0
+			pkt.Count = uint32(n)
+			k.cpu.Charge(p.task, k.prof.SegmentTxFixed, "seg-tx")
+		}
+	}
+
+	p.msg = *msg
+	p.awaiting = dst
+	p.state = StateAwaitingReply
+	p.pendingSeq = pkt.Seq
+
+	rs := &remoteSend{proc: p, dst: dst, seq: pkt.Seq, pkt: pkt}
+	k.pending[pkt.Seq] = rs
+	k.transmit(pkt, dst.Host())
+	// Blocking the sender, switching away, and segment bookkeeping overlap
+	// the packet flight (queued on the CPU after the interface copy).
+	if len(pkt.Data) > 0 {
+		k.cpu.Run(k.prof.SegmentTxOverlap, "seg-tx-overlap", nil)
+	}
+	if _, _, access, ok := msg.Segment(); ok && access&vproto.SegFlagWrite != 0 {
+		// Pinning the granted destination buffer for a segment-carrying
+		// reply happens while this process is blocked.
+		k.cpu.Run(k.prof.SegmentRxOverlap, "seg-rx-pin", nil)
+	}
+	k.cpu.Run(k.prof.RemoteSendOverlap, "remote-send-overlap", nil)
+	rs.timer = k.eng.Schedule(k.retransmitDelay(), "retransmit", func() { k.retransmit(rs) })
+
+	res := p.park("remote-send")
+	if res.err != nil {
+		return res.err
+	}
+	*msg = p.msg
+	return nil
+}
+
+// retransmit fires when no reply or reply-pending arrived in time.
+func (k *Kernel) retransmit(rs *remoteSend) {
+	if k.pending[rs.seq] != rs {
+		return // already completed
+	}
+	rs.retries++
+	if rs.retries > k.cfg.Retries {
+		delete(k.pending, rs.seq)
+		rs.proc.state = StateRunning
+		rs.proc.task.Unpark(parkResult{err: ErrTimeout})
+		return
+	}
+	k.stats.Retransmits++
+	rs.pkt.Flags |= vproto.FlagRetransmit
+	k.cpu.Run(k.prof.RemoteSendPrepare, "retransmit", nil)
+	k.transmit(rs.pkt, rs.dst.Host())
+	rs.timer = k.eng.Schedule(k.retransmitDelay(), "retransmit", func() { k.retransmit(rs) })
+}
+
+// handleSend processes an arriving KindSend packet: filter duplicates via
+// the alien table, allocate an alien descriptor, and queue or deliver the
+// message to the destination process (§3.2).
+func (k *Kernel) handleSend(pkt *vproto.Packet) {
+	k.cpu.Run(k.prof.RemoteDeliver, "deliver", func() { k.deliverSend(pkt) })
+}
+
+func (k *Kernel) deliverSend(pkt *vproto.Packet) {
+	if a, ok := k.aliens[pkt.Src]; ok {
+		switch {
+		case pkt.Seq == a.alienSeq:
+			// Retransmission of the message the alien carries.
+			k.stats.DupsFiltered++
+			switch {
+			case a.replyPkt != nil:
+				// Retransmit the cached reply (§3.2).
+				k.stats.RemoteReplies++
+				k.transmit(a.replyPkt, pkt.Src.Host())
+			case a.forwardPkt != nil:
+				// The message was forwarded onwards; push the forward
+				// down the chain again and keep the origin patient.
+				k.transmit(a.forwardPkt, a.awaiting.Host())
+				k.sendReplyPending(pkt)
+			default:
+				k.sendReplyPending(pkt)
+			}
+			return
+		case pkt.Seq-a.alienSeq > 1<<31:
+			// Older than the alien's message: stale duplicate.
+			k.stats.DupsFiltered++
+			return
+		default:
+			// A newer message from the same sender: the old exchange is
+			// finished (the sender would not have moved on otherwise), so
+			// reuse the descriptor. If the old message was never consumed
+			// (sender timed out and moved on), detach it first.
+			switch a.state {
+			case StateSendQueued:
+				a.removeFromQueue()
+				k.initAlien(a, pkt)
+			case StateAwaitingReply:
+				// The receiver is still processing the old message; orphan
+				// the old alien (the eventual Reply will find no target)
+				// and start fresh.
+				k.releaseAlien(a)
+				k.deliverSend(pkt)
+			default: // cached
+				k.initAlien(a, pkt)
+			}
+			return
+		}
+	}
+	if len(k.aliens) >= k.cfg.AlienDescriptors {
+		if !k.evictAlien() {
+			// No descriptor available: discard and tell the sender to
+			// wait (§3.2).
+			k.stats.AlienExhaustion++
+			k.sendReplyPending(pkt)
+			return
+		}
+	}
+	a := &Process{
+		k:     k,
+		pid:   pkt.Src,
+		name:  "alien:" + pkt.Src.String(),
+		alien: true,
+	}
+	k.aliens[pkt.Src] = a
+	k.initAlien(a, pkt)
+}
+
+// initAlien loads a (new or reused) alien descriptor from a Send packet
+// and queues it on the destination process.
+func (k *Kernel) initAlien(a *Process, pkt *vproto.Packet) {
+	k.alienLRU++
+	a.lru = k.alienLRU
+	a.alienSeq = pkt.Seq
+	a.msg = pkt.Msg
+	a.alienData = pkt.Data
+	a.replyPkt = nil
+	a.forwardPkt = nil
+	rcv, ok := k.procs[pkt.Dst]
+	if !ok {
+		k.sendNack(a)
+		k.releaseAlien(a)
+		return
+	}
+	if rcv.state == StateReceiveBlocked {
+		a.state = StateAwaitingReply // will be finalized by the receiver
+		rcv.state = StateRunning
+		rcv.task.Unpark(parkResult{sender: a})
+		return
+	}
+	a.state = StateSendQueued
+	a.queuedOn = rcv
+	rcv.queue = append(rcv.queue, a)
+}
+
+// evictAlien reclaims the least recently used cached alien, if any.
+func (k *Kernel) evictAlien() bool {
+	var victim *Process
+	for _, a := range k.aliens {
+		if a.state != StateAlienCached {
+			continue
+		}
+		if victim == nil || a.lru < victim.lru {
+			victim = a
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	k.releaseAlien(victim)
+	return true
+}
+
+func (k *Kernel) releaseAlien(a *Process) {
+	a.state = StateDead
+	delete(k.aliens, a.pid)
+}
+
+// sendReplyPending tells the sending kernel to keep waiting (§3.2).
+func (k *Kernel) sendReplyPending(pkt *vproto.Packet) {
+	k.stats.ReplyPendingsSent++
+	k.transmit(&vproto.Packet{
+		Kind: vproto.KindReplyPending,
+		Seq:  pkt.Seq,
+		Src:  pkt.Dst,
+		Dst:  pkt.Src,
+	}, pkt.Src.Host())
+}
+
+// sendNack reports a nonexistent destination process (§3.2).
+func (k *Kernel) sendNack(a *Process) {
+	k.stats.NacksSent++
+	k.transmit(&vproto.Packet{
+		Kind: vproto.KindNack,
+		Seq:  a.alienSeq,
+		Dst:  a.pid,
+	}, a.pid.Host())
+}
+
+// remoteReply implements Reply / ReplyWithSegment to an alien: transmit
+// the reply packet (data appended for ReplyWithSegment, §3.4), cache it in
+// the alien for retransmission filtering, and ready nothing locally — the
+// replier does not block.
+func (k *Kernel) remoteReply(p *Process, msg *Message, a *Process, destPtr uint32, data []byte) error {
+	k.stats.RemoteReplies++
+	if len(data) > vproto.MaxData {
+		k.cpu.Charge(p.task, k.prof.LocalReply, "reply")
+		return ErrSegTooBig
+	}
+	if len(data) > 0 {
+		// The destination must have granted write access in its request.
+		if err := grantedSpan(&a.msg, destPtr, uint32(len(data)), vproto.SegFlagWrite); err != nil {
+			k.cpu.Charge(p.task, k.prof.LocalReply, "reply")
+			return err
+		}
+	}
+	k.cpu.Charge(p.task, k.prof.RemoteReplyPrepare, "remote-reply")
+	pkt := &vproto.Packet{
+		Kind:   vproto.KindReply,
+		Seq:    a.alienSeq,
+		Src:    p.pid,
+		Dst:    a.pid,
+		Offset: destPtr,
+		Count:  uint32(len(data)),
+		Msg:    *msg,
+	}
+	if len(data) > 0 {
+		pkt.Data = append([]byte(nil), data...)
+		k.cpu.Charge(p.task, k.prof.SegmentTxFixed, "reply-seg-tx")
+	}
+	a.replyPkt = pkt
+	a.state = StateAlienCached
+	k.transmit(pkt, a.pid.Host())
+	// With programmed I/O the kernel itself copies the packet into the
+	// interface, so Reply returns only once the copy is done.
+	k.cpu.Charge(p.task, 0, "reply-sync")
+	// Reply caching, segment bookkeeping and timer teardown overlap the
+	// packet flight (queued on the CPU after the interface copy).
+	if len(data) > 0 {
+		k.cpu.Run(k.prof.SegmentTxOverlap, "reply-seg-overlap", nil)
+	}
+	k.cpu.Run(k.prof.RemoteReplyCleanup, "reply-cleanup", nil)
+	return nil
+}
+
+// handleReply completes an outstanding remote Send.
+func (k *Kernel) handleReply(pkt *vproto.Packet) {
+	rs, ok := k.pending[pkt.Seq]
+	if !ok || rs.proc.pid != pkt.Dst {
+		k.stats.DupsFiltered++ // late duplicate reply
+		return
+	}
+	k.cpu.Run(k.prof.RemoteSendComplete, "send-complete", func() { k.completeSend(rs, pkt) })
+}
+
+func (k *Kernel) completeSend(rs *remoteSend, pkt *vproto.Packet) {
+	if k.pending[rs.seq] != rs {
+		return
+	}
+	delete(k.pending, rs.seq)
+	rs.timer.Cancel()
+	p := rs.proc
+	p.msg = pkt.Msg
+	if len(pkt.Data) > 0 {
+		// ReplyWithSegment data: write through the write-access grant made
+		// in the original request message.
+		if grantedSpan(&rs.pkt.Msg, pkt.Offset, uint32(len(pkt.Data)), vproto.SegFlagWrite) == nil &&
+			p.checkSpan(pkt.Offset, uint32(len(pkt.Data))) {
+			copy(p.space[pkt.Offset:], pkt.Data)
+		}
+		// Handling the appended segment delays the sender's release.
+		k.cpu.Run(k.prof.SegmentRxFixed, "reply-seg-rx", func() {
+			p.state = StateRunning
+			p.task.Unpark(parkResult{})
+		})
+		return
+	}
+	p.state = StateRunning
+	p.task.Unpark(parkResult{})
+}
+
+// handleReplyPending resets the retransmission count: the receiver is
+// alive but has not replied yet (§3.2).
+func (k *Kernel) handleReplyPending(pkt *vproto.Packet) {
+	k.stats.ReplyPendingsSeen++
+	rs, ok := k.pending[pkt.Seq]
+	if !ok {
+		return
+	}
+	k.cpu.Run(k.prof.KernelOp, "reply-pending", nil)
+	rs.retries = 0
+	rs.timer.Cancel()
+	rs.timer = k.eng.Schedule(k.retransmitDelay(), "retransmit", func() { k.retransmit(rs) })
+}
+
+// handleNack fails an outstanding Send: the destination does not exist.
+func (k *Kernel) handleNack(pkt *vproto.Packet) {
+	rs, ok := k.pending[pkt.Seq]
+	if !ok || rs.proc.pid != pkt.Dst {
+		return
+	}
+	delete(k.pending, rs.seq)
+	rs.timer.Cancel()
+	k.cpu.Run(k.prof.KernelOp, "nack", func() {
+		rs.proc.state = StateRunning
+		rs.proc.task.Unpark(parkResult{err: ErrNoProcess})
+	})
+}

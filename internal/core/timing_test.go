@@ -1,0 +1,259 @@
+package core
+
+import (
+	"testing"
+
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// measureSRR runs n remote Send-Receive-Reply exchanges and returns the
+// per-exchange elapsed time and client/server processor times, using the
+// paper's §5.1 methodology (total / N with busy-time accounting).
+func measureSRR(t *testing.T, mhz float64, n int) (elapsed, clientCPU, serverCPU sim.Time) {
+	t.Helper()
+	c := NewCluster(1, ether.Ethernet3Mb())
+	pr := prof8()
+	if mhz == 10 {
+		pr = prof10()
+	}
+	ka := c.AddWorkstation("client", pr, Config{})
+	kb := c.AddWorkstation("server", pr, Config{})
+	server := kb.Spawn("server", func(p *Process) {
+		for {
+			_, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			var m Message
+			_ = p.Reply(&m, src)
+		}
+	})
+	var start, end sim.Time
+	var cb0, sb0 sim.Time
+	ka.Spawn("client", func(p *Process) {
+		// Warm up one exchange, then measure.
+		var m Message
+		_ = p.Send(&m, server.Pid())
+		start = p.GetTime()
+		cb0, sb0 = ka.CPU().Busy(), kb.CPU().Busy()
+		for i := 0; i < n; i++ {
+			var msg Message
+			if err := p.Send(&msg, server.Pid()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		end = p.GetTime()
+	})
+	c.Eng.MaxSteps = 100_000_000
+	c.Eng.Schedule(100*sim.Second, "stop", func() { c.Eng.Stop() })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := end - start
+	return total / sim.Time(n), (ka.CPU().Busy() - cb0) / sim.Time(n), (kb.CPU().Busy() - sb0) / sim.Time(n)
+}
+
+func within(t *testing.T, what string, got sim.Time, wantMs float64, tolerance float64) {
+	t.Helper()
+	g := got.Milliseconds()
+	if g < wantMs*(1-tolerance) || g > wantMs*(1+tolerance) {
+		t.Errorf("%s = %.3f ms, want %.3f ± %.0f%%", what, g, wantMs, tolerance*100)
+	} else {
+		t.Logf("%s = %.3f ms (paper %.2f)", what, g, wantMs)
+	}
+}
+
+// Table 5-1 row "Send-Receive-Reply", 8 MHz: remote 3.18 ms elapsed,
+// client 1.79 ms, server 2.30 ms processor time.
+func TestCalibrationRemoteSRR8MHz(t *testing.T) {
+	el, ccpu, scpu := measureSRR(t, 8, 200)
+	within(t, "remote SRR elapsed", el, 3.18, 0.05)
+	within(t, "client CPU", ccpu, 1.79, 0.08)
+	within(t, "server CPU", scpu, 2.30, 0.08)
+}
+
+// Table 5-2 row, 10 MHz: 2.54 / 1.44 / 1.79 ms.
+func TestCalibrationRemoteSRR10MHz(t *testing.T) {
+	el, ccpu, scpu := measureSRR(t, 10, 200)
+	within(t, "remote SRR elapsed", el, 2.54, 0.08)
+	within(t, "client CPU", ccpu, 1.44, 0.10)
+	within(t, "server CPU", scpu, 1.79, 0.08)
+}
+
+// Local Send-Receive-Reply: 1.00 ms @ 8 MHz, 0.77 @ 10 MHz (Tables 5-1/5-2).
+func TestCalibrationLocalSRR(t *testing.T) {
+	for _, tc := range []struct {
+		mhz  float64
+		want float64
+		tol  float64
+	}{{8, 1.00, 0.03}, {10, 0.77, 0.06}} {
+		c := NewCluster(1, ether.Ethernet3Mb())
+		pr := prof8()
+		if tc.mhz == 10 {
+			pr = prof10()
+		}
+		k := c.AddWorkstation("w", pr, Config{})
+		server := k.Spawn("server", func(p *Process) {
+			for {
+				_, src, err := p.Receive()
+				if err != nil {
+					return
+				}
+				var m Message
+				_ = p.Reply(&m, src)
+			}
+		})
+		var per sim.Time
+		k.Spawn("client", func(p *Process) {
+			var m Message
+			_ = p.Send(&m, server.Pid())
+			start := p.GetTime()
+			const n = 200
+			for i := 0; i < n; i++ {
+				var msg Message
+				_ = p.Send(&msg, server.Pid())
+			}
+			per = (p.GetTime() - start) / n
+		})
+		c.Eng.MaxSteps = 100_000_000
+		c.Eng.Schedule(10*sim.Second, "stop", func() { c.Eng.Stop() })
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		within(t, "local SRR elapsed", per, tc.want, tc.tol)
+	}
+}
+
+// Table 5-1 MoveTo/MoveFrom of 1024 bytes: local 1.26 ms, remote ≈9.05 ms
+// at 8 MHz.
+func TestCalibrationMove1024(t *testing.T) {
+	c := NewCluster(1, ether.Ethernet3Mb())
+	// The harness holds one request open across the whole measurement
+	// loop; use a long kernel timeout so measurement is not perturbed by
+	// (correct) retransmissions of that request.
+	cfg := Config{RetransmitTimeout: 100 * sim.Second}
+	ka := c.AddWorkstation("a", prof8(), cfg)
+	kb := c.AddWorkstation("b", prof8(), cfg)
+	const n = 100
+	var perTo, perFrom sim.Time
+	server := kb.Spawn("server", func(p *Process) {
+		src := p.Alloc(1024)
+		msg, from, err := p.Receive()
+		if err != nil {
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		t0 := p.GetTime()
+		for i := 0; i < n; i++ {
+			if err := p.MoveTo(from, start, src, 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		perTo = (p.GetTime() - t0) / n
+		t0 = p.GetTime()
+		for i := 0; i < n; i++ {
+			if err := p.MoveFrom(from, src, start, 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		perFrom = (p.GetTime() - t0) / n
+		var reply Message
+		_ = p.Reply(&reply, from)
+	})
+	ka.Spawn("client", func(p *Process) {
+		buf := p.Alloc(1024)
+		var m Message
+		m.SetSegment(buf, 1024, vproto.SegFlagRead|vproto.SegFlagWrite)
+		if err := p.Send(&m, server.Pid()); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Eng.MaxSteps = 100_000_000
+	c.Eng.Schedule(100*sim.Second, "stop", func() { c.Eng.Stop() })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "remote MoveTo 1024", perTo, 9.05, 0.05)
+	within(t, "remote MoveFrom 1024", perFrom, 9.03, 0.05)
+}
+
+// Table 6-1: 512-byte page read/write between workstations @ 10 MHz:
+// remote 5.56 / 5.60 ms, local 1.31 ms.
+func TestCalibrationPageAccess(t *testing.T) {
+	run := func(remote bool) (read, write sim.Time) {
+		c := NewCluster(1, ether.Ethernet3Mb())
+		ka := c.AddWorkstation("a", prof10(), Config{})
+		kfs := ka
+		if remote {
+			kfs = c.AddWorkstation("fs", prof10(), Config{})
+		}
+		page := make([]byte, 512)
+		server := kfs.Spawn("fs", func(p *Process) {
+			buf := p.Alloc(1024)
+			for {
+				msg, src, _, err := p.ReceiveWithSegment(buf, 1024)
+				if err != nil {
+					return
+				}
+				var reply Message
+				if msg.Word(1) == 1 { // read request
+					start, _, _, _ := msg.Segment()
+					if err := p.ReplyWithSegment(&reply, src, start, page); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					_ = p.Reply(&reply, src)
+				}
+			}
+		})
+		const n = 200
+		ka.Spawn("client", func(p *Process) {
+			buf := p.Alloc(512)
+			// Warm-up.
+			var m Message
+			m.SetWord(1, 1)
+			m.SetSegment(buf, 512, vproto.SegFlagWrite)
+			_ = p.Send(&m, server.Pid())
+			t0 := p.GetTime()
+			for i := 0; i < n; i++ {
+				var rm Message
+				rm.SetWord(1, 1)
+				rm.SetSegment(buf, 512, vproto.SegFlagWrite)
+				if err := p.Send(&rm, server.Pid()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			read = (p.GetTime() - t0) / n
+			t0 = p.GetTime()
+			for i := 0; i < n; i++ {
+				var wm Message
+				wm.SetWord(1, 2)
+				wm.SetSegment(buf, 512, vproto.SegFlagRead)
+				if err := p.Send(&wm, server.Pid()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			write = (p.GetTime() - t0) / n
+		})
+		c.Eng.MaxSteps = 100_000_000
+		c.Eng.Schedule(100*sim.Second, "stop", func() { c.Eng.Stop() })
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return read, write
+	}
+	r, w := run(true)
+	within(t, "remote page read", r, 5.56, 0.05)
+	within(t, "remote page write", w, 5.60, 0.05)
+	lr, lw := run(false)
+	within(t, "local page read", lr, 1.31, 0.06)
+	within(t, "local page write", lw, 1.31, 0.06)
+}

@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vkernel/internal/sim"
+)
+
+func TestCalibratedProfilesExist(t *testing.T) {
+	for _, tc := range []struct {
+		mhz   float64
+		iface Interface
+		name  string
+	}{
+		{8, Iface3Mb, "SUN-8MHz-3Mb"},
+		{10, Iface3Mb, "SUN-10MHz-3Mb"},
+		{8, Iface10Mb, "SUN-8MHz-10Mb"},
+		{10, Iface10Mb, "SUN-10MHz-10Mb"},
+	} {
+		p := MC68000(tc.mhz, tc.iface)
+		if p.Name != tc.name {
+			t.Errorf("profile name = %q, want %q", p.Name, tc.name)
+		}
+		if p.MHz != tc.mhz {
+			t.Errorf("MHz = %v", p.MHz)
+		}
+	}
+}
+
+func TestLocalSRRSumsToTableValue(t *testing.T) {
+	p8 := MC68000(8, Iface3Mb)
+	if got := p8.LocalSend + p8.LocalReceive + p8.LocalReply; got != sim.Millisecond {
+		t.Fatalf("local SRR = %v, want 1 ms (Table 5-1)", got)
+	}
+}
+
+func TestTxCostMatchesPenaltyDerivation(t *testing.T) {
+	p8 := MC68000(8, Iface3Mb)
+	// From the §4 derivation: copying a 1024-byte packet costs ~2.06 ms.
+	got := p8.TxCost(1024)
+	if got < sim.Micros(2050) || got > sim.Micros(2070) {
+		t.Fatalf("TxCost(1024) = %v", got)
+	}
+	if p8.RxCost(777) != p8.TxCost(777) {
+		t.Fatal("rx/tx asymmetric")
+	}
+}
+
+func TestLocalCopyRate(t *testing.T) {
+	p8 := MC68000(8, Iface3Mb)
+	// 0.9 µs/byte at 8 MHz: 64 KB ≈ 59 ms (Table 6-3's local floor).
+	got := p8.LocalCopy(64 * 1024)
+	if got < sim.Millis(58.9) || got > sim.Millis(59.1) {
+		t.Fatalf("LocalCopy(64K) = %v", got)
+	}
+}
+
+// Property: kernel costs scale as 8/MHz for any clock rate.
+func TestScalingProperty(t *testing.T) {
+	base := MC68000(8, Iface3Mb)
+	f := func(mhzRaw uint8) bool {
+		mhz := 4 + float64(mhzRaw%32) // 4..35 MHz
+		if mhz == 8 || mhz == 10 {
+			return true // those have bespoke interface calibration
+		}
+		p := MC68000(mhz, Iface3Mb)
+		want := sim.Time(float64(base.LocalSend) * 8 / mhz)
+		diff := p.LocalSend - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= sim.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package cpu models a workstation processor for the V kernel simulation.
+//
+// The model is a single serially-used resource: every piece of kernel,
+// interrupt, or user work occupies the processor for a duration and work
+// requests are served in FIFO order (the 68000 in the paper has no caches
+// and interrupt handlers are short, so FIFO is an adequate approximation).
+// The processor accumulates total busy time, which reproduces the paper's
+// §5.1 "busywork process" measurement methodology: processor time per
+// operation = busy time / N, and elapsed - busy = the time the busywork
+// process would have received.
+package cpu
+
+import "vkernel/internal/sim"
+
+// CPU is one workstation processor.
+type CPU struct {
+	eng  *sim.Engine
+	name string
+	// busyUntil is the time at which all currently accepted work completes.
+	busyUntil sim.Time
+	// busy is the total accumulated busy time.
+	busy sim.Time
+	// marks supports interval accounting (BusySince).
+	lastMarkBusy sim.Time
+}
+
+// New returns a CPU attached to the engine.
+func New(eng *sim.Engine, name string) *CPU {
+	return &CPU{eng: eng, name: name}
+}
+
+// Name returns the CPU's name (typically the workstation name).
+func (c *CPU) Name() string { return c.name }
+
+// Busy returns the total accumulated busy time.
+func (c *CPU) Busy() sim.Time { return c.busy }
+
+// Mark records the current busy counter; a later BusySinceMark returns the
+// busy time accumulated since. Used by experiment harnesses to measure the
+// processor time of a phase, as the paper does with its busywork process.
+func (c *CPU) Mark() { c.lastMarkBusy = c.busy }
+
+// BusySinceMark returns busy time accumulated since the last Mark.
+func (c *CPU) BusySinceMark() sim.Time { return c.busy - c.lastMarkBusy }
+
+// IdleAt reports the earliest time at or after the current instant when the
+// CPU has no accepted work left.
+func (c *CPU) IdleAt() sim.Time {
+	if c.busyUntil < c.eng.Now() {
+		return c.eng.Now()
+	}
+	return c.busyUntil
+}
+
+// Run occupies the processor for duration d starting as soon as all
+// previously accepted work is done, then invokes fn (fn may be nil). It
+// returns the completion time. Zero-duration work runs at the earliest
+// instant the CPU is free.
+func (c *CPU) Run(d sim.Time, what string, fn func()) sim.Time {
+	if d < 0 {
+		d = 0
+	}
+	start := c.IdleAt()
+	end := start + d
+	c.busyUntil = end
+	c.busy += d
+	if fn != nil {
+		c.eng.At(end, "cpu:"+what, fn)
+	}
+	return end
+}
+
+// Charge occupies the processor for d on behalf of the calling task and
+// suspends the task until the work completes. It is the task-context
+// equivalent of Run.
+func (c *CPU) Charge(t *sim.Task, d sim.Time, what string) {
+	if d <= 0 && c.busyUntil <= c.eng.Now() {
+		return
+	}
+	c.Run(d, what, func() { t.Unpark(nil) })
+	t.Park("cpu:" + what)
+}

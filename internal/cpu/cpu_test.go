@@ -1,0 +1,125 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vkernel/internal/sim"
+)
+
+func TestRunSerializesFIFO(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, "test")
+	var order []int
+	var t1, t2 sim.Time
+	c.Run(100*sim.Microsecond, "a", func() { order = append(order, 1); t1 = eng.Now() })
+	c.Run(50*sim.Microsecond, "b", func() { order = append(order, 2); t2 = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if t1 != 100*sim.Microsecond || t2 != 150*sim.Microsecond {
+		t.Fatalf("completion times %v %v", t1, t2)
+	}
+	if c.Busy() != 150*sim.Microsecond {
+		t.Fatalf("busy = %v", c.Busy())
+	}
+}
+
+func TestRunAfterIdleGap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, "test")
+	c.Run(10*sim.Microsecond, "a", nil)
+	var done sim.Time
+	eng.Schedule(100*sim.Microsecond, "later", func() {
+		c.Run(10*sim.Microsecond, "b", func() { done = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Work submitted at t=100 on an idle CPU completes at t=110 — the
+	// idle gap must not be charged.
+	if done != 110*sim.Microsecond {
+		t.Fatalf("done = %v", done)
+	}
+	if c.Busy() != 20*sim.Microsecond {
+		t.Fatalf("busy = %v", c.Busy())
+	}
+}
+
+func TestChargeBlocksTask(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, "test")
+	var after sim.Time
+	eng.Spawn("task", func(tk *sim.Task) {
+		c.Charge(tk, 500*sim.Microsecond, "work")
+		after = eng.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after != 500*sim.Microsecond {
+		t.Fatalf("task resumed at %v", after)
+	}
+}
+
+func TestChargeZeroOnIdleCPUReturnsImmediately(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, "test")
+	ran := false
+	eng.Spawn("task", func(tk *sim.Task) {
+		c.Charge(tk, 0, "noop")
+		if eng.Now() != 0 {
+			t.Errorf("zero charge advanced time to %v", eng.Now())
+		}
+		ran = true
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestMarkAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, "test")
+	c.Run(30*sim.Microsecond, "a", nil)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Mark()
+	c.Run(70*sim.Microsecond, "b", nil)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BusySinceMark(); got != 70*sim.Microsecond {
+		t.Fatalf("BusySinceMark = %v", got)
+	}
+}
+
+// Property: total busy time equals the sum of all submitted durations,
+// and the final completion time is at least that sum (work conservation,
+// no overlap on a single CPU).
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		eng := sim.NewEngine(7)
+		c := New(eng, "p")
+		var sum sim.Time
+		for _, d := range durs {
+			dt := sim.Time(d) * sim.Microsecond
+			sum += dt
+			c.Run(dt, "w", nil)
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return c.Busy() == sum && c.IdleAt() >= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

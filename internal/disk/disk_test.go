@@ -1,0 +1,154 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"vkernel/internal/sim"
+)
+
+func TestFixedLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, Fixed(512, 20*sim.Millisecond))
+	var done sim.Time
+	d.Read(BlockID{File: 1, Block: 0}, func([]byte) { done = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 20*sim.Millisecond {
+		t.Fatalf("read completed at %v", done)
+	}
+}
+
+func TestFCFSQueueing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, Fixed(512, 10*sim.Millisecond))
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		d.Read(BlockID{File: 1, Block: uint32(i)}, func([]byte) { times = append(times, eng.Now()) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v", times)
+		}
+	}
+	if d.Stats().Reads != 3 {
+		t.Fatalf("stats: %+v", d.Stats())
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, Fixed(512, sim.Millisecond))
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	id := BlockID{File: 2, Block: 5}
+	var got []byte
+	d.Write(id, data, func() {
+		d.Read(id, func(blk []byte) { got = blk })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("block corrupted on platter")
+	}
+	if d.FileSize(2) != 6*512 {
+		t.Fatalf("file size = %d", d.FileSize(2))
+	}
+}
+
+func TestUnwrittenBlocksReadZero(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, Fixed(512, sim.Millisecond))
+	var got []byte
+	d.Read(BlockID{File: 9, Block: 9}, func(blk []byte) { got = blk })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 512 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestPreloadAndReadNow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, Fixed(512, sim.Millisecond))
+	contents := make([]byte, 1300) // 2.5 blocks
+	for i := range contents {
+		contents[i] = byte(i)
+	}
+	d.Preload(4, contents)
+	if d.FileSize(4) != 1300 {
+		t.Fatalf("size = %d", d.FileSize(4))
+	}
+	b0 := d.ReadNow(BlockID{File: 4, Block: 0})
+	b2 := d.ReadNow(BlockID{File: 4, Block: 2})
+	if !bytes.Equal(b0, contents[:512]) {
+		t.Fatal("block 0 wrong")
+	}
+	if !bytes.Equal(b2[:1300-1024], contents[1024:]) {
+		t.Fatal("tail block wrong")
+	}
+}
+
+func TestSeekRotationModelBounds(t *testing.T) {
+	eng := sim.NewEngine(3)
+	cfg := DefaultConfig()
+	d := New(eng, cfg)
+	var done []sim.Time
+	prev := sim.Time(0)
+	for i := 0; i < 20; i++ {
+		d.Read(BlockID{File: 1, Block: uint32(i)}, func([]byte) { done = append(done, eng.Now()) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range done {
+		dur := at - prev
+		prev = at
+		min := cfg.SeekBase
+		max := cfg.SeekBase + cfg.Rotation + 2*sim.Millisecond
+		if dur < min || dur > max {
+			t.Fatalf("access %d took %v, outside [%v, %v]", i, dur, min, max)
+		}
+	}
+}
+
+// Property: any write/read sequence round-trips block contents exactly.
+func TestBlockRoundTripProperty(t *testing.T) {
+	f := func(file uint32, block uint16, seed int64) bool {
+		eng := sim.NewEngine(seed)
+		d := New(eng, Fixed(512, sim.Millisecond))
+		data := make([]byte, 512)
+		r := seed
+		for i := range data {
+			r = r*1103515245 + 12345
+			data[i] = byte(r >> 16)
+		}
+		id := BlockID{File: file, Block: uint32(block)}
+		ok := false
+		d.Write(id, data, func() {
+			d.Read(id, func(blk []byte) { ok = bytes.Equal(blk, data) })
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vkernel/internal/core"
+	"vkernel/internal/cost"
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// opMeasure is one operation's measurement in the paper's format.
+type opMeasure struct {
+	elapsed   sim.Time
+	clientCPU sim.Time
+	serverCPU sim.Time
+}
+
+func (m opMeasure) ms() float64 { return m.elapsed.Milliseconds() }
+
+// longTimeout keeps kernel-level retransmission of the harness's
+// long-held rendezvous request out of the measurement (see
+// core/timing_test.go for the analysis).
+var longTimeout = core.Config{RetransmitTimeout: 1000 * sim.Second}
+
+// rig is a two-workstation measurement setup; local rigs reuse one
+// workstation for both parties.
+type rig struct {
+	c      *core.Cluster
+	client *core.Kernel
+	server *core.Kernel
+}
+
+func newRig(seed int64, netCfg ether.Config, prof cost.Profile, kcfg core.Config, remote bool) *rig {
+	c := core.NewCluster(seed, netCfg)
+	r := &rig{c: c}
+	r.client = c.AddWorkstation("client", prof, kcfg)
+	if remote {
+		r.server = c.AddWorkstation("server", prof, kcfg)
+	} else {
+		r.server = r.client
+	}
+	return r
+}
+
+// run drives the cluster with a generous step guard.
+func (r *rig) run() error {
+	r.c.Eng.MaxSteps = 500_000_000
+	r.c.Eng.Schedule(3600*sim.Second, "harness-stop", func() { r.c.Eng.Stop() })
+	return r.c.Run()
+}
+
+// echoServer spawns a Receive/Reply loop and returns its pid.
+func echoServer(k *core.Kernel) *core.Process {
+	return k.Spawn("echo", func(p *core.Process) {
+		for {
+			_, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			var m core.Message
+			if err := p.Reply(&m, src); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// measureSRR measures Send-Receive-Reply per the paper's methodology.
+func measureSRR(prof cost.Profile, netCfg ether.Config, kcfg core.Config, remote bool, iters int) (opMeasure, error) {
+	r := newRig(1, netCfg, prof, kcfg, remote)
+	server := echoServer(r.server)
+	var out opMeasure
+	var measured bool
+	r.client.Spawn("client", func(p *core.Process) {
+		var m core.Message
+		if err := p.Send(&m, server.Pid()); err != nil {
+			return
+		}
+		start := p.GetTime()
+		c0, s0 := r.client.CPU().Busy(), r.server.CPU().Busy()
+		for i := 0; i < iters; i++ {
+			var msg core.Message
+			if err := p.Send(&msg, server.Pid()); err != nil {
+				return
+			}
+		}
+		out.elapsed = (p.GetTime() - start) / sim.Time(iters)
+		out.clientCPU = (r.client.CPU().Busy() - c0) / sim.Time(iters)
+		out.serverCPU = (r.server.CPU().Busy() - s0) / sim.Time(iters)
+		measured = true
+	})
+	if err := r.run(); err != nil {
+		return out, err
+	}
+	if !measured {
+		return out, fmt.Errorf("srr measurement did not complete")
+	}
+	return out, nil
+}
+
+// measureGetTime measures the trivial kernel operation.
+func measureGetTime(prof cost.Profile, netCfg ether.Config, iters int) (sim.Time, error) {
+	r := newRig(1, netCfg, prof, core.Config{}, false)
+	var per sim.Time
+	r.client.Spawn("client", func(p *core.Process) {
+		start := p.GetTime()
+		for i := 0; i < iters; i++ {
+			p.GetTime()
+		}
+		per = (p.GetTime() - start - 0) / sim.Time(iters)
+	})
+	if err := r.run(); err != nil {
+		return 0, err
+	}
+	return per, nil
+}
+
+// measureMove measures MoveTo or MoveFrom of size bytes; the mover is the
+// process that received the rendezvous message (as in the paper's setup).
+func measureMove(prof cost.Profile, netCfg ether.Config, remote bool, moveTo bool, size uint32, iters int) (opMeasure, error) {
+	r := newRig(1, netCfg, prof, longTimeout, remote)
+	var out opMeasure
+	var measured bool
+	mover := r.server.Spawn("mover", func(p *core.Process) {
+		buf := p.Alloc(int(size))
+		msg, from, err := p.Receive()
+		if err != nil {
+			return
+		}
+		start, _, _, _ := msg.Segment()
+		t0 := p.GetTime()
+		c0, s0 := r.client.CPU().Busy(), r.server.CPU().Busy()
+		for i := 0; i < iters; i++ {
+			var err error
+			if moveTo {
+				err = p.MoveTo(from, start, buf, size)
+			} else {
+				err = p.MoveFrom(from, buf, start, size)
+			}
+			if err != nil {
+				return
+			}
+		}
+		out.elapsed = (p.GetTime() - t0) / sim.Time(iters)
+		out.clientCPU = (r.client.CPU().Busy() - c0) / sim.Time(iters)
+		out.serverCPU = (r.server.CPU().Busy() - s0) / sim.Time(iters)
+		measured = true
+		var reply core.Message
+		_ = p.Reply(&reply, from)
+	})
+	r.client.Spawn("client", func(p *core.Process) {
+		buf := p.Alloc(int(size))
+		var m core.Message
+		m.SetSegment(buf, size, vproto.SegFlagRead|vproto.SegFlagWrite)
+		_ = p.Send(&m, mover.Pid())
+	})
+	if err := r.run(); err != nil {
+		return out, err
+	}
+	if !measured {
+		return out, fmt.Errorf("move measurement did not complete")
+	}
+	return out, nil
+}
+
+// pageServer answers the §3.4 I/O-protocol-shaped requests used by the
+// page measurements: word 1 = 1 reads a page back with ReplyWithSegment,
+// word 1 = 2 accepts an inline page write. interDelay reproduces Table
+// 6-2's read-ahead disk latency between reply and next receive.
+func pageServer(k *core.Kernel, pageSize int, page []byte, interDelay sim.Time) *core.Process {
+	return k.Spawn("pagesrv", func(p *core.Process) {
+		staging := p.Alloc(pageSize * 2)
+		for {
+			msg, src, _, err := p.ReceiveWithSegment(staging, pageSize*2)
+			if err != nil {
+				return
+			}
+			var reply core.Message
+			if msg.Word(1) == 1 {
+				start, _, _, _ := msg.Segment()
+				if err := p.ReplyWithSegment(&reply, src, start, page); err != nil {
+					return
+				}
+			} else {
+				if err := p.Reply(&reply, src); err != nil {
+					return
+				}
+			}
+			if interDelay > 0 {
+				p.Delay(interDelay)
+			}
+		}
+	})
+}
+
+// measurePage measures a 512-byte page read or write.
+func measurePage(prof cost.Profile, netCfg ether.Config, remote bool, read bool, iters int) (opMeasure, error) {
+	const pageSize = 512
+	r := newRig(1, netCfg, prof, core.Config{}, remote)
+	page := make([]byte, pageSize)
+	server := pageServer(r.server, pageSize, page, 0)
+	var out opMeasure
+	var measured bool
+	r.client.Spawn("client", func(p *core.Process) {
+		buf := p.Alloc(pageSize)
+		op := func() error {
+			var m core.Message
+			if read {
+				m.SetWord(1, 1)
+				m.SetSegment(buf, pageSize, vproto.SegFlagWrite)
+			} else {
+				m.SetWord(1, 2)
+				m.SetSegment(buf, pageSize, vproto.SegFlagRead)
+			}
+			return p.Send(&m, server.Pid())
+		}
+		if err := op(); err != nil {
+			return
+		}
+		t0 := p.GetTime()
+		c0, s0 := r.client.CPU().Busy(), r.server.CPU().Busy()
+		for i := 0; i < iters; i++ {
+			if err := op(); err != nil {
+				return
+			}
+		}
+		out.elapsed = (p.GetTime() - t0) / sim.Time(iters)
+		out.clientCPU = (r.client.CPU().Busy() - c0) / sim.Time(iters)
+		out.serverCPU = (r.server.CPU().Busy() - s0) / sim.Time(iters)
+		measured = true
+	})
+	if err := r.run(); err != nil {
+		return out, err
+	}
+	if !measured {
+		return out, fmt.Errorf("page measurement did not complete")
+	}
+	return out, nil
+}
+
+// measureSequential reproduces Table 6-2: the server interposes the disk
+// latency between replying to one request and receiving the next; the
+// client reads pages flat out.
+func measureSequential(prof cost.Profile, netCfg ether.Config, diskLatency sim.Time, iters int) (sim.Time, error) {
+	const pageSize = 512
+	r := newRig(1, netCfg, prof, core.Config{}, true)
+	page := make([]byte, pageSize)
+	server := pageServer(r.server, pageSize, page, diskLatency)
+	var per sim.Time
+	var measured bool
+	r.client.Spawn("client", func(p *core.Process) {
+		buf := p.Alloc(pageSize)
+		read := func() error {
+			var m core.Message
+			m.SetWord(1, 1)
+			m.SetSegment(buf, pageSize, vproto.SegFlagWrite)
+			return p.Send(&m, server.Pid())
+		}
+		for i := 0; i < 3; i++ { // settle into steady state
+			if err := read(); err != nil {
+				return
+			}
+		}
+		t0 := p.GetTime()
+		for i := 0; i < iters; i++ {
+			if err := read(); err != nil {
+				return
+			}
+		}
+		per = (p.GetTime() - t0) / sim.Time(iters)
+		measured = true
+	})
+	if err := r.run(); err != nil {
+		return 0, err
+	}
+	if !measured {
+		return 0, fmt.Errorf("sequential measurement did not complete")
+	}
+	return per, nil
+}

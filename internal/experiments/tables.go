@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vkernel/internal/core"
+	"vkernel/internal/cost"
+	"vkernel/internal/disk"
+	"vkernel/internal/ether"
+	"vkernel/internal/fsrv"
+	"vkernel/internal/netpenalty"
+	"vkernel/internal/nic"
+	"vkernel/internal/sim"
+	"vkernel/internal/stats"
+)
+
+// Table41 reproduces Table 4-1: the 3 Mb Ethernet network penalty for 8
+// and 10 MHz SUN workstations at 64..1024 bytes.
+func Table41() (Result, error) {
+	rows := []struct {
+		bytes           int
+		netTime         float64
+		paper8, paper10 float64
+	}{
+		{64, .174, 0.80, 0.65},
+		{128, .348, 1.20, 0.96},
+		{256, .696, 2.00, 1.62},
+		{512, 1.392, 3.65, 3.00},
+		{1024, 2.784, 6.95, 5.83},
+	}
+	netCfg := ether.Ethernet3Mb()
+	t := stats.Table{
+		ID:      "Table 4-1",
+		Title:   "3 Mb Ethernet SUN Network Penalty",
+		Unit:    "times in ms; cells are paper/measured",
+		Columns: []string{"Network Time", "8 MHz", "10 MHz"},
+	}
+	for _, row := range rows {
+		p8, err := netpenalty.Measure(cost.MC68000(8, cost.Iface3Mb), netCfg, nic.Config{}, row.bytes, 1000)
+		if err != nil {
+			return Result{}, err
+		}
+		p10, err := netpenalty.Measure(cost.MC68000(10, cost.Iface3Mb), netCfg, nic.Config{}, row.bytes, 1000)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(fmt.Sprintf("%d bytes", row.bytes),
+			stats.M(row.netTime),
+			stats.PM(row.paper8, p8.Milliseconds()),
+			stats.PM(row.paper10, p10.Milliseconds()))
+	}
+	return Result{
+		Tables: []stats.Table{t},
+		Notes: []string{
+			"Interface constants are calibrated against this table (see cost package); agreement validates the harness, other tables are predictions.",
+		},
+	}, nil
+}
+
+// paperKernelRow carries the paper's Table 5-1/5-2 values for one row.
+type paperKernelRow struct {
+	label                                  string
+	local, remote, penalty, client, server float64
+}
+
+func kernelPerformance(id string, mhz float64, rows []paperKernelRow) (Result, error) {
+	prof := cost.MC68000(mhz, cost.Iface3Mb)
+	netCfg := ether.Ethernet3Mb()
+	t := stats.Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Kernel Performance: 3 Mb Ethernet, %g MHz processor", mhz),
+		Unit:    "times in ms; cells are paper/measured",
+		Columns: []string{"Local", "Remote", "Difference", "Penalty", "Client CPU", "Server CPU"},
+	}
+
+	// GetTime.
+	gt, err := measureGetTime(prof, netCfg, 1000)
+	if err != nil {
+		return Result{}, err
+	}
+	t.AddRow("GetTime", stats.PM(rows[0].local, gt.Milliseconds()),
+		stats.Blank(), stats.Blank(), stats.Blank(), stats.Blank(), stats.Blank())
+
+	// Send-Receive-Reply.
+	srrL, err := measureSRR(prof, netCfg, core.Config{}, false, 1000)
+	if err != nil {
+		return Result{}, err
+	}
+	srrR, err := measureSRR(prof, netCfg, core.Config{}, true, 1000)
+	if err != nil {
+		return Result{}, err
+	}
+	srrPenalty := 2 * netpenalty.Analytic(prof, netCfg, 64)
+	r := rows[1]
+	t.AddRow(r.label,
+		stats.PM(r.local, srrL.ms()),
+		stats.PM(r.remote, srrR.ms()),
+		stats.PM(r.remote-r.local, (srrR.elapsed-srrL.elapsed).Milliseconds()),
+		stats.PM(r.penalty, srrPenalty.Milliseconds()),
+		stats.PM(r.client, srrR.clientCPU.Milliseconds()),
+		stats.PM(r.server, srrR.serverCPU.Milliseconds()))
+
+	// MoveFrom / MoveTo 1024 bytes.
+	movePenalty := netpenalty.Analytic(prof, netCfg, 1088) + netpenalty.Analytic(prof, netCfg, 64)
+	for i, moveTo := range []bool{false, true} {
+		r := rows[2+i]
+		local, err := measureMove(prof, netCfg, false, moveTo, 1024, 300)
+		if err != nil {
+			return Result{}, err
+		}
+		remote, err := measureMove(prof, netCfg, true, moveTo, 1024, 300)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(r.label,
+			stats.PM(r.local, local.ms()),
+			stats.PM(r.remote, remote.ms()),
+			stats.PM(r.remote-r.local, (remote.elapsed-local.elapsed).Milliseconds()),
+			stats.PM(r.penalty, movePenalty.Milliseconds()),
+			stats.PM(r.client, remote.clientCPU.Milliseconds()),
+			stats.PM(r.server, remote.serverCPU.Milliseconds()))
+	}
+	return Result{
+		Tables: []stats.Table{t},
+		Notes: []string{
+			"Penalty column: our data packets are 1088 bytes on the wire (1024 data + 64 header/message); the paper accounts it as 1024 + a 128-byte ack.",
+			"Client/Server CPU columns for Move operations: the paper's own bulk-transfer CPU columns are internally inconsistent across Table 6-3 rows; ours derive from the calibrated cost model.",
+		},
+	}, nil
+}
+
+// Table51 reproduces Table 5-1 (8 MHz).
+func Table51() (Result, error) {
+	return kernelPerformance("Table 5-1", 8, []paperKernelRow{
+		{label: "GetTime", local: 0.07},
+		{"Send-Receive-Reply", 1.00, 3.18, 1.60, 1.79, 2.30},
+		{"MoveFrom: 1024 bytes", 1.26, 9.03, 8.15, 3.76, 5.69},
+		{"MoveTo: 1024 bytes", 1.26, 9.05, 8.15, 3.59, 5.87},
+	})
+}
+
+// Table52 reproduces Table 5-2 (10 MHz).
+func Table52() (Result, error) {
+	return kernelPerformance("Table 5-2", 10, []paperKernelRow{
+		{label: "GetTime", local: 0.06},
+		{"Send-Receive-Reply", 0.77, 2.54, 1.30, 1.44, 1.79},
+		{"MoveFrom: 1024 bytes", 0.95, 8.00, 6.77, 3.32, 4.78},
+		{"MoveTo: 1024 bytes", 0.95, 8.00, 6.77, 3.17, 4.95},
+	})
+}
+
+// Table61 reproduces Table 6-1: random page-level access, 512-byte pages,
+// 10 MHz processors.
+func Table61() (Result, error) {
+	prof := cost.MC68000(10, cost.Iface3Mb)
+	netCfg := ether.Ethernet3Mb()
+	t := stats.Table{
+		ID:      "Table 6-1",
+		Title:   "Page-Level File Access: 512 byte pages, 10 MHz",
+		Unit:    "times in ms; cells are paper/measured",
+		Columns: []string{"Local", "Remote", "Difference", "Penalty", "Client CPU", "Server CPU"},
+	}
+	paper := []struct {
+		label                                  string
+		read                                   bool
+		local, remote, penalty, client, server float64
+	}{
+		{"page read", true, 1.31, 5.56, 3.89, 2.50, 3.28},
+		{"page write", false, 1.31, 5.60, 3.89, 2.58, 3.32},
+	}
+	penalty := netpenalty.Analytic(prof, netCfg, 64) + netpenalty.Analytic(prof, netCfg, 576)
+	for _, r := range paper {
+		local, err := measurePage(prof, netCfg, false, r.read, 500)
+		if err != nil {
+			return Result{}, err
+		}
+		remote, err := measurePage(prof, netCfg, true, r.read, 500)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(r.label,
+			stats.PM(r.local, local.ms()),
+			stats.PM(r.remote, remote.ms()),
+			stats.PM(r.remote-r.local, (remote.elapsed-local.elapsed).Milliseconds()),
+			stats.PM(r.penalty, penalty.Milliseconds()),
+			stats.PM(r.client, remote.clientCPU.Milliseconds()),
+			stats.PM(r.server, remote.serverCPU.Milliseconds()))
+	}
+	return Result{Tables: []stats.Table{t}}, nil
+}
+
+// Table62 reproduces Table 6-2: sequential access with server read-ahead
+// and disk latencies of 10/15/20 ms.
+func Table62() (Result, error) {
+	prof := cost.MC68000(10, cost.Iface3Mb)
+	netCfg := ether.Ethernet3Mb()
+	t := stats.Table{
+		ID:      "Table 6-2",
+		Title:   "Sequential Page-Level Access: 512 byte pages, 10 MHz",
+		Unit:    "elapsed ms per page read; cells are paper/measured",
+		Columns: []string{"Elapsed per page"},
+	}
+	for _, row := range []struct {
+		latMs float64
+		paper float64
+	}{{10, 12.02}, {15, 17.13}, {20, 22.22}} {
+		per, err := measureSequential(prof, netCfg, sim.Millis(row.latMs), 300)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(fmt.Sprintf("disk latency %g ms", row.latMs), stats.PM(row.paper, per.Milliseconds()))
+	}
+	return Result{
+		Tables: []stats.Table{t},
+		Notes: []string{
+			"Methodology per §6.2: the disk latency is interposed between the reply to one request and the receipt of the next (read-ahead).",
+		},
+	}, nil
+}
+
+// measureProgramLoad times a 64 KB Read against a warm file server with
+// the given transfer unit, returning elapsed plus both CPUs.
+func measureProgramLoad(prof cost.Profile, netCfg ether.Config, remote bool, transferUnit int, iters int) (opMeasure, error) {
+	const fileID = 1
+	const size = 64 * 1024
+	r := newRig(1, netCfg, prof, longTimeout, remote)
+	d := disk.New(r.c.Eng, disk.Fixed(512, sim.Millisecond))
+	img := make([]byte, size)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	d.Preload(fileID, img)
+	srv := fsrv.Start(r.server, d, fsrv.Config{TransferUnit: transferUnit})
+	srv.WarmFile(fileID)
+	var out opMeasure
+	var measured bool
+	r.client.Spawn("loader", func(p *core.Process) {
+		cl := fsrv.NewClient(p, srv.Pid(), size)
+		if _, err := cl.ReadLarge(fileID, 0, size); err != nil {
+			return
+		}
+		t0 := p.GetTime()
+		c0, s0 := r.client.CPU().Busy(), r.server.CPU().Busy()
+		for i := 0; i < iters; i++ {
+			if _, err := cl.ReadLarge(fileID, 0, size); err != nil {
+				return
+			}
+		}
+		out.elapsed = (p.GetTime() - t0) / sim.Time(iters)
+		out.clientCPU = (r.client.CPU().Busy() - c0) / sim.Time(iters)
+		out.serverCPU = (r.server.CPU().Busy() - s0) / sim.Time(iters)
+		measured = true
+	})
+	if err := r.run(); err != nil {
+		return out, err
+	}
+	if !measured {
+		return out, fmt.Errorf("program load measurement did not complete")
+	}
+	return out, nil
+}
+
+// Table63 reproduces Table 6-3: a 64-kilobyte Read at transfer units of
+// 1..64 KB, local and remote, on 8 MHz workstations.
+func Table63() (Result, error) {
+	prof := cost.MC68000(8, cost.Iface3Mb)
+	netCfg := ether.Ethernet3Mb()
+	t := stats.Table{
+		ID:      "Table 6-3",
+		Title:   "Program Loading: 64 kilobyte Read, 8 MHz",
+		Unit:    "times in ms; cells are paper/measured",
+		Columns: []string{"Local", "Remote", "Difference", "Client CPU", "Server CPU", "Rate KB/s"},
+	}
+	rows := []struct {
+		unit                          int
+		local, remote, client, server float64
+	}{
+		{1 * 1024, 71.7, 518.3, 207.1, 297.9},
+		{4 * 1024, 62.5, 368.4, 176.1, 225.2},
+		{16 * 1024, 60.2, 344.6, 170.0, 216.9},
+		{64 * 1024, 59.7, 335.4, 168.1, 212.7},
+	}
+	for _, row := range rows {
+		local, err := measureProgramLoad(prof, netCfg, false, row.unit, 10)
+		if err != nil {
+			return Result{}, err
+		}
+		remote, err := measureProgramLoad(prof, netCfg, true, row.unit, 10)
+		if err != nil {
+			return Result{}, err
+		}
+		rate := 64.0 / remote.elapsed.Seconds() // KB per second
+		t.AddRow(fmt.Sprintf("%d Kb unit", row.unit/1024),
+			stats.PM(row.local, local.ms()),
+			stats.PM(row.remote, remote.ms()),
+			stats.PM(row.remote-row.local, (remote.elapsed-local.elapsed).Milliseconds()),
+			stats.PM(row.client, remote.clientCPU.Milliseconds()),
+			stats.PM(row.server, remote.serverCPU.Milliseconds()),
+			stats.M(rate))
+	}
+	return Result{
+		Tables: []stats.Table{t},
+		Notes: []string{
+			"Paper: large-unit loading runs at about 192 KB/s, within 12% of the raw write-packets-to-interface rate.",
+			"The paper's client/server CPU columns for this table are internally inconsistent (no single per-op/per-packet split fits all four rows); our columns come from the calibrated model.",
+		},
+	}, nil
+}

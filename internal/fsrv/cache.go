@@ -1,0 +1,94 @@
+package fsrv
+
+import (
+	"container/list"
+
+	"vkernel/internal/disk"
+)
+
+// blockCache is the file server's in-memory block cache with LRU
+// replacement. Dirty blocks are tracked for write-behind.
+type blockCache struct {
+	capacity int
+	entries  map[disk.BlockID]*list.Element
+	lru      *list.List // front = most recent
+	hits     int
+	misses   int
+}
+
+type cacheEntry struct {
+	id    disk.BlockID
+	data  []byte
+	dirty bool
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		entries:  make(map[disk.BlockID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached block, marking it most recently used.
+func (c *blockCache) get(id disk.BlockID) ([]byte, bool) {
+	el, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// contains reports presence without touching recency or hit counters.
+func (c *blockCache) contains(id disk.BlockID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// put inserts or refreshes a block; it returns an evicted dirty entry (if
+// any) that the caller must write back.
+func (c *blockCache) put(id disk.BlockID, data []byte, dirty bool) *cacheEntry {
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*cacheEntry)
+		e.data = data
+		e.dirty = e.dirty || dirty
+		c.lru.MoveToFront(el)
+		return nil
+	}
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, data: data, dirty: dirty})
+	if c.lru.Len() <= c.capacity {
+		return nil
+	}
+	// Evict the least recently used entry.
+	back := c.lru.Back()
+	c.lru.Remove(back)
+	victim := back.Value.(*cacheEntry)
+	delete(c.entries, victim.id)
+	if victim.dirty {
+		return victim
+	}
+	return nil
+}
+
+// clean marks a block as written back.
+func (c *blockCache) clean(id disk.BlockID) {
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*cacheEntry).dirty = false
+	}
+}
+
+// dirtyBlocks returns the ids of all dirty blocks (for flush).
+func (c *blockCache) dirtyBlocks() []disk.BlockID {
+	var out []disk.BlockID
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*cacheEntry); e.dirty {
+			out = append(out, e.id)
+		}
+	}
+	return out
+}
+
+func (c *blockCache) len() int { return c.lru.Len() }

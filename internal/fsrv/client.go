@@ -1,0 +1,149 @@
+package fsrv
+
+import (
+	"errors"
+	"fmt"
+
+	"vkernel/internal/core"
+	"vkernel/internal/vproto"
+)
+
+// Client provides the stub routines applications use for file access
+// (§3.4): each call is one V message exchange, with segment grants set up
+// per the I/O protocol.
+type Client struct {
+	p       *core.Process
+	server  core.Pid
+	buf     uint32
+	bufSize int
+}
+
+// Errors returned by the stubs.
+var (
+	ErrBadStatus = errors.New("fsrv: server returned error status")
+	ErrTooBig    = errors.New("fsrv: transfer exceeds client buffer")
+)
+
+// NewClient allocates a client I/O buffer of bufSize bytes in the calling
+// process's space and binds to the given server pid.
+func NewClient(p *core.Process, server core.Pid, bufSize int) *Client {
+	return &Client{p: p, server: server, buf: p.Alloc(bufSize), bufSize: bufSize}
+}
+
+// Discover resolves the file server via the name service and returns a
+// client bound to it.
+func Discover(p *core.Process, bufSize int) (*Client, error) {
+	pid := p.GetPid(core.LogicalFileServer, core.ScopeBoth)
+	if pid == vproto.Nil {
+		return nil, fmt.Errorf("fsrv: no file server registered")
+	}
+	return NewClient(p, pid, bufSize), nil
+}
+
+// Server returns the bound server pid.
+func (c *Client) Server() core.Pid { return c.server }
+
+// Buffer returns the client buffer address (data from ReadBlock/ReadLarge
+// lands there).
+func (c *Client) Buffer() uint32 { return c.buf }
+
+// ReadBlock reads count bytes of the given file block into dst (and the
+// client buffer). It is the §3.4 page read: one Send, one reply packet
+// carrying the data.
+func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
+	count := uint32(len(dst))
+	m := BuildRequest(OpReadInstance, file, block, count, c.buf)
+	m.SetSegment(c.buf, count, vproto.SegFlagWrite)
+	if err := c.p.Send(&m, c.server); err != nil {
+		return 0, err
+	}
+	status, n := ParseReply(&m)
+	if status != StatusOK {
+		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	copy(dst, c.p.ReadSpace(c.buf, int(n)))
+	return int(n), nil
+}
+
+// WriteBlock writes data as the given file block: one Send carrying the
+// data inline (§3.4), one reply.
+func (c *Client) WriteBlock(file, block uint32, data []byte) error {
+	if len(data) > c.bufSize {
+		return ErrTooBig
+	}
+	c.p.WriteSpace(c.buf, data)
+	m := BuildRequest(OpWriteInstance, file, block, uint32(len(data)), c.buf)
+	m.SetSegment(c.buf, uint32(len(data)), vproto.SegFlagRead)
+	if err := c.p.Send(&m, c.server); err != nil {
+		return err
+	}
+	if status, _ := ParseReply(&m); status != StatusOK {
+		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return nil
+}
+
+// ReadLarge reads count bytes starting at byte offset off into the client
+// buffer (program loading, §6.3). The server moves the data with MoveTo in
+// transfer-unit chunks; the client grants write access to its buffer.
+func (c *Client) ReadLarge(file, off, count uint32) ([]byte, error) {
+	if int(count) > c.bufSize {
+		return nil, ErrTooBig
+	}
+	m := BuildRequest(OpReadLarge, file, off, count, c.buf)
+	m.SetSegment(c.buf, count, vproto.SegFlagWrite)
+	if err := c.p.Send(&m, c.server); err != nil {
+		return nil, err
+	}
+	status, n := ParseReply(&m)
+	if status != StatusOK {
+		return nil, fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return c.p.ReadSpace(c.buf, int(n)), nil
+}
+
+// WriteLarge writes count bytes from the client buffer to the file at byte
+// offset off; the server pulls the data with MoveFrom.
+func (c *Client) WriteLarge(file, off uint32, data []byte) error {
+	if len(data) > c.bufSize {
+		return ErrTooBig
+	}
+	c.p.WriteSpace(c.buf, data)
+	m := BuildRequest(OpWriteLarge, file, off, uint32(len(data)), c.buf)
+	m.SetSegment(c.buf, uint32(len(data)), vproto.SegFlagRead)
+	if err := c.p.Send(&m, c.server); err != nil {
+		return err
+	}
+	if status, _ := ParseReply(&m); status != StatusOK {
+		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return nil
+}
+
+// QueryFile returns a file's size in bytes.
+func (c *Client) QueryFile(file uint32) (int, error) {
+	m := BuildRequest(OpQueryFile, file, 0, 0, 0)
+	if err := c.p.Send(&m, c.server); err != nil {
+		return 0, err
+	}
+	status, n := ParseReply(&m)
+	if status != StatusOK {
+		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return int(n), nil
+}
+
+// LoadProgram performs the §6.3 command-interpreter load sequence: one
+// page read for the program header, then one large read for the code and
+// data.
+func (c *Client) LoadProgram(file uint32, headerSize uint32) ([]byte, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := c.ReadBlock(file, 0, hdr); err != nil {
+		return nil, err
+	}
+	size, err := c.QueryFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return c.ReadLarge(file, 0, uint32(size))
+}

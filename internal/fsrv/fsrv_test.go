@@ -1,0 +1,312 @@
+package fsrv
+
+import (
+	"bytes"
+	"testing"
+
+	"vkernel/internal/core"
+	"vkernel/internal/cost"
+	"vkernel/internal/disk"
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+)
+
+// rig builds a two-station cluster with a file server on one side and
+// returns the client kernel plus the server.
+func rig(t *testing.T, diskCfg disk.Config, srvCfg Config) (*core.Cluster, *core.Kernel, *Server) {
+	t.Helper()
+	c := core.NewCluster(1, ether.Ethernet3Mb())
+	pr := cost.MC68000(10, cost.Iface3Mb)
+	kc := c.AddWorkstation("ws", pr, core.Config{})
+	ks := c.AddWorkstation("fs", pr, core.Config{})
+	d := disk.New(c.Eng, diskCfg)
+	s := Start(ks, d, srvCfg)
+	return c, kc, s
+}
+
+func run(t *testing.T, c *core.Cluster) {
+	t.Helper()
+	c.Eng.MaxSteps = 100_000_000
+	c.Eng.Schedule(300*sim.Second, "stop", func() { c.Eng.Stop() })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pattern(n int, seed byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(int(seed) + i*13)
+	}
+	return out
+}
+
+func TestPageReadWriteRoundTrip(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{})
+	want := pattern(512, 3)
+	var got []byte
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 4096)
+		if err := cl.WriteBlock(7, 4, want); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 512)
+		n, err := cl.ReadBlock(7, 4, buf)
+		if err != nil || n != 512 {
+			t.Errorf("read: n=%d err=%v", n, err)
+			return
+		}
+		got = buf
+	})
+	run(t, c)
+	if !bytes.Equal(got, want) {
+		t.Fatal("block corrupted through server round trip")
+	}
+}
+
+func TestPartialBlockRead(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{})
+	s.Disk().Preload(9, pattern(512, 8))
+	var got []byte
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 4096)
+		buf := make([]byte, 100)
+		n, err := cl.ReadBlock(9, 0, buf)
+		if err != nil || n != 100 {
+			t.Errorf("n=%d err=%v", n, err)
+			return
+		}
+		got = buf
+	})
+	run(t, c)
+	if !bytes.Equal(got, pattern(512, 8)[:100]) {
+		t.Fatal("partial read wrong")
+	}
+}
+
+func TestLargeReadMovesWholeFile(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{TransferUnit: 4096})
+	want := pattern(64*1024, 5)
+	s.Disk().Preload(1, want)
+	s.WarmFile(1)
+	var got []byte
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 128*1024)
+		data, err := cl.ReadLarge(1, 0, uint32(len(want)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = data
+	})
+	run(t, c)
+	if !bytes.Equal(got, want) {
+		t.Fatal("64 KB read corrupted")
+	}
+}
+
+func TestLargeWriteRoundTrip(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{})
+	want := pattern(20*1024, 11)
+	var got []byte
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 64*1024)
+		if err := cl.WriteLarge(2, 0, want); err != nil {
+			t.Error(err)
+			return
+		}
+		data, err := cl.ReadLarge(2, 0, uint32(len(want)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = data
+	})
+	run(t, c)
+	if !bytes.Equal(got, want) {
+		t.Fatal("large write/read corrupted")
+	}
+}
+
+func TestUnalignedLargeRead(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{TransferUnit: 1024})
+	want := pattern(5000, 2)
+	s.Disk().Preload(3, want)
+	var got []byte
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 16*1024)
+		data, err := cl.ReadLarge(3, 700, 3000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = data
+	})
+	run(t, c)
+	if !bytes.Equal(got, want[700:3700]) {
+		t.Fatal("unaligned read corrupted")
+	}
+}
+
+func TestQueryAndLoadProgram(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{})
+	img := pattern(30*1024, 77)
+	s.Disk().Preload(12, img)
+	s.WarmFile(12)
+	var got []byte
+	var size int
+	kc.Spawn("shell", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 64*1024)
+		var err error
+		size, err = cl.QueryFile(12)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, err = cl.LoadProgram(12, 32)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, c)
+	if size != len(img) {
+		t.Fatalf("size = %d", size)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("program image corrupted")
+	}
+}
+
+func TestReadAheadPrefetches(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, 5*sim.Millisecond), Config{ReadAhead: true})
+	s.Disk().Preload(4, pattern(8*512, 1))
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 4096)
+		buf := make([]byte, 512)
+		for b := uint32(0); b < 4; b++ {
+			if _, err := cl.ReadBlock(4, b, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	run(t, c)
+	if s.Stats().Prefetches == 0 {
+		t.Fatal("no read-ahead happened")
+	}
+	// Later blocks should have been cache hits thanks to read-ahead.
+	if s.Stats().CacheHits == 0 {
+		t.Fatal("read-ahead produced no cache hits")
+	}
+}
+
+func TestWriteBehindAcksBeforeDisk(t *testing.T) {
+	slow := disk.Fixed(512, 50*sim.Millisecond)
+	c, kc, s := rig(t, slow, Config{WriteBehind: true})
+	var ackTime sim.Time
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 4096)
+		if err := cl.WriteBlock(5, 0, pattern(512, 9)); err != nil {
+			t.Error(err)
+			return
+		}
+		ackTime = p.GetTime()
+	})
+	run(t, c)
+	if ackTime == 0 || ackTime >= 50*sim.Millisecond {
+		t.Fatalf("write-behind ack at %v, want before the 50 ms disk write", ackTime)
+	}
+	if s.Disk().Stats().Writes == 0 {
+		t.Fatal("dirty block never flushed")
+	}
+}
+
+func TestSyncWriteWaitsForDisk(t *testing.T) {
+	slow := disk.Fixed(512, 50*sim.Millisecond)
+	c, kc, s := rig(t, slow, Config{WriteBehind: false})
+	var ackTime sim.Time
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 4096)
+		if err := cl.WriteBlock(5, 0, pattern(512, 9)); err != nil {
+			t.Error(err)
+			return
+		}
+		ackTime = p.GetTime()
+	})
+	run(t, c)
+	if ackTime < 50*sim.Millisecond {
+		t.Fatalf("synchronous write acked at %v, before the disk finished", ackTime)
+	}
+}
+
+func TestDiscoverViaNameService(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{})
+	var found core.Pid
+	kc.Spawn("app", func(p *core.Process) {
+		p.Delay(sim.Millisecond)
+		cl, err := Discover(p, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		found = cl.Server()
+	})
+	run(t, c)
+	if found != s.Pid() {
+		t.Fatalf("discovered %v, want %v", found, s.Pid())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	cch := newBlockCache(2)
+	a := disk.BlockID{File: 1, Block: 1}
+	b := disk.BlockID{File: 1, Block: 2}
+	cc := disk.BlockID{File: 1, Block: 3}
+	cch.put(a, []byte{1}, false)
+	cch.put(b, []byte{2}, true)
+	cch.get(a) // a is now MRU; b is LRU
+	if v := cch.put(cc, []byte{3}, false); v == nil || v.id != b {
+		t.Fatalf("evicted %+v, want dirty b", v)
+	}
+	if cch.len() != 2 {
+		t.Fatalf("len = %d", cch.len())
+	}
+	if _, ok := cch.get(b); ok {
+		t.Fatal("b still cached")
+	}
+	if got := cch.dirtyBlocks(); len(got) != 0 {
+		t.Fatalf("dirty = %v", got)
+	}
+}
+
+func TestBadOpcodeRejected(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{})
+	var status uint32
+	kc.Spawn("app", func(p *core.Process) {
+		m := BuildRequest(99, 0, 0, 0, 0)
+		if err := p.Send(&m, s.Pid()); err != nil {
+			t.Error(err)
+			return
+		}
+		status, _ = ParseReply(&m)
+	})
+	run(t, c)
+	if status != StatusBadRequest {
+		t.Fatalf("status = %d", status)
+	}
+}
+
+func TestOversizePageReadRejected(t *testing.T) {
+	c, kc, s := rig(t, disk.Fixed(512, sim.Millisecond), Config{})
+	var err error
+	kc.Spawn("app", func(p *core.Process) {
+		cl := NewClient(p, s.Pid(), 8192)
+		buf := make([]byte, 2048) // > block size
+		_, err = cl.ReadBlock(1, 0, buf)
+	})
+	run(t, c)
+	if err == nil {
+		t.Fatal("oversize read accepted")
+	}
+}

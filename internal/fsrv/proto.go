@@ -1,0 +1,74 @@
+// Package fsrv implements V file access: the Verex I/O protocol carried
+// over V messages (§3.4), a file-server process with a block cache,
+// read-ahead and write-behind, and the client stub routines applications
+// use ("applications commonly access system services through stub routines
+// that provide a procedural interface to the message primitives").
+//
+// The protocol follows §3.4: to read a page, a client sends a message
+// naming the file, block number and byte count, and granting write access
+// to its buffer; the server replies with ReplyWithSegment so the page
+// travels in the reply packet — two packets per page read. A page write
+// grants read access to the data, which travels inline with the Send —
+// two packets per page write. Reads larger than a page are transferred
+// with MoveTo in transfer-unit chunks (program loading, §6.3).
+package fsrv
+
+import "vkernel/internal/core"
+
+// Request opcodes (message word 1).
+const (
+	OpReadInstance  uint32 = 1 // page-level read
+	OpWriteInstance uint32 = 2 // page-level write
+	OpReadLarge     uint32 = 3 // multi-block read via MoveTo
+	OpWriteLarge    uint32 = 4 // multi-block write via MoveFrom
+	OpQueryFile     uint32 = 5 // file size lookup
+	OpCreateFile    uint32 = 6
+)
+
+// Reply status codes (reply word 1).
+const (
+	StatusOK uint32 = iota
+	StatusBadRequest
+	StatusNoFile
+	StatusIOError
+)
+
+// Message layout helpers. Requests use:
+//
+//	word 1: opcode
+//	word 2: file id
+//	word 3: block number (page ops) or byte offset (large ops)
+//	word 4: byte count
+//	word 5: client buffer address (also granted via the segment descriptor)
+//
+// Replies use word 1 = status, word 2 = count (bytes read/written or file
+// size).
+
+// BuildRequest assembles a request message.
+func BuildRequest(op, file, blockOrOff, count, bufAddr uint32) core.Message {
+	var m core.Message
+	m.SetWord(1, op)
+	m.SetWord(2, file)
+	m.SetWord(3, blockOrOff)
+	m.SetWord(4, count)
+	m.SetWord(5, bufAddr)
+	return m
+}
+
+// ParseRequest decodes a request message.
+func ParseRequest(m *core.Message) (op, file, blockOrOff, count, bufAddr uint32) {
+	return m.Word(1), m.Word(2), m.Word(3), m.Word(4), m.Word(5)
+}
+
+// BuildReply assembles a reply message.
+func BuildReply(status, count uint32) core.Message {
+	var m core.Message
+	m.SetWord(1, status)
+	m.SetWord(2, count)
+	return m
+}
+
+// ParseReply decodes a reply message.
+func ParseReply(m *core.Message) (status, count uint32) {
+	return m.Word(1), m.Word(2)
+}

@@ -1,0 +1,334 @@
+package fsrv
+
+import (
+	"vkernel/internal/core"
+	"vkernel/internal/disk"
+	"vkernel/internal/sim"
+	"vkernel/internal/vproto"
+)
+
+// Config tunes the file server.
+type Config struct {
+	// CacheBlocks is the block-cache capacity (0 → 1024).
+	CacheBlocks int
+	// ReadAhead prefetches block N+1 after serving block N of a file.
+	ReadAhead bool
+	// WriteBehind acknowledges writes once cached, flushing asynchronously.
+	WriteBehind bool
+	// TransferUnit bounds each MoveTo/MoveFrom of a large transfer (§6.3;
+	// the paper's VAX server used at most 4 KB at a time). 0 → 4096.
+	TransferUnit int
+	// ProcessingCost is per-request file-system processor time beyond
+	// kernel costs (§6.1 estimates 2.5 ms at 10 MHz from LOCUS). Zero for
+	// microbenchmarks that measure the pure access path.
+	ProcessingCost sim.Time
+	// InterRequestDelay inserts a delay between replying to one request
+	// and receiving the next — the paper's Table 6-2 read-ahead
+	// methodology.
+	InterRequestDelay sim.Time
+	// StagingBytes sizes the server's staging buffer (0 → 128 KB).
+	StagingBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBlocks == 0 {
+		c.CacheBlocks = 1024
+	}
+	if c.TransferUnit == 0 {
+		c.TransferUnit = 4096
+	}
+	if c.StagingBytes == 0 {
+		c.StagingBytes = 128 * 1024
+	}
+	return c
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Requests    int
+	PageReads   int
+	PageWrites  int
+	LargeReads  int
+	LargeWrites int
+	Queries     int
+	BytesRead   int64
+	BytesWrite  int64
+	CacheHits   int
+	CacheMisses int
+	Prefetches  int
+}
+
+// Server is a V file server: a process on some workstation serving the
+// Verex I/O protocol against a disk.
+type Server struct {
+	k     *core.Kernel
+	d     *disk.Disk
+	cfg   Config
+	cache *blockCache
+	proc  *core.Process
+	stats Stats
+
+	prefetching map[disk.BlockID]bool
+}
+
+// Start spawns the file-server process on kernel k and registers it under
+// core.LogicalFileServer with network-wide scope.
+func Start(k *core.Kernel, d *disk.Disk, cfg Config) *Server {
+	s := &Server{
+		k:           k,
+		d:           d,
+		cfg:         cfg.withDefaults(),
+		prefetching: make(map[disk.BlockID]bool),
+	}
+	s.cache = newBlockCache(s.cfg.CacheBlocks)
+	s.proc = k.Spawn("fileserver", s.serve)
+	k.SetPidKernel(core.LogicalFileServer, s.proc.Pid(), core.ScopeBoth)
+	return s
+}
+
+// Pid returns the server process id.
+func (s *Server) Pid() core.Pid { return s.proc.Pid() }
+
+// Stats returns a copy of the server counters (cache counters included).
+func (s *Server) Stats() Stats {
+	st := s.stats
+	st.CacheHits = s.cache.hits
+	st.CacheMisses = s.cache.misses
+	return st
+}
+
+// Disk returns the backing disk.
+func (s *Server) Disk() *disk.Disk { return s.d }
+
+// WarmFile pulls a whole file into the block cache without simulated time
+// (so experiments can measure the memory-buffered path, as Table 6-1 does).
+func (s *Server) WarmFile(file uint32) {
+	bs := s.d.BlockSize()
+	n := (s.d.FileSize(file) + bs - 1) / bs
+	for b := 0; b < n; b++ {
+		id := disk.BlockID{File: file, Block: uint32(b)}
+		s.cache.put(id, s.d.ReadNow(id), false)
+	}
+}
+
+// serve is the request loop.
+func (s *Server) serve(p *core.Process) {
+	staging := p.Alloc(s.cfg.StagingBytes)
+	for {
+		msg, src, inline, err := p.ReceiveWithSegment(staging, s.cfg.StagingBytes)
+		if err != nil {
+			return
+		}
+		s.stats.Requests++
+		if s.cfg.ProcessingCost > 0 {
+			p.Compute(s.cfg.ProcessingCost)
+		}
+		op, file, blockOrOff, count, bufAddr := ParseRequest(&msg)
+		switch op {
+		case OpReadInstance:
+			s.pageRead(p, src, file, blockOrOff, count, bufAddr)
+		case OpWriteInstance:
+			s.pageWrite(p, src, staging, inline, file, blockOrOff, count)
+		case OpReadLarge:
+			s.largeRead(p, src, staging, file, blockOrOff, count, bufAddr)
+		case OpWriteLarge:
+			s.largeWrite(p, src, staging, file, blockOrOff, count, bufAddr)
+		case OpQueryFile:
+			s.stats.Queries++
+			reply := BuildReply(StatusOK, uint32(s.d.FileSize(file)))
+			_ = p.Reply(&reply, src)
+		case OpCreateFile:
+			reply := BuildReply(StatusOK, 0)
+			_ = p.Reply(&reply, src)
+		default:
+			reply := BuildReply(StatusBadRequest, 0)
+			_ = p.Reply(&reply, src)
+		}
+		if s.cfg.InterRequestDelay > 0 {
+			p.Delay(s.cfg.InterRequestDelay)
+		}
+	}
+}
+
+// getBlock returns block data through the cache, waiting on the disk for
+// misses.
+func (s *Server) getBlock(p *core.Process, id disk.BlockID) []byte {
+	if data, ok := s.cache.get(id); ok {
+		return data
+	}
+	var data []byte
+	p.Await(func(done func()) {
+		s.d.Read(id, func(blk []byte) {
+			data = blk
+			done()
+		})
+	})
+	s.insert(id, data, false)
+	return data
+}
+
+// insert adds a block to the cache, writing back any evicted dirty block.
+func (s *Server) insert(id disk.BlockID, data []byte, dirty bool) {
+	if victim := s.cache.put(id, data, dirty); victim != nil {
+		s.d.Write(victim.id, victim.data, nil)
+	}
+}
+
+// prefetch starts an asynchronous read-ahead of a block.
+func (s *Server) prefetch(id disk.BlockID) {
+	if s.cache.contains(id) || s.prefetching[id] {
+		return
+	}
+	if int(id.Block)*s.d.BlockSize() >= s.d.FileSize(id.File) {
+		return // past EOF
+	}
+	s.prefetching[id] = true
+	s.stats.Prefetches++
+	s.d.Read(id, func(blk []byte) {
+		delete(s.prefetching, id)
+		s.insert(id, blk, false)
+	})
+}
+
+func (s *Server) pageRead(p *core.Process, src core.Pid, file, block, count, bufAddr uint32) {
+	s.stats.PageReads++
+	bs := uint32(s.d.BlockSize())
+	if count > bs || count > vproto.MaxData {
+		reply := BuildReply(StatusBadRequest, 0)
+		_ = p.Reply(&reply, src)
+		return
+	}
+	data := s.getBlock(p, disk.BlockID{File: file, Block: block})
+	if s.cfg.ReadAhead {
+		s.prefetch(disk.BlockID{File: file, Block: block + 1})
+	}
+	s.stats.BytesRead += int64(count)
+	reply := BuildReply(StatusOK, count)
+	if err := p.ReplyWithSegment(&reply, src, bufAddr, data[:count]); err != nil {
+		// The client revoked or shrank the grant: answer without data.
+		reply = BuildReply(StatusBadRequest, 0)
+		_ = p.Reply(&reply, src)
+	}
+}
+
+func (s *Server) pageWrite(p *core.Process, src core.Pid, staging uint32, inline int, file, block, count uint32) {
+	s.stats.PageWrites++
+	bs := uint32(s.d.BlockSize())
+	if count > bs {
+		reply := BuildReply(StatusBadRequest, 0)
+		_ = p.Reply(&reply, src)
+		return
+	}
+	// The first part of the data arrived inline with the Send (§3.4);
+	// pull any remainder with MoveFrom.
+	if uint32(inline) < count {
+		if err := p.MoveFrom(src, staging+uint32(inline), uint32(inline), count-uint32(inline)); err != nil {
+			reply := BuildReply(StatusBadRequest, 0)
+			_ = p.Reply(&reply, src)
+			return
+		}
+	}
+	data := p.ReadSpace(staging, int(count))
+	id := disk.BlockID{File: file, Block: block}
+	s.stats.BytesWrite += int64(count)
+	if s.cfg.WriteBehind {
+		s.insert(id, padTo(data, int(bs)), true)
+		s.d.Write(id, data, func() { s.cache.clean(id) })
+	} else {
+		p.Await(func(done func()) { s.d.Write(id, data, done) })
+		s.insert(id, padTo(data, int(bs)), false)
+	}
+	reply := BuildReply(StatusOK, count)
+	_ = p.Reply(&reply, src)
+}
+
+// largeRead serves OpReadLarge: count bytes starting at byte offset off,
+// moved into the client's granted buffer in TransferUnit chunks (§6.3).
+func (s *Server) largeRead(p *core.Process, src core.Pid, staging uint32, file, off, count, bufAddr uint32) {
+	s.stats.LargeReads++
+	bs := uint32(s.d.BlockSize())
+	unit := uint32(s.cfg.TransferUnit)
+	for done := uint32(0); done < count; {
+		n := count - done
+		if n > unit {
+			n = unit
+		}
+		// Assemble the chunk in the staging buffer from cache/disk blocks.
+		for fill := uint32(0); fill < n; {
+			pos := off + done + fill
+			blk := pos / bs
+			in := pos % bs
+			m := bs - in
+			if m > n-fill {
+				m = n - fill
+			}
+			data := s.getBlock(p, disk.BlockID{File: file, Block: blk})
+			p.WriteSpace(staging+fill, data[in:in+m])
+			fill += m
+		}
+		if s.cfg.ReadAhead {
+			s.prefetch(disk.BlockID{File: file, Block: (off + done + n) / bs})
+		}
+		if err := p.MoveTo(src, bufAddr+done, staging, n); err != nil {
+			reply := BuildReply(StatusBadRequest, done)
+			_ = p.Reply(&reply, src)
+			return
+		}
+		done += n
+	}
+	s.stats.BytesRead += int64(count)
+	reply := BuildReply(StatusOK, count)
+	_ = p.Reply(&reply, src)
+}
+
+// largeWrite serves OpWriteLarge: count bytes pulled from the client's
+// granted buffer in TransferUnit chunks, then written through the cache.
+func (s *Server) largeWrite(p *core.Process, src core.Pid, staging uint32, file, off, count, bufAddr uint32) {
+	s.stats.LargeWrites++
+	bs := uint32(s.d.BlockSize())
+	if off%bs != 0 {
+		reply := BuildReply(StatusBadRequest, 0)
+		_ = p.Reply(&reply, src)
+		return
+	}
+	unit := uint32(s.cfg.TransferUnit)
+	for done := uint32(0); done < count; {
+		n := count - done
+		if n > unit {
+			n = unit
+		}
+		if err := p.MoveFrom(src, staging, bufAddr+done, n); err != nil {
+			reply := BuildReply(StatusBadRequest, done)
+			_ = p.Reply(&reply, src)
+			return
+		}
+		for fill := uint32(0); fill < n; fill += bs {
+			m := n - fill
+			if m > bs {
+				m = bs
+			}
+			id := disk.BlockID{File: file, Block: (off + done + fill) / bs}
+			data := p.ReadSpace(staging+fill, int(m))
+			if s.cfg.WriteBehind {
+				s.insert(id, padTo(data, int(bs)), true)
+				s.d.Write(id, data, func() { s.cache.clean(id) })
+			} else {
+				p.Await(func(dn func()) { s.d.Write(id, data, dn) })
+				s.insert(id, padTo(data, int(bs)), false)
+			}
+		}
+		done += n
+	}
+	s.stats.BytesWrite += int64(count)
+	reply := BuildReply(StatusOK, count)
+	_ = p.Reply(&reply, src)
+}
+
+func padTo(data []byte, n int) []byte {
+	if len(data) >= n {
+		return data[:n]
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out
+}

@@ -1,0 +1,131 @@
+// Package ipc is a real, runnable user-space implementation of the
+// distributed V kernel's interprocess communication for Go programs:
+// processes are goroutines, a Node plays the role of one workstation's
+// kernel, and nodes exchange the same interkernel packets
+// (vkernel/internal/vproto) as the paper's kernels — over UDP sockets or
+// an in-memory transport with fault injection.
+//
+// The protocol machinery matches §3.2–§3.4 of the paper: synchronous
+// Send/Receive/Reply with 32-byte messages; reliable exchanges built
+// directly on unreliable datagrams with the reply as the acknowledgement;
+// alien descriptors for duplicate filtering and reply caching;
+// reply-pending packets; negative acknowledgements; segment grants with
+// inline prefixes (ReceiveWithSegment / ReplyWithSegment); and MoveTo /
+// MoveFrom bulk transfer with a single completion acknowledgement and
+// resume-from-last-received retransmission.
+package ipc
+
+import (
+	"errors"
+	"time"
+
+	"vkernel/internal/vproto"
+)
+
+// Protocol types shared with the simulation.
+type (
+	// Pid is a 32-bit process identifier; the high 16 bits name the node.
+	Pid = vproto.Pid
+	// LogicalHost identifies a node.
+	LogicalHost = vproto.LogicalHost
+	// Message is the fixed 32-byte V message.
+	Message = vproto.Message
+)
+
+// Segment access bits, re-exported for callers.
+const (
+	SegRead  = vproto.SegFlagRead
+	SegWrite = vproto.SegFlagWrite
+)
+
+// Segment is the memory a sender grants to the receiver of a message for
+// the duration of the exchange (§2.1). Data is aliased, not copied: the
+// receiver's MoveTo writes land in it directly, as they do between address
+// spaces in the kernel.
+type Segment struct {
+	Data   []byte
+	Access byte // SegRead and/or SegWrite
+}
+
+// Errors returned by IPC operations.
+var (
+	ErrNoProcess        = errors.New("ipc: no such process")
+	ErrTimeout          = errors.New("ipc: retransmission limit exceeded")
+	ErrNotAwaitingReply = errors.New("ipc: process not awaiting reply from replier")
+	ErrBadAddress       = errors.New("ipc: range outside granted segment")
+	ErrNoAccess         = errors.New("ipc: segment access not granted")
+	ErrSegTooBig        = errors.New("ipc: segment exceeds one packet")
+	ErrClosed           = errors.New("ipc: node closed")
+	ErrNameUnknown      = errors.New("ipc: logical name not resolved")
+)
+
+// Scope selects name-service visibility (§2.1).
+type Scope int
+
+// Name-service scopes.
+const (
+	ScopeLocal Scope = 1 << iota
+	ScopeRemote
+	ScopeBoth Scope = ScopeLocal | ScopeRemote
+)
+
+// NodeConfig tunes a node; the zero value gets defaults.
+type NodeConfig struct {
+	// RetransmitTimeout is the kernel-level retransmission period.
+	RetransmitTimeout time.Duration
+	// Retries bounds retransmissions before a Send fails (§3.2's N).
+	Retries int
+	// AlienDescriptors bounds the remote-sender descriptor pool.
+	AlienDescriptors int
+	// InlineSegMax bounds the read-segment prefix carried in a Send
+	// packet; negative disables the §3.4 extension.
+	InlineSegMax int
+	// ChunkSize bounds bulk-transfer data packets.
+	ChunkSize int
+	// GetPidTimeout bounds one broadcast name-lookup round.
+	GetPidTimeout time.Duration
+	// GetPidRetries bounds lookup rounds.
+	GetPidRetries int
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = 50 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 5
+	}
+	if c.AlienDescriptors == 0 {
+		c.AlienDescriptors = 256
+	}
+	switch {
+	case c.InlineSegMax < 0:
+		c.InlineSegMax = 0
+	case c.InlineSegMax == 0 || c.InlineSegMax > vproto.MaxData:
+		c.InlineSegMax = vproto.MaxData
+	}
+	if c.ChunkSize <= 0 || c.ChunkSize > vproto.MaxData {
+		c.ChunkSize = vproto.MaxData
+	}
+	if c.GetPidTimeout == 0 {
+		c.GetPidTimeout = 100 * time.Millisecond
+	}
+	if c.GetPidRetries == 0 {
+		c.GetPidRetries = 3
+	}
+	return c
+}
+
+// Transport moves encoded interkernel packets between nodes. Delivery may
+// drop, duplicate or reorder packets; the protocol recovers.
+type Transport interface {
+	// Send transmits to one node, best effort.
+	Send(to LogicalHost, pkt []byte) error
+	// Broadcast transmits to all nodes, best effort.
+	Broadcast(pkt []byte) error
+	// SetHandler installs the receive upcall. The transport must call it
+	// serially or concurrently; the node handles its own locking.
+	SetHandler(h func(pkt []byte))
+	// Close releases transport resources.
+	Close() error
+}

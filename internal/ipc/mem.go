@@ -1,0 +1,157 @@
+package ipc
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultConfig injects datagram pathologies into a MemNetwork, for testing
+// the protocol's reliability machinery.
+type FaultConfig struct {
+	DropProb    float64       // lose the packet
+	DupProb     float64       // deliver it twice
+	CorruptProb float64       // flip a byte (caught by the packet checksum)
+	MaxDelay    time.Duration // uniform random delivery delay (reorders)
+}
+
+// MemNetwork is an in-process datagram mesh connecting Nodes, with
+// deterministic-seeded fault injection. It is the test double for the UDP
+// transport.
+type MemNetwork struct {
+	mu     sync.Mutex
+	cfg    FaultConfig
+	rng    *rand.Rand
+	ports  map[LogicalHost]*memPort
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type memPort struct {
+	net     *MemNetwork
+	host    LogicalHost
+	mu      sync.Mutex
+	handler func([]byte)
+	closed  bool
+}
+
+// NewMemNetwork creates a mesh with the given fault configuration.
+func NewMemNetwork(seed int64, cfg FaultConfig) *MemNetwork {
+	return &MemNetwork{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		ports: make(map[LogicalHost]*memPort),
+	}
+}
+
+// Transport attaches a new port for the given host.
+func (m *MemNetwork) Transport(host LogicalHost) Transport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := &memPort{net: m, host: host}
+	m.ports[host] = p
+	return p
+}
+
+// Wait blocks until all in-flight deliveries complete (test helper).
+func (m *MemNetwork) Wait() { m.wg.Wait() }
+
+// Close tears the mesh down.
+func (m *MemNetwork) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// deliver applies fault injection and hands the packet to the target.
+func (m *MemNetwork) deliver(to LogicalHost, pkt []byte) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	port := m.ports[to]
+	if port == nil {
+		m.mu.Unlock()
+		return
+	}
+	copies := 1
+	if m.cfg.DropProb > 0 && m.rng.Float64() < m.cfg.DropProb {
+		copies = 0
+	} else if m.cfg.DupProb > 0 && m.rng.Float64() < m.cfg.DupProb {
+		copies = 2
+	}
+	type shipment struct {
+		buf   []byte
+		delay time.Duration
+	}
+	ships := make([]shipment, 0, copies)
+	for i := 0; i < copies; i++ {
+		buf := append([]byte(nil), pkt...)
+		if m.cfg.CorruptProb > 0 && m.rng.Float64() < m.cfg.CorruptProb {
+			buf[m.rng.Intn(len(buf))] ^= 0xA5
+		}
+		var d time.Duration
+		if m.cfg.MaxDelay > 0 {
+			d = time.Duration(m.rng.Int63n(int64(m.cfg.MaxDelay)))
+		}
+		ships = append(ships, shipment{buf: buf, delay: d})
+	}
+	m.wg.Add(len(ships))
+	m.mu.Unlock()
+
+	for _, s := range ships {
+		s := s
+		go func() {
+			defer m.wg.Done()
+			if s.delay > 0 {
+				time.Sleep(s.delay)
+			}
+			port.mu.Lock()
+			h := port.handler
+			closed := port.closed
+			port.mu.Unlock()
+			if h != nil && !closed {
+				h(s.buf)
+			}
+		}()
+	}
+}
+
+// Send implements Transport.
+func (p *memPort) Send(to LogicalHost, pkt []byte) error {
+	p.net.deliver(to, pkt)
+	return nil
+}
+
+// Broadcast implements Transport.
+func (p *memPort) Broadcast(pkt []byte) error {
+	p.net.mu.Lock()
+	hosts := make([]LogicalHost, 0, len(p.net.ports))
+	for h := range p.net.ports {
+		if h != p.host {
+			hosts = append(hosts, h)
+		}
+	}
+	p.net.mu.Unlock()
+	for _, h := range hosts {
+		p.net.deliver(h, pkt)
+	}
+	return nil
+}
+
+// SetHandler implements Transport.
+func (p *memPort) SetHandler(h func([]byte)) {
+	p.mu.Lock()
+	p.handler = h
+	p.mu.Unlock()
+}
+
+// Close implements Transport.
+func (p *memPort) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return nil
+}

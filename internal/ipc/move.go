@@ -1,0 +1,372 @@
+package ipc
+
+import (
+	"time"
+
+	"vkernel/internal/vproto"
+)
+
+// Bulk data transfer (§3.3): back-to-back maximally-sized data packets, a
+// single completion acknowledgement, and retransmission that resumes from
+// the last correctly received byte.
+
+type moveKind int
+
+const (
+	moveTo moveKind = iota
+	moveFrom
+)
+
+type moveOp struct {
+	kind    moveKind
+	seq     uint32
+	proc    *Proc
+	peer    Pid
+	data    []byte // moveTo: source; moveFrom: destination buffer
+	base    uint32 // offset within the peer's granted segment
+	got     uint32 // moveFrom: contiguously received bytes
+	ackCh   chan moveResult
+	timer   *time.Timer
+	retries int
+	done    bool
+}
+
+type moveResult struct {
+	err error
+}
+
+type moveRxState struct {
+	expected uint32
+}
+
+func newRetransmitTimer(n *Node, ps *pendingSend) *time.Timer {
+	return time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.retransmit(ps) })
+}
+
+// MoveTo copies data into the granted segment of dst at destOff. dst must
+// be awaiting a reply from this process and must have granted write access
+// (§2.1).
+func (p *Proc) MoveTo(dst Pid, destOff uint32, data []byte) error {
+	p.mu.Lock()
+	env, ok := p.received[dst]
+	p.mu.Unlock()
+	if !ok {
+		return ErrNotAwaitingReply
+	}
+	if env.local != nil {
+		seg := env.local.seg
+		if seg == nil || seg.Access&SegWrite == 0 {
+			return ErrNoAccess
+		}
+		if int(destOff)+len(data) > len(seg.Data) {
+			return ErrBadAddress
+		}
+		copy(seg.Data[destOff:], data)
+		return nil
+	}
+	// Remote: validate against the alien's message grant, then stream.
+	if _, size, access, ok := env.alien.msg.Segment(); !ok || access&SegWrite == 0 {
+		return ErrNoAccess
+	} else if uint64(destOff)+uint64(len(data)) > uint64(size) {
+		return ErrBadAddress
+	}
+	return p.node.runMove(p, moveTo, dst, destOff, data)
+}
+
+// MoveFrom copies len(buf) bytes from the granted segment of src at
+// srcOff into buf. src must be awaiting a reply from this process and must
+// have granted read access (§2.1).
+func (p *Proc) MoveFrom(src Pid, srcOff uint32, buf []byte) error {
+	p.mu.Lock()
+	env, ok := p.received[src]
+	p.mu.Unlock()
+	if !ok {
+		return ErrNotAwaitingReply
+	}
+	if env.local != nil {
+		seg := env.local.seg
+		if seg == nil || seg.Access&SegRead == 0 {
+			return ErrNoAccess
+		}
+		if int(srcOff)+len(buf) > len(seg.Data) {
+			return ErrBadAddress
+		}
+		copy(buf, seg.Data[srcOff:int(srcOff)+len(buf)])
+		return nil
+	}
+	if _, size, access, ok := env.alien.msg.Segment(); !ok || access&SegRead == 0 {
+		return ErrNoAccess
+	} else if uint64(srcOff)+uint64(len(buf)) > uint64(size) {
+		return ErrBadAddress
+	}
+	return p.node.runMove(p, moveFrom, src, srcOff, buf)
+}
+
+// runMove drives one remote bulk transfer to completion.
+func (n *Node) runMove(p *Proc, kind moveKind, peer Pid, base uint32, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.stats.MoveOps++
+	n.stats.MoveBytes += int64(len(data))
+	op := &moveOp{
+		kind:  kind,
+		seq:   n.nextSeqLocked(),
+		proc:  p,
+		peer:  peer,
+		data:  data,
+		base:  base,
+		ackCh: make(chan moveResult, 1),
+	}
+	n.moves[op.seq] = op
+	op.timer = time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.moveTimeout(op) })
+	n.mu.Unlock()
+
+	if kind == moveTo {
+		n.streamMoveTo(op, 0)
+	} else {
+		n.sendMoveFromReq(op)
+	}
+	res := <-op.ackCh
+	return res.err
+}
+
+// streamMoveTo transmits data packets from offset from.
+func (n *Node) streamMoveTo(op *moveOp, from uint32) {
+	chunk := uint32(n.cfg.ChunkSize)
+	count := uint32(len(op.data))
+	for off := from; off < count; off += chunk {
+		m := count - off
+		if m > chunk {
+			m = chunk
+		}
+		pkt := &vproto.Packet{
+			Kind:   vproto.KindMoveToData,
+			Seq:    op.seq,
+			Src:    op.proc.pid,
+			Dst:    op.peer,
+			Offset: off,
+			Count:  count,
+			Data:   op.data[off : off+m],
+		}
+		pkt.Msg.SetWord(1, op.base)
+		if off+m == count {
+			pkt.Flags |= vproto.FlagLast
+		}
+		n.send(pkt, op.peer.Host())
+	}
+}
+
+func (n *Node) sendMoveFromReq(op *moveOp) {
+	pkt := &vproto.Packet{
+		Kind:   vproto.KindMoveFromReq,
+		Seq:    op.seq,
+		Src:    op.proc.pid,
+		Dst:    op.peer,
+		Offset: op.got,
+		Count:  uint32(len(op.data)),
+	}
+	pkt.Msg.SetWord(1, op.base)
+	n.send(pkt, op.peer.Host())
+}
+
+func (n *Node) moveTimeout(op *moveOp) {
+	n.mu.Lock()
+	if n.closed || n.moves[op.seq] != op || op.done {
+		n.mu.Unlock()
+		return
+	}
+	op.retries++
+	if op.retries > n.cfg.Retries {
+		op.done = true
+		delete(n.moves, op.seq)
+		n.mu.Unlock()
+		op.ackCh <- moveResult{err: ErrTimeout}
+		return
+	}
+	n.stats.Retransmits++
+	kind := op.kind
+	n.mu.Unlock()
+	if kind == moveTo {
+		// Resend only the final packet to re-elicit a progress ack.
+		chunk := uint32(n.cfg.ChunkSize)
+		count := uint32(len(op.data))
+		last := (count - 1) / chunk * chunk
+		n.streamMoveTo(op, last)
+	} else {
+		n.sendMoveFromReq(op)
+	}
+	op.timer.Reset(n.cfg.RetransmitTimeout)
+}
+
+// moveToTarget locates the pending Send whose process granted the segment
+// an inbound transfer writes to (or reads from). Caller holds n.mu.
+func (n *Node) moveToTargetLocked(dst, src Pid) *pendingSend {
+	for _, ps := range n.pending {
+		if !ps.done && ps.proc.pid == dst && ps.dst == src {
+			return ps
+		}
+	}
+	return nil
+}
+
+// handleMoveToData runs on the node of the process receiving a MoveTo:
+// data lands directly in the granted segment.
+func (n *Node) handleMoveToData(pkt *vproto.Packet) {
+	n.mu.Lock()
+	ps := n.moveToTargetLocked(pkt.Dst, pkt.Src)
+	if ps == nil || ps.seg == nil || ps.seg.Access&SegWrite == 0 {
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	base := pkt.Msg.Word(1)
+	if uint64(base)+uint64(pkt.Count) > uint64(len(ps.seg.Data)) {
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	key := moveKey{src: pkt.Src, seq: pkt.Seq}
+	st := n.moveRx[key]
+	if st == nil {
+		if d, ok := n.moveDone[pkt.Src]; ok && d.seq == pkt.Seq {
+			n.mu.Unlock()
+			if pkt.Flags&vproto.FlagLast != 0 {
+				n.sendMoveAck(pkt, d.count, true)
+			}
+			return
+		}
+		st = &moveRxState{}
+		n.moveRx[key] = st
+	}
+	if pkt.Offset == st.expected {
+		copy(ps.seg.Data[base+pkt.Offset:], pkt.Data)
+		st.expected += uint32(len(pkt.Data))
+	}
+	last := pkt.Flags&vproto.FlagLast != 0
+	complete := st.expected >= pkt.Count
+	received := st.expected
+	if last && complete {
+		n.moveDone[pkt.Src] = doneTransfer{seq: pkt.Seq, count: pkt.Count}
+		delete(n.moveRx, key)
+	}
+	n.mu.Unlock()
+	if last {
+		n.sendMoveAck(pkt, received, complete)
+	}
+}
+
+func (n *Node) sendMoveAck(pkt *vproto.Packet, received uint32, complete bool) {
+	ack := &vproto.Packet{
+		Kind:   vproto.KindMoveToAck,
+		Seq:    pkt.Seq,
+		Src:    pkt.Dst,
+		Dst:    pkt.Src,
+		Offset: received,
+	}
+	if complete {
+		ack.Flags |= vproto.FlagLast
+	}
+	n.send(ack, pkt.Src.Host())
+}
+
+// handleMoveAck completes or resumes an outstanding MoveTo.
+func (n *Node) handleMoveAck(pkt *vproto.Packet) {
+	n.mu.Lock()
+	op, ok := n.moves[pkt.Seq]
+	if !ok || op.kind != moveTo || op.done {
+		n.mu.Unlock()
+		return
+	}
+	if pkt.Flags&vproto.FlagLast != 0 && pkt.Offset >= uint32(len(op.data)) {
+		op.done = true
+		delete(n.moves, op.seq)
+		n.mu.Unlock()
+		op.timer.Stop()
+		op.ackCh <- moveResult{}
+		return
+	}
+	op.retries = 0
+	resume := pkt.Offset
+	n.mu.Unlock()
+	n.streamMoveTo(op, resume)
+	op.timer.Reset(n.cfg.RetransmitTimeout)
+}
+
+// handleMoveFromReq streams the requested range back; the data packets
+// acknowledge the request (§3.3).
+func (n *Node) handleMoveFromReq(pkt *vproto.Packet) {
+	n.mu.Lock()
+	ps := n.moveToTargetLocked(pkt.Dst, pkt.Src)
+	if ps == nil || ps.seg == nil || ps.seg.Access&SegRead == 0 {
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	base := pkt.Msg.Word(1)
+	if uint64(base)+uint64(pkt.Count) > uint64(len(ps.seg.Data)) {
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	src := ps.seg.Data[base : base+pkt.Count]
+	n.mu.Unlock()
+
+	chunk := uint32(n.cfg.ChunkSize)
+	for off := pkt.Offset; off < pkt.Count; off += chunk {
+		m := pkt.Count - off
+		if m > chunk {
+			m = chunk
+		}
+		out := &vproto.Packet{
+			Kind:   vproto.KindMoveFromData,
+			Seq:    pkt.Seq,
+			Src:    pkt.Dst,
+			Dst:    pkt.Src,
+			Offset: off,
+			Count:  pkt.Count,
+			Data:   src[off : off+m],
+		}
+		if off+m == pkt.Count {
+			out.Flags |= vproto.FlagLast
+		}
+		n.send(out, pkt.Src.Host())
+	}
+}
+
+// handleMoveFromData accumulates streamed bytes into the requester's buffer.
+func (n *Node) handleMoveFromData(pkt *vproto.Packet) {
+	n.mu.Lock()
+	op, ok := n.moves[pkt.Seq]
+	if !ok || op.kind != moveFrom || op.done {
+		n.mu.Unlock()
+		return
+	}
+	if pkt.Offset == op.got {
+		copy(op.data[pkt.Offset:], pkt.Data)
+		op.got += uint32(len(pkt.Data))
+	}
+	if op.got >= uint32(len(op.data)) {
+		op.done = true
+		delete(n.moves, op.seq)
+		n.mu.Unlock()
+		op.timer.Stop()
+		op.ackCh <- moveResult{}
+		return
+	}
+	last := pkt.Flags&vproto.FlagLast != 0
+	if last {
+		op.retries = 0
+	}
+	n.mu.Unlock()
+	if last {
+		// Gap at end of stream: re-request from the last received byte.
+		n.sendMoveFromReq(op)
+		op.timer.Reset(n.cfg.RetransmitTimeout)
+	}
+}

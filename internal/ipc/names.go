@@ -1,0 +1,109 @@
+package ipc
+
+import (
+	"time"
+
+	"vkernel/internal/vproto"
+)
+
+// SetPid associates pid with a well-known logical id in the given scope
+// (§2.1). Any process on the node may register names.
+func (p *Proc) SetPid(logicalID uint32, pid Pid, scope Scope) {
+	n := p.node
+	n.mu.Lock()
+	n.names[logicalID] = nameEntry{pid: pid, scope: scope}
+	n.mu.Unlock()
+}
+
+// GetPid resolves a logical id, broadcasting on the network when the
+// mapping is not known locally (§3.1); it returns vproto.Nil when the
+// lookup fails.
+func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
+	n := p.node
+	n.mu.Lock()
+	if e, ok := n.names[logicalID]; ok && e.scope&scope != 0 {
+		n.mu.Unlock()
+		return e.pid
+	}
+	if scope&ScopeRemote == 0 || n.closed {
+		n.mu.Unlock()
+		return vproto.Nil
+	}
+	ch := make(chan Pid, 1)
+	n.lookups[logicalID] = append(n.lookups[logicalID], ch)
+	seq := n.nextSeqLocked()
+	n.mu.Unlock()
+
+	pkt := &vproto.Packet{
+		Kind:  vproto.KindGetPid,
+		Seq:   seq,
+		Src:   p.pid,
+		Flags: vproto.FlagScopeRemote,
+	}
+	pkt.Msg.SetWord(1, logicalID)
+	buf, err := pkt.Encode()
+	if err != nil {
+		return vproto.Nil
+	}
+
+	defer func() {
+		// Remove the waiter (if it is still registered).
+		n.mu.Lock()
+		ws := n.lookups[logicalID]
+		for i, w := range ws {
+			if w == ch {
+				n.lookups[logicalID] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(n.lookups[logicalID]) == 0 {
+			delete(n.lookups, logicalID)
+		}
+		n.mu.Unlock()
+	}()
+
+	for attempt := 0; attempt <= n.cfg.GetPidRetries; attempt++ {
+		_ = n.transport.Broadcast(buf)
+		select {
+		case pid := <-ch:
+			return pid
+		case <-time.After(n.cfg.GetPidTimeout):
+		}
+	}
+	return vproto.Nil
+}
+
+// handleGetPid answers broadcast lookups this node can resolve.
+func (n *Node) handleGetPid(pkt *vproto.Packet) {
+	id := pkt.Msg.Word(1)
+	n.mu.Lock()
+	e, ok := n.names[id]
+	n.mu.Unlock()
+	if !ok || e.scope&ScopeRemote == 0 {
+		return
+	}
+	out := &vproto.Packet{
+		Kind: vproto.KindGetPidReply,
+		Seq:  pkt.Seq,
+		Dst:  pkt.Src,
+	}
+	out.Msg.SetWord(1, id)
+	out.Msg.SetWord(2, uint32(e.pid))
+	n.send(out, pkt.Src.Host())
+}
+
+// handleGetPidReply wakes outstanding lookups.
+func (n *Node) handleGetPidReply(pkt *vproto.Packet) {
+	id := pkt.Msg.Word(1)
+	pid := Pid(pkt.Msg.Word(2))
+	n.mu.Lock()
+	ws := n.lookups[id]
+	delete(n.lookups, id)
+	n.mu.Unlock()
+	for _, ch := range ws {
+		select {
+		case ch <- pid:
+		default:
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package ipc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vkernel/internal/vproto"
+)
+
+// Node is one V "kernel" instance: it owns local processes, represents
+// remote senders with alien descriptors, and speaks the interkernel
+// protocol through a Transport.
+type Node struct {
+	host      LogicalHost
+	cfg       NodeConfig
+	transport Transport
+
+	mu        sync.Mutex
+	closed    bool
+	nextLocal uint16
+	seq       uint32
+	procs     map[Pid]*Proc
+	aliens    map[Pid]*alien
+	alienLRU  int64
+	pending   map[uint32]*pendingSend
+	moves     map[uint32]*moveOp
+	moveRx    map[moveKey]*moveRxState
+	moveDone  map[Pid]doneTransfer
+	names     map[uint32]nameEntry
+	lookups   map[uint32][]chan Pid
+
+	stats NodeStats
+}
+
+// NodeStats counts protocol activity (snapshot via Stats).
+type NodeStats struct {
+	RemoteSends       int
+	RemoteReplies     int
+	Retransmits       int
+	DupsFiltered      int
+	ReplyPendingsSent int
+	ReplyPendingsSeen int
+	NacksSent         int
+	BadPackets        int
+	MoveOps           int
+	MoveBytes         int64
+}
+
+type nameEntry struct {
+	pid   Pid
+	scope Scope
+}
+
+// alien is the descriptor for a remote sending process (§3.2).
+type alien struct {
+	src      Pid
+	seq      uint32
+	msg      Message
+	inline   []byte
+	awaiting Pid // local process that received the message
+	received bool
+	replied  bool
+	replyPkt []byte
+	lru      int64
+}
+
+// pendingSend is an outstanding remote Send from this node.
+type pendingSend struct {
+	seq     uint32
+	proc    *Proc
+	dst     Pid
+	pkt     []byte // encoded, for retransmission
+	seg     *Segment
+	replyCh chan sendResult
+	retries int
+	timer   *time.Timer
+	done    bool
+}
+
+type sendResult struct {
+	msg  Message
+	err  error
+	data []byte // ReplyWithSegment payload
+	off  uint32
+}
+
+type moveKey struct {
+	src Pid
+	seq uint32
+}
+
+type doneTransfer struct {
+	seq   uint32
+	count uint32
+}
+
+// NewNode creates a node with the given logical host id on a transport.
+func NewNode(host LogicalHost, tr Transport, cfg NodeConfig) *Node {
+	n := &Node{
+		host:      host,
+		cfg:       cfg.withDefaults(),
+		transport: tr,
+		procs:     make(map[Pid]*Proc),
+		aliens:    make(map[Pid]*alien),
+		pending:   make(map[uint32]*pendingSend),
+		moves:     make(map[uint32]*moveOp),
+		moveRx:    make(map[moveKey]*moveRxState),
+		moveDone:  make(map[Pid]doneTransfer),
+		names:     make(map[uint32]nameEntry),
+		lookups:   make(map[uint32][]chan Pid),
+	}
+	tr.SetHandler(n.handlePacket)
+	return n
+}
+
+// Host returns the node's logical host id.
+func (n *Node) Host() LogicalHost { return n.host }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the node down: outstanding operations fail with ErrClosed
+// and blocked receivers are released.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	pend := make([]*pendingSend, 0, len(n.pending))
+	for _, ps := range n.pending {
+		pend = append(pend, ps)
+	}
+	n.pending = map[uint32]*pendingSend{}
+	mv := make([]*moveOp, 0, len(n.moves))
+	for _, op := range n.moves {
+		mv = append(mv, op)
+	}
+	n.moves = map[uint32]*moveOp{}
+	procs := make([]*Proc, 0, len(n.procs))
+	for _, p := range n.procs {
+		procs = append(procs, p)
+	}
+	n.mu.Unlock()
+
+	for _, ps := range pend {
+		ps.timer.Stop()
+		ps.replyCh <- sendResult{err: ErrClosed}
+	}
+	for _, op := range mv {
+		op.timer.Stop()
+		op.ackCh <- moveResult{err: ErrClosed}
+	}
+	for _, p := range procs {
+		p.close()
+	}
+	return n.transport.Close()
+}
+
+// nextSeq issues a fresh interkernel sequence number. Caller holds n.mu.
+func (n *Node) nextSeqLocked() uint32 {
+	n.seq++
+	if n.seq == 0 {
+		n.seq++
+	}
+	return n.seq
+}
+
+// Spawn creates a process on this node and runs body on its own goroutine.
+// The body's return ends the process.
+func (n *Node) Spawn(name string, body func(p *Proc)) *Proc {
+	n.mu.Lock()
+	n.nextLocal++
+	pid := vproto.MakePid(n.host, n.nextLocal)
+	p := newProc(n, pid, name)
+	n.procs[pid] = p
+	n.mu.Unlock()
+	go func() {
+		defer n.removeProc(pid)
+		body(p)
+	}()
+	return p
+}
+
+// Attach creates a process handle without spawning a goroutine — the
+// caller's goroutine is the process (useful in tests and servers embedded
+// in larger programs). Release it with Detach.
+func (n *Node) Attach(name string) *Proc {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextLocal++
+	pid := vproto.MakePid(n.host, n.nextLocal)
+	p := newProc(n, pid, name)
+	n.procs[pid] = p
+	return p
+}
+
+// Detach removes a process created with Attach.
+func (n *Node) Detach(p *Proc) { n.removeProc(p.pid) }
+
+func (n *Node) removeProc(pid Pid) {
+	n.mu.Lock()
+	p, ok := n.procs[pid]
+	if ok {
+		delete(n.procs, pid)
+	}
+	n.mu.Unlock()
+	if ok {
+		p.close()
+	}
+}
+
+// lookupProc returns a local process.
+func (n *Node) lookupProc(pid Pid) (*Proc, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.procs[pid]
+	return p, ok
+}
+
+// send encodes and transmits a packet to the destination host.
+func (n *Node) send(pkt *vproto.Packet, to LogicalHost) {
+	buf, err := pkt.Encode()
+	if err != nil {
+		panic("ipc: " + err.Error())
+	}
+	_ = n.transport.Send(to, buf)
+}
+
+// handlePacket is the transport upcall.
+func (n *Node) handlePacket(buf []byte) {
+	pkt, err := vproto.Decode(buf)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+		return
+	}
+	if pkt.Kind != vproto.KindGetPid && pkt.Dst.Host() != n.host {
+		return // broadcast fallback reached the wrong node
+	}
+	switch pkt.Kind {
+	case vproto.KindSend:
+		n.handleSend(pkt)
+	case vproto.KindReply:
+		n.handleReply(pkt)
+	case vproto.KindReplyPending:
+		n.handleReplyPending(pkt)
+	case vproto.KindNack:
+		n.handleNack(pkt)
+	case vproto.KindMoveToData:
+		n.handleMoveToData(pkt)
+	case vproto.KindMoveToAck:
+		n.handleMoveAck(pkt)
+	case vproto.KindMoveFromReq:
+		n.handleMoveFromReq(pkt)
+	case vproto.KindMoveFromData:
+		n.handleMoveFromData(pkt)
+	case vproto.KindGetPid:
+		n.handleGetPid(pkt)
+	case vproto.KindGetPidReply:
+		n.handleGetPidReply(pkt)
+	default:
+		n.mu.Lock()
+		n.stats.BadPackets++
+		n.mu.Unlock()
+	}
+}
+
+// handleSend implements §3.2 delivery with duplicate filtering.
+func (n *Node) handleSend(pkt *vproto.Packet) {
+	n.mu.Lock()
+	if a, ok := n.aliens[pkt.Src]; ok {
+		switch {
+		case pkt.Seq == a.seq:
+			n.stats.DupsFiltered++
+			if a.replied {
+				n.stats.RemoteReplies++
+				reply := a.replyPkt
+				n.mu.Unlock()
+				_ = n.transport.Send(pkt.Src.Host(), reply)
+				return
+			}
+			n.mu.Unlock()
+			n.sendReplyPending(pkt)
+			return
+		case pkt.Seq-a.seq > 1<<31:
+			n.stats.DupsFiltered++
+			n.mu.Unlock()
+			return
+		default:
+			// Newer message: reuse the descriptor. An unconsumed or
+			// unreplied older message is orphaned — its sender has moved
+			// on (§3.2 timeout semantics).
+			delete(n.aliens, pkt.Src)
+		}
+	}
+	if len(n.aliens) >= n.cfg.AlienDescriptors && !n.evictAlienLocked() {
+		n.stats.ReplyPendingsSent++
+		n.mu.Unlock()
+		n.sendReplyPendingRaw(pkt)
+		return
+	}
+	n.alienLRU++
+	a := &alien{
+		src:    pkt.Src,
+		seq:    pkt.Seq,
+		msg:    pkt.Msg,
+		inline: pkt.Data,
+		lru:    n.alienLRU,
+	}
+	n.aliens[pkt.Src] = a
+	rcv, ok := n.procs[pkt.Dst]
+	if !ok {
+		delete(n.aliens, pkt.Src)
+		n.stats.NacksSent++
+		n.mu.Unlock()
+		n.send(&vproto.Packet{Kind: vproto.KindNack, Seq: pkt.Seq, Dst: pkt.Src}, pkt.Src.Host())
+		return
+	}
+	n.mu.Unlock()
+	rcv.enqueue(&envelope{from: pkt.Src, msg: pkt.Msg, inline: pkt.Data, alien: a})
+}
+
+// evictAlienLocked reclaims the LRU replied alien; caller holds n.mu.
+func (n *Node) evictAlienLocked() bool {
+	var victim *alien
+	for _, a := range n.aliens {
+		if !a.replied {
+			continue
+		}
+		if victim == nil || a.lru < victim.lru {
+			victim = a
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(n.aliens, victim.src)
+	return true
+}
+
+func (n *Node) sendReplyPending(pkt *vproto.Packet) {
+	n.mu.Lock()
+	n.stats.ReplyPendingsSent++
+	n.mu.Unlock()
+	n.sendReplyPendingRaw(pkt)
+}
+
+func (n *Node) sendReplyPendingRaw(pkt *vproto.Packet) {
+	n.send(&vproto.Packet{
+		Kind: vproto.KindReplyPending,
+		Seq:  pkt.Seq,
+		Src:  pkt.Dst,
+		Dst:  pkt.Src,
+	}, pkt.Src.Host())
+}
+
+// handleReply completes an outstanding remote Send.
+func (n *Node) handleReply(pkt *vproto.Packet) {
+	n.mu.Lock()
+	ps, ok := n.pending[pkt.Seq]
+	if !ok || ps.proc.pid != pkt.Dst || ps.done {
+		n.stats.DupsFiltered++
+		n.mu.Unlock()
+		return
+	}
+	ps.done = true
+	delete(n.pending, pkt.Seq)
+	n.mu.Unlock()
+	ps.timer.Stop()
+	ps.replyCh <- sendResult{msg: pkt.Msg, data: pkt.Data, off: pkt.Offset}
+}
+
+// handleReplyPending resets the retransmission budget (§3.2).
+func (n *Node) handleReplyPending(pkt *vproto.Packet) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.ReplyPendingsSeen++
+	ps, ok := n.pending[pkt.Seq]
+	if !ok || ps.done {
+		return
+	}
+	ps.retries = 0
+}
+
+// handleNack fails an outstanding Send.
+func (n *Node) handleNack(pkt *vproto.Packet) {
+	n.mu.Lock()
+	ps, ok := n.pending[pkt.Seq]
+	if !ok || ps.proc.pid != pkt.Dst || ps.done {
+		n.mu.Unlock()
+		return
+	}
+	ps.done = true
+	delete(n.pending, pkt.Seq)
+	n.mu.Unlock()
+	ps.timer.Stop()
+	ps.replyCh <- sendResult{err: ErrNoProcess}
+}
+
+// retransmit drives the §3.2 timeout machinery for one pending Send.
+func (n *Node) retransmit(ps *pendingSend) {
+	n.mu.Lock()
+	if n.closed || n.pending[ps.seq] != ps || ps.done {
+		n.mu.Unlock()
+		return
+	}
+	ps.retries++
+	if ps.retries > n.cfg.Retries {
+		ps.done = true
+		delete(n.pending, ps.seq)
+		n.mu.Unlock()
+		ps.replyCh <- sendResult{err: ErrTimeout}
+		return
+	}
+	n.stats.Retransmits++
+	buf := ps.pkt
+	dst := ps.dst
+	n.mu.Unlock()
+	_ = n.transport.Send(dst.Host(), buf)
+	ps.timer.Reset(n.cfg.RetransmitTimeout)
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("node(%d)", n.host)
+}

@@ -1,0 +1,322 @@
+package ipc
+
+import (
+	"sync"
+
+	"vkernel/internal/vproto"
+)
+
+// envelope is a delivered message waiting in a receiver's FCFS queue.
+type envelope struct {
+	from   Pid
+	msg    Message
+	inline []byte   // segment prefix that travelled with a remote Send
+	local  *sendCtx // local sender context (nil for remote senders)
+	alien  *alien   // remote sender descriptor (nil for local senders)
+}
+
+// sendCtx is a blocked local sender.
+type sendCtx struct {
+	from    Pid
+	seg     *Segment
+	replyCh chan sendResult
+}
+
+// Proc is one V process: a goroutine-owned handle for the IPC primitives.
+type Proc struct {
+	node *Node
+	pid  Pid
+	name string
+
+	mu       sync.Mutex
+	queue    []*envelope
+	waiting  chan *envelope // non-nil while a Receive is blocked
+	received map[Pid]*envelope
+	closed   bool
+}
+
+func newProc(n *Node, pid Pid, name string) *Proc {
+	return &Proc{
+		node:     n,
+		pid:      pid,
+		name:     name,
+		received: make(map[Pid]*envelope),
+	}
+}
+
+// Pid returns the process identifier.
+func (p *Proc) Pid() Pid { return p.pid }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Node returns the owning node.
+func (p *Proc) Node() *Node { return p.node }
+
+// close releases a blocked receiver and fails queued local senders.
+func (p *Proc) close() {
+	p.mu.Lock()
+	p.closed = true
+	w := p.waiting
+	p.waiting = nil
+	q := p.queue
+	p.queue = nil
+	p.mu.Unlock()
+	if w != nil {
+		close(w)
+	}
+	for _, env := range q {
+		if env.local != nil {
+			env.local.replyCh <- sendResult{err: ErrNoProcess}
+		}
+		// Remote senders recover by retransmission → Nack.
+	}
+}
+
+// enqueue delivers an envelope, waking a blocked receiver if any.
+func (p *Proc) enqueue(env *envelope) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		if env.local != nil {
+			env.local.replyCh <- sendResult{err: ErrNoProcess}
+		}
+		return
+	}
+	if p.waiting != nil {
+		w := p.waiting
+		p.waiting = nil
+		p.mu.Unlock()
+		w <- env
+		return
+	}
+	p.queue = append(p.queue, env)
+	p.mu.Unlock()
+}
+
+// Send sends msg to dst and blocks until the receiver replies; the reply
+// overwrites *msg (§2.1). seg, if non-nil, is the segment the message
+// grants; for remote destinations with read access, its first
+// InlineSegMax bytes travel inside the Send packet (§3.4).
+func (p *Proc) Send(msg *Message, dst Pid, seg *Segment) error {
+	if seg != nil {
+		msg.SetSegment(0, uint32(len(seg.Data)), seg.Access)
+	}
+	if dst.Host() != p.node.host {
+		return p.remoteSend(msg, dst, seg)
+	}
+	target, ok := p.node.lookupProc(dst)
+	if !ok {
+		return ErrNoProcess
+	}
+	ctx := &sendCtx{from: p.pid, seg: seg, replyCh: make(chan sendResult, 1)}
+	target.enqueue(&envelope{from: p.pid, msg: *msg, local: ctx})
+	res := <-ctx.replyCh
+	if res.err != nil {
+		return res.err
+	}
+	*msg = res.msg
+	return nil
+}
+
+// remoteSend implements the non-local Send path (§3.2).
+func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
+	n := p.node
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.stats.RemoteSends++
+	pkt := &vproto.Packet{
+		Kind: vproto.KindSend,
+		Seq:  n.nextSeqLocked(),
+		Src:  p.pid,
+		Dst:  dst,
+		Msg:  *msg,
+	}
+	if seg != nil && seg.Access&SegRead != 0 && n.cfg.InlineSegMax > 0 {
+		m := len(seg.Data)
+		if m > n.cfg.InlineSegMax {
+			m = n.cfg.InlineSegMax
+		}
+		pkt.Data = append([]byte(nil), seg.Data[:m]...)
+		pkt.Count = uint32(m)
+	}
+	buf, err := pkt.Encode()
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	ps := &pendingSend{
+		seq:     pkt.Seq,
+		proc:    p,
+		dst:     dst,
+		pkt:     buf,
+		seg:     seg,
+		replyCh: make(chan sendResult, 1),
+	}
+	n.pending[pkt.Seq] = ps
+	ps.timer = newRetransmitTimer(n, ps)
+	n.mu.Unlock()
+
+	_ = n.transport.Send(dst.Host(), buf)
+	res := <-ps.replyCh
+	if res.err != nil {
+		return res.err
+	}
+	// ReplyWithSegment data lands in the granted segment.
+	if len(res.data) > 0 && seg != nil && seg.Access&SegWrite != 0 {
+		if int(res.off)+len(res.data) <= len(seg.Data) {
+			copy(seg.Data[res.off:], res.data)
+		}
+	}
+	*msg = res.msg
+	return nil
+}
+
+// Receive blocks until a message arrives; FCFS order (§2.1).
+func (p *Proc) Receive() (Message, Pid, error) {
+	msg, src, _, err := p.receive(nil)
+	return msg, src, err
+}
+
+// ReceiveWithSegment is Receive but also transfers up to len(buf) bytes of
+// a read-access segment declared in the arriving message (the inline
+// prefix for remote senders, a direct copy for local ones); it returns the
+// transferred byte count (§2.1).
+func (p *Proc) ReceiveWithSegment(buf []byte) (Message, Pid, int, error) {
+	return p.receive(buf)
+}
+
+func (p *Proc) receive(buf []byte) (Message, Pid, int, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Message{}, vproto.Nil, 0, ErrClosed
+	}
+	var env *envelope
+	if len(p.queue) > 0 {
+		env = p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+	} else {
+		w := make(chan *envelope, 1)
+		p.waiting = w
+		p.mu.Unlock()
+		var ok bool
+		env, ok = <-w
+		if !ok {
+			return Message{}, vproto.Nil, 0, ErrClosed
+		}
+	}
+	p.mu.Lock()
+	p.received[env.from] = env
+	p.mu.Unlock()
+	if env.alien != nil {
+		p.node.mu.Lock()
+		env.alien.received = true
+		env.alien.awaiting = p.pid
+		p.node.mu.Unlock()
+	}
+	count := 0
+	if buf != nil {
+		count = p.consumeSegment(env, buf)
+	}
+	return env.msg, env.from, count, nil
+}
+
+func (p *Proc) consumeSegment(env *envelope, buf []byte) int {
+	_, size, access, ok := env.msg.Segment()
+	if !ok || access&SegRead == 0 {
+		return 0
+	}
+	if env.alien != nil {
+		return copy(buf, env.inline)
+	}
+	n := int(size)
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if env.local.seg == nil {
+		return 0
+	}
+	return copy(buf[:n], env.local.seg.Data)
+}
+
+// Reply sends the reply to dst, which must be awaiting one from this
+// process; the replier does not block (§2.1).
+func (p *Proc) Reply(msg *Message, dst Pid) error {
+	return p.reply(msg, dst, 0, nil)
+}
+
+// ReplyWithSegment replies and carries data into the destination's granted
+// write segment at destOff (§2.1). The data must fit one packet for remote
+// destinations.
+func (p *Proc) ReplyWithSegment(msg *Message, dst Pid, destOff uint32, data []byte) error {
+	return p.reply(msg, dst, destOff, data)
+}
+
+func (p *Proc) reply(msg *Message, dst Pid, destOff uint32, data []byte) error {
+	p.mu.Lock()
+	env, ok := p.received[dst]
+	if ok {
+		delete(p.received, dst)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return ErrNotAwaitingReply
+	}
+	if env.local != nil {
+		if len(data) > 0 {
+			seg := env.local.seg
+			if seg == nil || seg.Access&SegWrite == 0 {
+				return ErrNoAccess
+			}
+			if int(destOff)+len(data) > len(seg.Data) {
+				return ErrBadAddress
+			}
+			copy(seg.Data[destOff:], data)
+		}
+		env.local.replyCh <- sendResult{msg: *msg}
+		return nil
+	}
+	return p.node.remoteReply(p, msg, env.alien, destOff, data)
+}
+
+// remoteReply transmits and caches the reply packet (§3.2, §3.4).
+func (n *Node) remoteReply(p *Proc, msg *Message, a *alien, destOff uint32, data []byte) error {
+	if len(data) > vproto.MaxData {
+		return ErrSegTooBig
+	}
+	if len(data) > 0 {
+		if _, size, access, ok := a.msg.Segment(); !ok || access&SegWrite == 0 {
+			return ErrNoAccess
+		} else if uint64(destOff)+uint64(len(data)) > uint64(size) {
+			return ErrBadAddress
+		}
+	}
+	pkt := &vproto.Packet{
+		Kind:   vproto.KindReply,
+		Seq:    a.seq,
+		Src:    p.pid,
+		Dst:    a.src,
+		Offset: destOff,
+		Count:  uint32(len(data)),
+		Msg:    *msg,
+	}
+	if len(data) > 0 {
+		pkt.Data = append([]byte(nil), data...)
+	}
+	buf, err := pkt.Encode()
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.stats.RemoteReplies++
+	a.replied = true
+	a.replyPkt = buf
+	n.mu.Unlock()
+	_ = n.transport.Send(a.src.Host(), buf)
+	return nil
+}

@@ -1,0 +1,150 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"vkernel/internal/vproto"
+)
+
+// UDPTransport carries interkernel packets in UDP datagrams — the modern
+// stand-in for the paper's "raw Ethernet data link level": an unreliable,
+// unordered datagram service with no transport layer on top. Peers are
+// registered explicitly (the analogue of the §3.1 logical-host-to-network
+// address table); Broadcast sends to every registered peer.
+type UDPTransport struct {
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	peers   map[LogicalHost]*net.UDPAddr
+	handler func([]byte)
+	closed  bool
+	done    chan struct{}
+}
+
+// NewUDPTransport opens a UDP socket on the given address (use
+// "127.0.0.1:0" for tests).
+func NewUDPTransport(listen string) (*UDPTransport, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: listen %q: %w", listen, err)
+	}
+	t := &UDPTransport{
+		conn:  conn,
+		peers: make(map[LogicalHost]*net.UDPAddr),
+		done:  make(chan struct{}),
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound UDP address.
+func (t *UDPTransport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer registers the network address of a logical host.
+func (t *UDPTransport) AddPeer(host LogicalHost, addr *net.UDPAddr) {
+	t.mu.Lock()
+	t.peers[host] = addr
+	t.mu.Unlock()
+}
+
+func (t *UDPTransport) readLoop() {
+	defer close(t.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		t.learn(buf[:n], from)
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			h(pkt)
+		}
+	}
+}
+
+// learn discovers logical-host-to-network-address correspondences from
+// received packets (§3.1), so replies to broadcast lookups and messages
+// from previously unknown peers can be unicast.
+func (t *UDPTransport) learn(pkt []byte, from *net.UDPAddr) {
+	if len(pkt) < 12 || pkt[1] != vproto.Version {
+		return
+	}
+	src := vproto.Pid(binary.BigEndian.Uint32(pkt[8:12]))
+	host := src.Host()
+	if host == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.peers[host] = from
+	t.mu.Unlock()
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(to LogicalHost, pkt []byte) error {
+	t.mu.Lock()
+	addr := t.peers[to]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if addr == nil {
+		// Unknown host: broadcast, as the kernel does (§3.1).
+		return t.Broadcast(pkt)
+	}
+	_, err := t.conn.WriteToUDP(pkt, addr)
+	return err
+}
+
+// Broadcast implements Transport.
+func (t *UDPTransport) Broadcast(pkt []byte) error {
+	t.mu.Lock()
+	addrs := make([]*net.UDPAddr, 0, len(t.peers))
+	for _, a := range t.peers {
+		addrs = append(addrs, a)
+	}
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	for _, a := range addrs {
+		if _, err := t.conn.WriteToUDP(pkt, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetHandler implements Transport.
+func (t *UDPTransport) SetHandler(h func([]byte)) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.done
+	return err
+}

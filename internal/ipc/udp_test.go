@@ -1,0 +1,195 @@
+package ipc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vkernel/internal/vproto"
+)
+
+// udpPair builds two nodes talking over real loopback UDP sockets.
+func udpPair(t *testing.T) (*Node, *Node) {
+	t.Helper()
+	ta, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.AddPeer(2, tb.Addr())
+	tb.AddPeer(1, ta.Addr())
+	na := NewNode(1, ta, NodeConfig{RetransmitTimeout: 20 * time.Millisecond, Retries: 20})
+	nb := NewNode(2, tb, NodeConfig{RetransmitTimeout: 20 * time.Millisecond, Retries: 20})
+	t.Cleanup(func() {
+		_ = na.Close()
+		_ = nb.Close()
+	})
+	return na, nb
+}
+
+func TestUDPExchange(t *testing.T) {
+	na, nb := udpPair(t)
+	server := echoOn(nb, 5)
+	client := na.Attach("client")
+	defer na.Detach(client)
+	for i := uint32(1); i <= 5; i++ {
+		var m Message
+		m.SetWord(1, i)
+		if err := client.Send(&m, server, nil); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if m.Word(1) != i*2 {
+			t.Fatalf("reply %d = %d", i, m.Word(1))
+		}
+	}
+}
+
+func TestUDPPageReadAndWrite(t *testing.T) {
+	na, nb := udpPair(t)
+	store := make([]byte, 512)
+	nb.Spawn("fs", func(p *Proc) {
+		buf := make([]byte, 1024)
+		for {
+			msg, src, n, err := p.ReceiveWithSegment(buf)
+			if err != nil {
+				return
+			}
+			var reply Message
+			if msg.Word(1) == 1 { // read
+				_ = p.ReplyWithSegment(&reply, src, 0, store)
+			} else { // write
+				copy(store, buf[:n])
+				_ = p.Reply(&reply, src)
+			}
+		}
+	})
+	client := na.Attach("client")
+	defer na.Detach(client)
+
+	page := make([]byte, 512)
+	for i := range page {
+		page[i] = byte(i ^ 0x5A)
+	}
+	var wm Message
+	wm.SetWord(1, 2)
+	if err := client.Send(&wm, vproto.MakePid(nb.Host(), 1), &Segment{Data: page, Access: SegRead}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	var rm Message
+	rm.SetWord(1, 1)
+	if err := client.Send(&rm, vproto.MakePid(nb.Host(), 1), &Segment{Data: got, Access: SegWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("page did not survive the UDP round trip")
+	}
+}
+
+func TestUDPProgramLoadSizedMoveTo(t *testing.T) {
+	na, nb := udpPair(t)
+	const size = 256 * 1024
+	img := make([]byte, size)
+	for i := range img {
+		img[i] = byte(i * 31)
+	}
+	nb.Spawn("loader", func(p *Proc) {
+		_, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		if err := p.MoveTo(src, 0, img); err != nil {
+			t.Errorf("MoveTo: %v", err)
+		}
+		var reply Message
+		_ = p.Reply(&reply, src)
+	})
+	client := na.Attach("client")
+	defer na.Detach(client)
+	buf := make([]byte, size)
+	var m Message
+	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, img) {
+		t.Fatal("256 KB image corrupted over UDP")
+	}
+}
+
+func TestUDPNameService(t *testing.T) {
+	na, nb := udpPair(t)
+	server := echoOn(nb, 1)
+	reg := nb.Attach("registrar")
+	reg.SetPid(42, server, ScopeBoth)
+	nb.Detach(reg)
+	client := na.Attach("client")
+	defer na.Detach(client)
+	if got := client.GetPid(42, ScopeBoth); got != server {
+		t.Fatalf("GetPid over UDP = %v, want %v", got, server)
+	}
+}
+
+func TestUDPServerLearnsClientAddress(t *testing.T) {
+	// Only the client knows the server's address (as when a workstation
+	// boots against a well-known file server). The server must discover
+	// the client's address from received packets (§3.1) to reply.
+	ta, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.AddPeer(2, tb.Addr()) // one-directional knowledge
+	na := NewNode(1, ta, NodeConfig{RetransmitTimeout: 20 * time.Millisecond})
+	nb := NewNode(2, tb, NodeConfig{RetransmitTimeout: 20 * time.Millisecond})
+	defer func() { _ = na.Close(); _ = nb.Close() }()
+
+	server := echoOn(nb, 1)
+	client := na.Attach("client")
+	defer na.Detach(client)
+	var m Message
+	m.SetWord(1, 4)
+	if err := client.Send(&m, server, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Word(1) != 8 {
+		t.Fatalf("reply = %d", m.Word(1))
+	}
+}
+
+func TestUDPUnknownPeerBroadcastFallback(t *testing.T) {
+	// A node with no unicast mapping for the destination host must fall
+	// back to broadcast (§3.1) and still complete the exchange.
+	ta, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a knows b only as "some peer", not as host 2's unicast address:
+	// register b under a bogus host so Send(2) misses and broadcasts.
+	ta.AddPeer(77, tb.Addr())
+	tb.AddPeer(1, ta.Addr())
+	na := NewNode(1, ta, NodeConfig{RetransmitTimeout: 20 * time.Millisecond})
+	nb := NewNode(2, tb, NodeConfig{RetransmitTimeout: 20 * time.Millisecond})
+	defer func() { _ = na.Close(); _ = nb.Close() }()
+
+	server := echoOn(nb, 1)
+	client := na.Attach("client")
+	defer na.Detach(client)
+	var m Message
+	m.SetWord(1, 3)
+	if err := client.Send(&m, server, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Word(1) != 6 {
+		t.Fatalf("reply = %d", m.Word(1))
+	}
+}

@@ -1,0 +1,79 @@
+// Package netpenalty measures the paper's §4 "network penalty": the time
+// to move n bytes from the main memory of one workstation to another in a
+// single datagram on an idle, error-free network. The measurement is done
+// at the data link layer and at interrupt level — two bare interfaces
+// ping-ponging frames with no kernel, protocol, or process-switching
+// overhead — exactly the paper's methodology (total round-trip time over
+// many iterations, divided by two).
+package netpenalty
+
+import (
+	"fmt"
+
+	"vkernel/internal/cost"
+	"vkernel/internal/cpu"
+	"vkernel/internal/ether"
+	"vkernel/internal/nic"
+	"vkernel/internal/sim"
+)
+
+// Analytic returns the model's closed-form penalty for an n-byte frame:
+// sender copy-in + wire time + latency + receiver copy-out.
+func Analytic(prof cost.Profile, netCfg ether.Config, n int) sim.Time {
+	return prof.TxCost(n) + netCfg.WireTime(n) + netCfg.Latency + prof.RxCost(n)
+}
+
+// Measure runs the ping-pong experiment for frames of n bytes and returns
+// the measured one-way penalty.
+func Measure(prof cost.Profile, netCfg ether.Config, nicCfg nic.Config, n, iterations int) (sim.Time, error) {
+	if iterations <= 0 {
+		iterations = 1000
+	}
+	eng := sim.NewEngine(1)
+	net := ether.New(eng, netCfg)
+	cpuA := cpu.New(eng, "a")
+	cpuB := cpu.New(eng, "b")
+
+	var nicA, nicB *nic.NIC
+	var start, end sim.Time
+	legs := 0
+	want := 2 * iterations
+
+	frame := func() ether.Frame {
+		// The payload content is irrelevant at this layer; only the wire
+		// size matters.
+		return ether.Frame{Bytes: n, Payload: make([]byte, 0)}
+	}
+
+	nicA = nic.New(eng, cpuA, prof, nicCfg, net, 1, func(f ether.Frame) {
+		legs++
+		if legs >= want {
+			end = eng.Now()
+			return
+		}
+		g := frame()
+		g.Dst = 2
+		nicA.Send(g)
+	})
+	nicB = nic.New(eng, cpuB, prof, nicCfg, net, 2, func(f ether.Frame) {
+		legs++
+		g := frame()
+		g.Dst = 1
+		nicB.Send(g)
+	})
+
+	eng.Schedule(0, "start", func() {
+		start = eng.Now()
+		g := frame()
+		g.Dst = 2
+		nicA.Send(g)
+	})
+	eng.MaxSteps = uint64(want)*16 + 1000
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	if legs < want {
+		return 0, fmt.Errorf("netpenalty: only %d/%d legs completed", legs, want)
+	}
+	return (end - start) / sim.Time(want), nil
+}

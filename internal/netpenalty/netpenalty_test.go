@@ -1,0 +1,97 @@
+package netpenalty
+
+import (
+	"testing"
+
+	"vkernel/internal/cost"
+	"vkernel/internal/ether"
+	"vkernel/internal/nic"
+)
+
+// Table 4-1 of the paper: 3 Mb Ethernet SUN network penalty, in ms.
+var table41 = []struct {
+	bytes   int
+	want8   float64
+	want10  float64
+	netTime float64
+}{
+	{64, 0.80, 0.65, .174},
+	{128, 1.20, 0.96, .348},
+	{256, 2.00, 1.62, .696},
+	{512, 3.65, 3.00, 1.392},
+	{1024, 6.95, 5.83, 2.784},
+}
+
+func TestMeasureMatchesTable41(t *testing.T) {
+	net := ether.Ethernet3Mb()
+	for _, row := range table41 {
+		for _, mhz := range []float64{8, 10} {
+			prof := cost.MC68000(mhz, cost.Iface3Mb)
+			got, err := Measure(prof, net, nic.Config{}, row.bytes, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := row.want8
+			if mhz == 10 {
+				want = row.want10
+			}
+			g := got.Milliseconds()
+			if g < want*0.93 || g > want*1.07 {
+				t.Errorf("%d bytes @ %v MHz: penalty %.3f ms, paper %.2f", row.bytes, mhz, g, want)
+			}
+		}
+	}
+}
+
+func TestMeasureAgreesWithAnalytic(t *testing.T) {
+	net := ether.Ethernet3Mb()
+	prof := cost.MC68000(8, cost.Iface3Mb)
+	for _, n := range []int{64, 256, 1024} {
+		m, err := Measure(prof, net, nic.Config{}, n, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Analytic(prof, net, n)
+		diff := (m - a).Milliseconds()
+		if diff < -0.01 || diff > 0.01 {
+			t.Errorf("n=%d: measured %v, analytic %v", n, m, a)
+		}
+	}
+}
+
+// The linear fit the paper quotes: P(n) ≈ .0064 n + .390 ms at 8 MHz.
+func TestPenaltyLinearFit(t *testing.T) {
+	net := ether.Ethernet3Mb()
+	prof := cost.MC68000(8, cost.Iface3Mb)
+	for _, n := range []int{100, 300, 700, 1000} {
+		got := Analytic(prof, net, n).Milliseconds()
+		want := 0.0064*float64(n) + 0.390
+		if got < want*0.97 || got > want*1.03 {
+			t.Errorf("P(%d) = %.3f, fit %.3f", n, got, want)
+		}
+	}
+}
+
+// DMA ablation (§4): elapsed penalty gets slightly worse, processor time
+// per packet drops — offloading, not speedup.
+func TestDMAOffloadsButDoesNotSpeedUp(t *testing.T) {
+	net := ether.Ethernet3Mb()
+	prof := cost.MC68000(8, cost.Iface3Mb)
+	pio, err := Measure(prof, net, nic.Config{}, 1024, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dma, err := Measure(prof, net, nic.Config{DMA: true}, 1024, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dma < pio {
+		t.Errorf("DMA elapsed %v beat PIO %v; paper predicts no elapsed gain", dma, pio)
+	}
+	// CPU per leg: PIO pays TxCost+RxCost; DMA pays assembly+placement.
+	pioCPU := prof.TxCost(1024) + prof.RxCost(1024)
+	dmaCPU := 2 * (180*1000 + prof.LocalCopy(1024))
+	if dmaCPU >= pioCPU {
+		t.Errorf("DMA CPU %v not less than PIO %v", dmaCPU, pioCPU)
+	}
+}

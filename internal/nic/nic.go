@@ -1,0 +1,163 @@
+// Package nic models the SUN workstation's programmed-I/O Ethernet
+// interface: the processor copies every packet into the interface for
+// transmission and out of it on reception (paper §4), the transmit side is
+// single-buffered (the next copy-in waits for the current transmission to
+// finish), and the receive side has "considerable on-board buffering".
+//
+// A DMA variant is provided for the §4 ablation: per the paper's argument,
+// DMA interfaces still require a packet assembly/disassembly copy in main
+// memory, so the processor cost does not disappear — it merely stops
+// overlapping with interpretation.
+package nic
+
+import (
+	"vkernel/internal/cost"
+	"vkernel/internal/cpu"
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+)
+
+// Config selects interface behaviour.
+type Config struct {
+	// TxBuffers is the number of transmit buffers; 1 (the SUN interface)
+	// serializes copy-in with transmission.
+	TxBuffers int
+	// DMA models a DMA interface per the paper's §4 analysis: the
+	// processor pays a packet assembly (tx) or final-placement (rx)
+	// memcpy plus a fixed setup, while the DMA engine — which "moves data
+	// no faster than the processor" — transfers the packet to/from the
+	// interface without occupying the CPU. Elapsed time suffers slightly
+	// (the copy no longer overlaps the transfer); processor time drops.
+	DMA bool
+	// DMASetup is the fixed processor cost per DMA transfer.
+	DMASetup sim.Time
+	// DMARatePerByte is the DMA engine's transfer time per byte (defaults
+	// to the PIO copy rate, per the paper's observation).
+	DMARatePerByte sim.Time
+}
+
+// Stats counts interface-level activity.
+type Stats struct {
+	TxPackets int
+	TxBytes   int64
+	RxPackets int
+	RxBytes   int64
+	TxQueued  int // packets that found the transmit buffer busy
+}
+
+// NIC is one workstation's network interface.
+type NIC struct {
+	eng     *sim.Engine
+	cpu     *cpu.CPU
+	prof    cost.Profile
+	cfg     Config
+	port    *ether.Port
+	handler func(ether.Frame)
+
+	txInUse int
+	txQueue []ether.Frame
+	stats   Stats
+}
+
+// New attaches a NIC for the given profile to the network at addr. The
+// supplied handler receives each arriving frame after the processor has
+// paid the copy-out cost.
+func New(eng *sim.Engine, c *cpu.CPU, prof cost.Profile, cfg Config, net *ether.Network, addr ether.Addr, handler func(ether.Frame)) *NIC {
+	if cfg.TxBuffers <= 0 {
+		cfg.TxBuffers = 1
+	}
+	if cfg.DMASetup == 0 {
+		cfg.DMASetup = 180 * sim.Microsecond
+	}
+	if cfg.DMARatePerByte == 0 {
+		cfg.DMARatePerByte = prof.NetCopyPerByte
+	}
+	n := &NIC{eng: eng, cpu: c, prof: prof, cfg: cfg, handler: handler}
+	n.port = net.Attach(addr, n.receive)
+	return n
+}
+
+// Addr returns the station address.
+func (n *NIC) Addr() ether.Addr { return n.port.Addr() }
+
+// Stats returns a copy of the interface counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// txCost returns the processor cost to get an f.Bytes-byte packet into the
+// interface.
+func (n *NIC) txCost(bytes int) sim.Time {
+	if n.cfg.DMA {
+		// Assembly copy in main memory + DMA setup; the actual transfer to
+		// the interface is free for the processor.
+		return n.cfg.DMASetup + n.prof.LocalCopy(bytes)
+	}
+	return n.prof.TxCost(bytes)
+}
+
+func (n *NIC) rxCost(bytes int) sim.Time {
+	if n.cfg.DMA {
+		return n.cfg.DMASetup + n.prof.LocalCopy(bytes)
+	}
+	return n.prof.RxCost(bytes)
+}
+
+// dmaTime returns the (processor-free) DMA engine transfer time.
+func (n *NIC) dmaTime(bytes int) sim.Time {
+	return sim.Time(bytes) * n.cfg.DMARatePerByte
+}
+
+// Send queues a frame for transmission. The processor copy-in cost is
+// charged (FIFO) on this workstation's CPU; transmission begins when the
+// copy completes and a transmit buffer is free.
+func (n *NIC) Send(f ether.Frame) {
+	if n.txInUse >= n.cfg.TxBuffers {
+		n.stats.TxQueued++
+		n.txQueue = append(n.txQueue, f)
+		return
+	}
+	n.startTx(f)
+}
+
+func (n *NIC) startTx(f ether.Frame) {
+	n.txInUse++
+	n.stats.TxPackets++
+	n.stats.TxBytes += int64(f.Bytes)
+	n.cpu.Run(n.txCost(f.Bytes), "nic:txcopy", func() {
+		transmit := func() {
+			n.port.Transmit(f, func() {
+				n.txInUse--
+				if len(n.txQueue) > 0 && n.txInUse < n.cfg.TxBuffers {
+					next := n.txQueue[0]
+					n.txQueue = n.txQueue[1:]
+					n.startTx(next)
+				}
+			})
+		}
+		if n.cfg.DMA {
+			// The DMA engine moves the assembled packet to the interface
+			// without the processor; transmission starts afterwards.
+			n.eng.Schedule(n.dmaTime(f.Bytes), "nic:dma-tx", transmit)
+			return
+		}
+		transmit()
+	})
+}
+
+// receive is the wire-side delivery callback: the frame sits in interface
+// buffering until the processor copies it out (or the DMA engine lands it
+// in memory and the processor does the final-placement copy), then the
+// kernel handler runs.
+func (n *NIC) receive(f ether.Frame) {
+	n.stats.RxPackets++
+	n.stats.RxBytes += int64(f.Bytes)
+	deliver := func() {
+		n.cpu.Run(n.rxCost(f.Bytes), "nic:rxcopy", func() {
+			n.handler(f)
+		})
+	}
+	if n.cfg.DMA {
+		n.eng.Schedule(n.dmaTime(f.Bytes), "nic:dma-rx", deliver)
+		return
+	}
+	deliver()
+}

@@ -1,0 +1,108 @@
+package nic
+
+import (
+	"testing"
+
+	"vkernel/internal/cost"
+	"vkernel/internal/cpu"
+	"vkernel/internal/ether"
+	"vkernel/internal/sim"
+)
+
+func rig(t *testing.T, cfg Config) (*sim.Engine, *ether.Network, *cpu.CPU, *cpu.CPU, *NIC, *NIC, *[]sim.Time) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := ether.New(eng, ether.Ethernet3Mb())
+	cpuA := cpu.New(eng, "a")
+	cpuB := cpu.New(eng, "b")
+	prof := cost.MC68000(8, cost.Iface3Mb)
+	arrivals := &[]sim.Time{}
+	var na, nb *NIC
+	na = New(eng, cpuA, prof, cfg, net, 1, func(f ether.Frame) {})
+	nb = New(eng, cpuB, prof, cfg, net, 2, func(f ether.Frame) {
+		*arrivals = append(*arrivals, eng.Now())
+	})
+	return eng, net, cpuA, cpuB, na, nb, arrivals
+}
+
+func TestSingleFrameCosts(t *testing.T) {
+	eng, net, cpuA, cpuB, na, _, arrivals := rig(t, Config{})
+	prof := cost.MC68000(8, cost.Iface3Mb)
+	na.Send(ether.Frame{Dst: 2, Bytes: 64})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := prof.TxCost(64) + net.Config().WireTime(64) + net.Config().Latency + prof.RxCost(64)
+	if len(*arrivals) != 1 || (*arrivals)[0] != want {
+		t.Fatalf("arrival at %v, want %v", *arrivals, want)
+	}
+	if cpuA.Busy() != prof.TxCost(64) || cpuB.Busy() != prof.RxCost(64) {
+		t.Fatalf("cpu busy %v / %v", cpuA.Busy(), cpuB.Busy())
+	}
+}
+
+// TestSingleTxBufferSerializes verifies the §6.3-critical behaviour: with
+// one transmit buffer, the copy-in of packet k+1 waits for packet k's
+// transmission, so back-to-back throughput is copy + wire per packet.
+func TestSingleTxBufferSerializes(t *testing.T) {
+	eng, net, _, _, na, _, arrivals := rig(t, Config{TxBuffers: 1})
+	prof := cost.MC68000(8, cost.Iface3Mb)
+	const n = 4
+	for i := 0; i < n; i++ {
+		na.Send(ether.Frame{Dst: 2, Bytes: 1088})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*arrivals) != n {
+		t.Fatalf("arrived %d", len(*arrivals))
+	}
+	period := (*arrivals)[n-1] - (*arrivals)[n-2]
+	want := prof.TxCost(1088) + net.Config().WireTime(1088)
+	if period < want-sim.Microsecond || period > want+20*sim.Microsecond {
+		t.Fatalf("steady-state period %v, want ~%v", period, want)
+	}
+	if na.Stats().TxQueued != n-1 {
+		t.Fatalf("queued = %d", na.Stats().TxQueued)
+	}
+}
+
+// TestDoubleBufferingOverlaps shows the ablation: with two buffers the
+// wire becomes the bottleneck.
+func TestDoubleBufferingOverlaps(t *testing.T) {
+	eng, net, _, _, na, _, arrivals := rig(t, Config{TxBuffers: 2})
+	const n = 4
+	for i := 0; i < n; i++ {
+		na.Send(ether.Frame{Dst: 2, Bytes: 1088})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	period := (*arrivals)[n-1] - (*arrivals)[n-2]
+	wire := net.Config().WireTime(1088)
+	// With overlap the period approaches wire time (+ small deferral
+	// jitter from carrier sensing).
+	if period > wire+40*sim.Microsecond {
+		t.Fatalf("double-buffered period %v, want ~wire %v", period, wire)
+	}
+}
+
+func TestDMAReducesCPUButNotLatency(t *testing.T) {
+	engP, _, cpuAP, cpuBP, naP, _, arrP := rig(t, Config{})
+	naP.Send(ether.Frame{Dst: 2, Bytes: 1024})
+	if err := engP.Run(); err != nil {
+		t.Fatal(err)
+	}
+	engD, _, cpuAD, cpuBD, naD, _, arrD := rig(t, Config{DMA: true})
+	naD.Send(ether.Frame{Dst: 2, Bytes: 1024})
+	if err := engD.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if (*arrD)[0] <= (*arrP)[0] {
+		t.Fatalf("DMA delivery %v not slower than PIO %v (paper: no elapsed gain)", (*arrD)[0], (*arrP)[0])
+	}
+	if cpuAD.Busy() >= cpuAP.Busy() || cpuBD.Busy() >= cpuBP.Busy() {
+		t.Fatalf("DMA cpu %v/%v not less than PIO %v/%v",
+			cpuAD.Busy(), cpuBD.Busy(), cpuAP.Busy(), cpuBP.Busy())
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event queue ordered by
+// (time, insertion sequence). Simulated activities are either plain event
+// callbacks or coroutine Tasks (see task.go) that run one at a time, so a
+// simulation with a fixed seed is fully deterministic regardless of the Go
+// scheduler.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is also used for durations.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Microseconds returns t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros constructs a Time from a floating-point number of microseconds.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Millis constructs a Time from a floating-point number of milliseconds.
+func Millis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	name      string
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (ev *Event) Cancelled() bool { return ev != nil && ev.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrAborted is the panic value delivered to coroutine tasks when the engine
+// shuts down while they are parked. Task bodies normally do not observe it:
+// the engine recovers it at the top of every task goroutine.
+var ErrAborted = errors.New("sim: engine aborted")
+
+// Engine is a discrete-event simulation engine.
+//
+// Engines are not safe for concurrent use; all interaction must happen from
+// the goroutine that calls Run (or from task goroutines while they hold the
+// execution baton, which the engine serializes).
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	tasks   []*Task // all spawned tasks, for shutdown
+	steps   uint64
+	// MaxSteps bounds the number of processed events as a runaway guard.
+	// Zero means no limit.
+	MaxSteps uint64
+}
+
+// NewEngine returns an engine with the virtual clock at zero and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule arranges for fn to run after delay d. A negative delay is treated
+// as zero. The returned event may be cancelled.
+func (e *Engine) Schedule(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, name, fn)
+}
+
+// At arranges for fn to run at absolute time t (clamped to now).
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, name: name}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events in time order until the queue is empty, Stop is
+// called, or MaxSteps is exceeded (an error in the last case). On return it
+// aborts any still-parked tasks so their goroutines exit.
+func (e *Engine) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil processes events until the queue is empty, Stop is called, the
+// next event is later than deadline (if deadline >= 0), or MaxSteps is
+// exceeded. When the deadline cuts the run short, the clock is advanced to
+// the deadline. Parked tasks are aborted only on a full stop (Stop, empty
+// queue or error), not on reaching a deadline, so a simulation can be
+// resumed by calling RunUntil again.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 {
+		next := e.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			e.now = deadline
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			e.shutdownTasks()
+			return fmt.Errorf("sim: exceeded %d steps at t=%v (runaway simulation?)", e.MaxSteps, e.now)
+		}
+		next.fn()
+	}
+	e.shutdownTasks()
+	return nil
+}
+
+// shutdownTasks aborts every parked task so its goroutine terminates.
+func (e *Engine) shutdownTasks() {
+	for _, t := range e.tasks {
+		t.abort()
+	}
+	e.tasks = nil
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Millis(3.18) != 3180*Microsecond {
+		t.Fatalf("Millis(3.18) = %v", Millis(3.18))
+	}
+	if got := (2500 * Microsecond).Milliseconds(); got != 2.5 {
+		t.Fatalf("Milliseconds = %v, want 2.5", got)
+	}
+	if got := Second.Seconds(); got != 1.0 {
+		t.Fatalf("Seconds = %v, want 1", got)
+	}
+	if s := (1500 * Microsecond).String(); s != "1.500ms" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30*Microsecond, "c", func() { order = append(order, 3) })
+	e.Schedule(10*Microsecond, "a", func() { order = append(order, 1) })
+	e.Schedule(20*Microsecond, "b", func() { order = append(order, 2) })
+	// Same-time events fire in insertion order.
+	e.Schedule(20*Microsecond, "b2", func() { order = append(order, 22) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 22, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*Microsecond {
+		t.Fatalf("clock = %v, want 30us", e.Now())
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10*Microsecond, "x", func() { fired = true })
+	e.Schedule(5*Microsecond, "cancel", func() { ev.Cancel() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false")
+	}
+}
+
+func TestRunUntilDeadlineAndResume(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := Time(i) * Millisecond
+		e.Schedule(d, "tick", func() { fired = append(fired, e.Now()) })
+	}
+	if err := e.RunUntil(2 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || e.Now() != 2*Millisecond {
+		t.Fatalf("after first run: fired=%v now=%v", fired, e.Now())
+	}
+	if err := e.RunUntil(-1); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("after resume: fired=%v", fired)
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	e := NewEngine(1)
+	e.MaxSteps = 100
+	var loop func()
+	loop = func() { e.Schedule(Microsecond, "loop", loop) }
+	e.Schedule(0, "start", loop)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected runaway error")
+	}
+}
+
+func TestTaskSleepAndOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var trace []string
+	e.Spawn("a", func(tk *Task) {
+		trace = append(trace, "a0")
+		tk.Sleep(10 * Microsecond)
+		trace = append(trace, "a1")
+		tk.Sleep(20 * Microsecond)
+		trace = append(trace, "a2")
+	})
+	e.Spawn("b", func(tk *Task) {
+		trace = append(trace, "b0")
+		tk.Sleep(15 * Microsecond)
+		trace = append(trace, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "a1", "b1", "a2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestTaskParkUnpark(t *testing.T) {
+	e := NewEngine(1)
+	var got any
+	tk := e.Spawn("waiter", func(tk *Task) {
+		got = tk.Park("test")
+	})
+	e.Schedule(5*Microsecond, "wake", func() { tk.Unpark("hello") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("park returned %v", got)
+	}
+	if !tk.Done() {
+		t.Fatal("task not done")
+	}
+}
+
+func TestTaskAbortOnShutdown(t *testing.T) {
+	e := NewEngine(1)
+	reached := false
+	e.Spawn("stuck", func(tk *Task) {
+		tk.Park("forever")
+		reached = true // must not run
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Fatal("aborted task continued past park")
+	}
+}
+
+func TestTaskSleepZeroIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Spawn("z", func(tk *Task) {
+		tk.Sleep(0)
+		tk.Sleep(-5)
+		n++
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("body did not complete")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in nondecreasing
+// time order and the engine terminates with the clock at the max delay.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := NewEngine(42)
+		var fired []Time
+		var maxT Time
+		for _, d := range delaysRaw {
+			dt := Time(d) * Microsecond
+			if dt > maxT {
+				maxT = dt
+			}
+			e.Schedule(dt, "p", func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism — two engines with the same seed and same schedule
+// of random-consuming events produce identical random streams.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var out []int64
+		for i := 0; i < 50; i++ {
+			e.Schedule(Time(i)*Microsecond, "r", func() { out = append(out, e.Rand().Int63()) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}

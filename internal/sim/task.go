@@ -1,0 +1,153 @@
+package sim
+
+import "fmt"
+
+// Task is a coroutine running in virtual time. A task's body is an ordinary
+// Go function executing on its own goroutine, but the engine guarantees that
+// at most one task (or event callback) runs at any instant: the task runs
+// only while it holds the execution baton, and hands it back whenever it
+// parks. This gives sequential, deterministic semantics with the convenience
+// of straight-line code for simulated processes.
+//
+// Tasks park with Park (waiting for an Unpark from an event callback or
+// another task) or Sleep (waiting for virtual time to pass).
+type Task struct {
+	eng     *Engine
+	name    string
+	resume  chan any
+	yielded chan struct{}
+	parked  bool
+	done    bool
+	aborted bool
+}
+
+type abortSignal struct{}
+
+// Spawn creates a task named name and schedules its body to start running at
+// the current virtual time (after already-queued events at that time).
+func (e *Engine) Spawn(name string, body func(t *Task)) *Task {
+	t := &Task{
+		eng:     e,
+		name:    name,
+		resume:  make(chan any),
+		yielded: make(chan struct{}),
+	}
+	e.tasks = append(e.tasks, t)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					// Re-panic on the engine goroutine would be nicer, but
+					// the baton protocol means the engine is blocked in
+					// yielded; deliver the panic there via done handshake.
+					t.done = true
+					t.yielded <- struct{}{}
+					panic(r)
+				}
+			}
+			t.done = true
+			// Hand the baton back one final time unless we were aborted
+			// (the aborter does not wait for the handshake).
+			if !t.aborted {
+				t.yielded <- struct{}{}
+			}
+		}()
+		if v := <-t.resume; v != nil { // wait for first activation
+			if _, ok := v.(abortSignal); ok {
+				panic(abortSignal{})
+			}
+		}
+		body(t)
+	}()
+	e.Schedule(0, "spawn:"+name, func() { t.step(nil) })
+	return t
+}
+
+// step transfers the baton to the task goroutine and waits for it to park,
+// finish, or abort.
+func (t *Task) step(v any) {
+	if t.done {
+		return
+	}
+	t.parked = false
+	t.resume <- v
+	<-t.yielded
+}
+
+// Park blocks the task until another activity calls Unpark, returning the
+// value passed to Unpark. The reason is used in diagnostics only.
+func (t *Task) Park(reason string) any {
+	if t.parked {
+		panic(fmt.Sprintf("sim: task %s double-park (%s)", t.name, reason))
+	}
+	t.parked = true
+	t.yielded <- struct{}{}
+	v := <-t.resume
+	if _, ok := v.(abortSignal); ok {
+		panic(abortSignal{})
+	}
+	return v
+}
+
+// Parked reports whether the task is currently parked waiting for Unpark.
+func (t *Task) Parked() bool { return t.parked }
+
+// Done reports whether the task body has returned.
+func (t *Task) Done() bool { return t.done }
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// Engine returns the engine the task runs on.
+func (t *Task) Engine() *Engine { return t.eng }
+
+// Now returns the current virtual time.
+func (t *Task) Now() Time { return t.eng.Now() }
+
+// Unpark schedules the task to resume at the current virtual time with the
+// given value. It must be called from an event callback or from another
+// task; the resumption happens as a separate event, preserving run-to-park
+// semantics. Unparking a task that is not parked by the time the resumption
+// event fires is a programming error and panics, because it indicates a
+// lost-wakeup hazard in the caller's state machine.
+func (t *Task) Unpark(v any) {
+	t.eng.Schedule(0, "unpark:"+t.name, func() {
+		if t.done {
+			return
+		}
+		if !t.parked {
+			panic(fmt.Sprintf("sim: unpark of non-parked task %s", t.name))
+		}
+		t.step(v)
+	})
+}
+
+// Sleep suspends the task for duration d of virtual time.
+func (t *Task) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	t.eng.Schedule(d, "wake:"+t.name, func() {
+		if !t.done {
+			t.step(nil)
+		}
+	})
+	t.parked = true
+	t.yielded <- struct{}{}
+	v := <-t.resume
+	if _, ok := v.(abortSignal); ok {
+		panic(abortSignal{})
+	}
+}
+
+// abort forces a parked or unstarted task's goroutine to exit. Called by the
+// engine at shutdown; no-op for finished tasks.
+func (t *Task) abort() {
+	if t.done {
+		return
+	}
+	t.aborted = true
+	// The task goroutine is blocked either on the initial <-t.resume or in
+	// Park/Sleep's <-t.resume; deliver the abort signal.
+	t.resume <- abortSignal{}
+}

@@ -1,0 +1,212 @@
+// Package stats provides measurement aggregation and the paper-vs-measured
+// table rendering used by the experiment harness and cmd/vbench.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Cell is one table entry: a measured value, optionally paired with the
+// value the paper reports for the same quantity.
+type Cell struct {
+	Measured float64
+	Paper    float64
+	HasPaper bool
+	Text     string // non-numeric cell (labels, "-")
+	Decimals int
+}
+
+// M makes a measured-only cell.
+func M(v float64) Cell { return Cell{Measured: v, Decimals: 2} }
+
+// PM makes a paper-vs-measured cell.
+func PM(paper, measured float64) Cell {
+	return Cell{Paper: paper, Measured: measured, HasPaper: true, Decimals: 2}
+}
+
+// Txt makes a text cell.
+func Txt(s string) Cell { return Cell{Text: s} }
+
+// Blank is an empty cell.
+func Blank() Cell { return Cell{Text: "-"} }
+
+// Deviation returns the relative deviation from the paper value, or NaN.
+func (c Cell) Deviation() float64 {
+	if !c.HasPaper || c.Paper == 0 {
+		return math.NaN()
+	}
+	return (c.Measured - c.Paper) / c.Paper
+}
+
+func (c Cell) String() string {
+	if c.Text != "" {
+		return c.Text
+	}
+	d := c.Decimals
+	if d == 0 {
+		d = 2
+	}
+	if !c.HasPaper {
+		return fmt.Sprintf("%.*f", d, c.Measured)
+	}
+	return fmt.Sprintf("%.*f/%.*f (%+.0f%%)", d, c.Paper, d, c.Measured, 100*c.Deviation())
+}
+
+// Row is one labelled table row.
+type Row struct {
+	Label string
+	Cells []Cell
+}
+
+// Table is one experiment output table.
+type Table struct {
+	ID      string
+	Title   string
+	Unit    string // e.g. "times in ms; cells are paper/measured"
+	Columns []string
+	Rows    []Row
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, cells ...Cell) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// MaxDeviation returns the largest absolute paper-vs-measured deviation in
+// the table (0 if no cell has a paper value).
+func (t *Table) MaxDeviation() float64 {
+	max := 0.0
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if d := math.Abs(c.Deviation()); !math.IsNaN(d) && d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", t.ID, t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", t.Unit)
+	}
+	b.WriteByte('\n')
+
+	headers := append([]string{""}, t.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells[ri] = make([]string, len(headers))
+		cells[ri][0] = r.Label
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		for ci, c := range r.Cells {
+			if ci+1 >= len(headers) {
+				break
+			}
+			s := c.String()
+			cells[ri][ci+1] = s
+			if len(s) > widths[ci+1] {
+				widths[ci+1] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], p)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	rule := make([]string, len(headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range cells {
+		line(r)
+	}
+	return b.String()
+}
+
+// Sample accumulates scalar observations.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for empty samples).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max returns the maximum observation.
+func (s *Sample) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.values {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}

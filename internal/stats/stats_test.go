@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellFormats(t *testing.T) {
+	if got := M(3.14159).String(); got != "3.14" {
+		t.Fatalf("M = %q", got)
+	}
+	if got := PM(3.18, 3.18).String(); got != "3.18/3.18 (+0%)" {
+		t.Fatalf("PM = %q", got)
+	}
+	if got := Txt("x").String(); got != "x" {
+		t.Fatalf("Txt = %q", got)
+	}
+	if got := Blank().String(); got != "-" {
+		t.Fatalf("Blank = %q", got)
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	c := PM(2.0, 2.2)
+	if d := c.Deviation(); math.Abs(d-0.1) > 1e-9 {
+		t.Fatalf("dev = %v", d)
+	}
+	if !math.IsNaN(M(1).Deviation()) {
+		t.Fatal("measured-only cell has deviation")
+	}
+}
+
+func TestTableRenderAndMaxDeviation(t *testing.T) {
+	tb := Table{ID: "t", Title: "demo", Unit: "ms", Columns: []string{"a", "b"}}
+	tb.AddRow("row1", PM(1.0, 1.1), M(5))
+	tb.AddRow("row2", PM(2.0, 1.9), Blank())
+	out := tb.Render()
+	for _, want := range []string{"t: demo (ms)", "row1", "1.00/1.10 (+10%)", "row2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if d := tb.MaxDeviation(); math.Abs(d-0.1) > 1e-6 {
+		t.Fatalf("max deviation = %v", d)
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if d := s.StdDev(); math.Abs(d-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("stddev = %v", d)
+	}
+	if p := s.Percentile(0.5); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if m := s.Max(); m != 5 {
+		t.Fatalf("max = %v", m)
+	}
+}
+
+func TestEmptySampleIsSafe(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(0.5) != 0 || s.Max() != 0 {
+		t.Fatal("empty sample not zero-safe")
+	}
+}
+
+// Property: mean is within [min, max] and percentile is monotone in p.
+func TestSampleProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				continue // avoid float64 overflow in the sum; not what Mean is for
+			}
+			s.Add(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		if m < lo-1e-9 || m > hi+1e-9 {
+			return false
+		}
+		return s.Percentile(0.25) <= s.Percentile(0.75)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package vproto defines the V interkernel protocol: 32-bit process
+// identifiers with an embedded logical-host field (§3.1), 32-byte fixed
+// messages with the segment-descriptor conventions of §2.1, and the wire
+// format of interkernel packets (§3.2–§3.4). Packets ride directly on the
+// data link layer ("raw" Ethernet in the paper, UDP datagrams in this
+// library's real runtime); there is no transport layer — the reply message
+// doubles as the acknowledgement.
+package vproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Pid is a 32-bit globally unique process identifier. The high-order 16
+// bits are the logical host identifier; the low-order 16 bits are a locally
+// unique identifier (§3.1).
+type Pid uint32
+
+// LogicalHost is the logical host subfield of a Pid.
+type LogicalHost uint16
+
+// MakePid assembles a Pid from a logical host and a locally unique id.
+func MakePid(host LogicalHost, local uint16) Pid {
+	return Pid(uint32(host)<<16 | uint32(local))
+}
+
+// Host extracts the logical host identifier.
+func (p Pid) Host() LogicalHost { return LogicalHost(p >> 16) }
+
+// Local extracts the locally unique identifier.
+func (p Pid) Local() uint16 { return uint16(p) }
+
+// Nil is the invalid pid (returned by GetPid for unknown names).
+const Nil Pid = 0
+
+func (p Pid) String() string { return fmt.Sprintf("pid(%d.%d)", p.Host(), p.Local()) }
+
+// MessageSize is the fixed size of every V message.
+const MessageSize = 32
+
+// Message is the fixed 32-byte V message. By the kernel message format
+// conventions, flag bits at the start of the message declare whether the
+// sender grants the recipient access to a segment of its address space, and
+// the last two words give the segment's start address and length.
+type Message [MessageSize]byte
+
+// Message flag bits (stored in byte 0).
+const (
+	SegFlagPresent = 1 << 0 // a segment is specified
+	SegFlagRead    = 1 << 1 // recipient may read the segment
+	SegFlagWrite   = 1 << 2 // recipient may write the segment
+)
+
+// SetSegment declares a segment in the message: start address and size in
+// the sender's address space, with the given access bits (SegFlagRead
+// and/or SegFlagWrite).
+func (m *Message) SetSegment(start, size uint32, access byte) {
+	m[0] |= SegFlagPresent | (access & (SegFlagRead | SegFlagWrite))
+	binary.BigEndian.PutUint32(m[24:28], start)
+	binary.BigEndian.PutUint32(m[28:32], size)
+}
+
+// ClearSegment removes any segment declaration.
+func (m *Message) ClearSegment() {
+	m[0] &^= SegFlagPresent | SegFlagRead | SegFlagWrite
+	binary.BigEndian.PutUint32(m[24:28], 0)
+	binary.BigEndian.PutUint32(m[28:32], 0)
+}
+
+// Segment returns the declared segment, if any.
+func (m *Message) Segment() (start, size uint32, access byte, ok bool) {
+	if m[0]&SegFlagPresent == 0 {
+		return 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint32(m[24:28]),
+		binary.BigEndian.Uint32(m[28:32]),
+		m[0] & (SegFlagRead | SegFlagWrite),
+		true
+}
+
+// Word returns the i'th 32-bit word of the message (0..7).
+func (m *Message) Word(i int) uint32 {
+	return binary.BigEndian.Uint32(m[4*i : 4*i+4])
+}
+
+// SetWord sets the i'th 32-bit word of the message (0..7). Word 0 holds the
+// flag bits in its top byte; words 6 and 7 hold the segment descriptor.
+func (m *Message) SetWord(i int, v uint32) {
+	binary.BigEndian.PutUint32(m[4*i:4*i+4], v)
+}
+
+// Kind identifies an interkernel packet type.
+type Kind uint8
+
+// Interkernel packet kinds.
+const (
+	KindInvalid      Kind = iota
+	KindSend              // remote Send: message (+ optional inline segment prefix)
+	KindReply             // remote Reply: message (+ optional inline segment)
+	KindReplyPending      // receiver got a retransmission but has not replied yet
+	KindNack              // destination process does not exist
+	KindMoveToData        // MoveTo data packet
+	KindMoveToAck         // single ack when a MoveTo transfer completes
+	KindMoveFromReq       // request to stream data back (MoveFrom)
+	KindMoveFromData      // MoveFrom data packet
+	KindGetPid            // broadcast logical-id lookup
+	KindGetPidReply       // response to KindGetPid
+)
+
+var kindNames = [...]string{
+	"invalid", "send", "reply", "reply-pending", "nack",
+	"moveto-data", "moveto-ack", "movefrom-req", "movefrom-data",
+	"getpid", "getpid-reply",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Packet flag bits.
+const (
+	FlagLast        = 1 << 0 // final data packet of a bulk transfer
+	FlagRetransmit  = 1 << 1 // kernel-level retransmission
+	FlagScopeLocal  = 1 << 2 // name-service scope bits (GetPid/SetPid)
+	FlagScopeRemote = 1 << 3
+)
+
+// HeaderSize is the wire size of the fixed interkernel header. Every packet
+// carries the header plus the 32-byte message area; bulk-data packets carry
+// data after the message area.
+const HeaderSize = 32
+
+// Version is the interkernel protocol version.
+const Version = 1
+
+// Packet is one interkernel packet.
+//
+// Field use by kind:
+//   - Send/Reply: Msg is the V message; Data is an optional inline segment
+//     prefix (§3.4), Offset/Count describe which part of the declared
+//     segment Data covers.
+//   - MoveToData/MoveFromData: Offset is the byte offset within the
+//     destination (resp. source) segment, Count the total transfer size,
+//     Data the chunk. FlagLast marks the final packet.
+//   - MoveToAck: Offset is the number of contiguous bytes received; a
+//     non-Last ack asks the mover to resume from Offset.
+//   - MoveFromReq: Offset/Count give the requested range of the remote
+//     segment.
+//   - GetPid: Msg word 1 is the logical id; flags carry the scope.
+//     GetPidReply: Msg word 1 logical id, word 2 the pid.
+type Packet struct {
+	Kind   Kind
+	Flags  uint16
+	Seq    uint32
+	Src    Pid
+	Dst    Pid
+	Offset uint32
+	Count  uint32
+	Msg    Message
+	Data   []byte
+}
+
+// WireSize returns the packet's size on the wire.
+func (p *Packet) WireSize() int { return HeaderSize + MessageSize + len(p.Data) }
+
+// MaxData is the most bulk data carried by one interkernel packet
+// (a "maximally-sized packet" in §3.3, chosen to fit the experimental
+// 3 Mb Ethernet's datagram limit).
+const MaxData = 1024
+
+// Encoding errors.
+var (
+	ErrShortPacket = errors.New("vproto: packet too short")
+	ErrBadVersion  = errors.New("vproto: bad protocol version")
+	ErrBadChecksum = errors.New("vproto: checksum mismatch")
+	ErrDataTooBig  = errors.New("vproto: data exceeds MaxData")
+)
+
+// Encode serializes the packet. Layout (big-endian):
+//
+//	off 0  kind(1) version(1) flags(2)
+//	off 4  seq(4)
+//	off 8  src pid(4)
+//	off 12 dst pid(4)
+//	off 16 offset(4)
+//	off 20 count(4)
+//	off 24 datalen(2) reserved(2)
+//	off 28 checksum(4)
+//	off 32 message(32)
+//	off 64 data(datalen)
+func (p *Packet) Encode() ([]byte, error) {
+	if len(p.Data) > MaxData {
+		return nil, ErrDataTooBig
+	}
+	buf := make([]byte, HeaderSize+MessageSize+len(p.Data))
+	buf[0] = byte(p.Kind)
+	buf[1] = Version
+	binary.BigEndian.PutUint16(buf[2:4], p.Flags)
+	binary.BigEndian.PutUint32(buf[4:8], p.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[12:16], uint32(p.Dst))
+	binary.BigEndian.PutUint32(buf[16:20], p.Offset)
+	binary.BigEndian.PutUint32(buf[20:24], p.Count)
+	binary.BigEndian.PutUint16(buf[24:26], uint16(len(p.Data)))
+	copy(buf[HeaderSize:], p.Msg[:])
+	copy(buf[HeaderSize+MessageSize:], p.Data)
+	binary.BigEndian.PutUint32(buf[28:32], checksum(buf))
+	return buf, nil
+}
+
+// Decode parses a packet, verifying version, length and checksum.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderSize+MessageSize {
+		return nil, ErrShortPacket
+	}
+	if buf[1] != Version {
+		return nil, ErrBadVersion
+	}
+	want := binary.BigEndian.Uint32(buf[28:32])
+	if checksum(buf) != want {
+		return nil, ErrBadChecksum
+	}
+	p := &Packet{
+		Kind:   Kind(buf[0]),
+		Flags:  binary.BigEndian.Uint16(buf[2:4]),
+		Seq:    binary.BigEndian.Uint32(buf[4:8]),
+		Src:    Pid(binary.BigEndian.Uint32(buf[8:12])),
+		Dst:    Pid(binary.BigEndian.Uint32(buf[12:16])),
+		Offset: binary.BigEndian.Uint32(buf[16:20]),
+		Count:  binary.BigEndian.Uint32(buf[20:24]),
+	}
+	dataLen := int(binary.BigEndian.Uint16(buf[24:26]))
+	if len(buf) < HeaderSize+MessageSize+dataLen {
+		return nil, ErrShortPacket
+	}
+	copy(p.Msg[:], buf[HeaderSize:HeaderSize+MessageSize])
+	if dataLen > 0 {
+		p.Data = make([]byte, dataLen)
+		copy(p.Data, buf[HeaderSize+MessageSize:HeaderSize+MessageSize+dataLen])
+	}
+	return p, nil
+}
+
+// checksum is a simple 32-bit ones'-complement-style sum over the packet
+// with the checksum field treated as zero. It exists to let transports and
+// tests detect corruption; the simulated Ethernet models corruption
+// out-of-band.
+func checksum(buf []byte) uint32 {
+	var sum uint32
+	for i, b := range buf {
+		if i >= 28 && i < 32 {
+			continue
+		}
+		sum = sum*31 + uint32(b)
+	}
+	return sum
+}

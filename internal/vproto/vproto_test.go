@@ -1,0 +1,194 @@
+package vproto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPidFields(t *testing.T) {
+	p := MakePid(0x1234, 0x5678)
+	if p != Pid(0x12345678) {
+		t.Fatalf("MakePid = %#x", uint32(p))
+	}
+	if p.Host() != 0x1234 || p.Local() != 0x5678 {
+		t.Fatalf("fields = %#x %#x", p.Host(), p.Local())
+	}
+}
+
+func TestPidRoundTripProperty(t *testing.T) {
+	f := func(host uint16, local uint16) bool {
+		p := MakePid(LogicalHost(host), local)
+		return p.Host() == LogicalHost(host) && p.Local() == local
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageSegment(t *testing.T) {
+	var m Message
+	if _, _, _, ok := m.Segment(); ok {
+		t.Fatal("zero message claims a segment")
+	}
+	m.SetSegment(0x1000, 512, SegFlagRead)
+	start, size, access, ok := m.Segment()
+	if !ok || start != 0x1000 || size != 512 || access != SegFlagRead {
+		t.Fatalf("segment = %v %v %v %v", start, size, access, ok)
+	}
+	m.ClearSegment()
+	if _, _, _, ok := m.Segment(); ok {
+		t.Fatal("segment survived ClearSegment")
+	}
+}
+
+func TestMessageWords(t *testing.T) {
+	var m Message
+	for i := 0; i < 8; i++ {
+		m.SetWord(i, uint32(i*7+1))
+	}
+	for i := 0; i < 8; i++ {
+		if m.Word(i) != uint32(i*7+1) {
+			t.Fatalf("word %d = %d", i, m.Word(i))
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var msg Message
+	msg.SetWord(1, 42)
+	msg.SetSegment(4096, 512, SegFlagRead|SegFlagWrite)
+	in := &Packet{
+		Kind:   KindSend,
+		Flags:  FlagLast | FlagRetransmit,
+		Seq:    7,
+		Src:    MakePid(1, 2),
+		Dst:    MakePid(3, 4),
+		Offset: 100,
+		Count:  512,
+		Msg:    msg,
+		Data:   []byte("hello segment data"),
+	}
+	buf, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != in.WireSize() {
+		t.Fatalf("wire size %d != %d", len(buf), in.WireSize())
+	}
+	out, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Flags != in.Flags || out.Seq != in.Seq ||
+		out.Src != in.Src || out.Dst != in.Dst || out.Offset != in.Offset ||
+		out.Count != in.Count || out.Msg != in.Msg || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 10)); err != ErrShortPacket {
+		t.Fatalf("short: %v", err)
+	}
+	p := &Packet{Kind: KindReply}
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[1] = 99
+	if _, err := Decode(bad); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	bad = append([]byte(nil), buf...)
+	bad[40] ^= 0xFF // flip a message byte
+	if _, err := Decode(bad); err != ErrBadChecksum {
+		t.Fatalf("checksum: %v", err)
+	}
+	if _, err := (&Packet{Data: make([]byte, MaxData+1)}).Encode(); err != ErrDataTooBig {
+		t.Fatalf("too big: %v", err)
+	}
+	// Truncated data region.
+	p = &Packet{Kind: KindMoveToData, Data: make([]byte, 100)}
+	buf, err = p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checksum check fires first on truncation only if length bytes
+	// survive; force the declared length beyond the buffer.
+	if _, err := Decode(buf[:HeaderSize+MessageSize]); err == nil {
+		t.Fatal("truncated packet decoded")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary packets.
+func TestEncodeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(kind uint8, flags uint16, seq, src, dst, off, count uint32, msgSeed int64, dataLen uint16) bool {
+		var msg Message
+		r := rand.New(rand.NewSource(msgSeed))
+		r.Read(msg[:])
+		data := make([]byte, int(dataLen)%MaxData)
+		rng.Read(data)
+		in := &Packet{
+			Kind: Kind(kind % 11), Flags: flags, Seq: seq,
+			Src: Pid(src), Dst: Pid(dst), Offset: off, Count: count,
+			Msg: msg, Data: data,
+		}
+		buf, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return out.Kind == in.Kind && out.Flags == in.Flags && out.Seq == in.Seq &&
+			out.Src == in.Src && out.Dst == in.Dst && out.Offset == in.Offset &&
+			out.Count == in.Count && out.Msg == in.Msg && bytes.Equal(out.Data, in.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption outside the checksum field is
+// detected (the checksum is weak but must catch all 1-byte flips).
+func TestChecksumDetectsCorruptionProperty(t *testing.T) {
+	p := &Packet{Kind: KindSend, Seq: 9, Src: MakePid(1, 1), Dst: MakePid(2, 2), Data: []byte("payload bytes")}
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos uint16, flip uint8) bool {
+		i := int(pos) % len(buf)
+		if i >= 28 && i < 32 {
+			return true // corrupting the checksum itself: Decode may or may not fail; skip
+		}
+		if flip == 0 {
+			return true
+		}
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= flip
+		if i == 1 { // version byte: may decode as bad version instead
+			_, err := Decode(bad)
+			return err != nil
+		}
+		_, err := Decode(bad)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSend.String() != "send" || KindMoveToAck.String() != "moveto-ack" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind has empty name")
+	}
+}
