@@ -1,0 +1,31 @@
+# Tier-1 gate and developer shortcuts for the V kernel reproduction.
+#
+#   make        — build + test (the tier-1 verify)
+#   make race   — full suite under the race detector
+#   make bench  — paper-reproduction benchmarks (root) + parallel IPC benchmarks
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-ipc check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run 'TestNothing' -bench=. -benchmem .
+
+bench-ipc:
+	$(GO) test -run 'TestNothing' -bench=Parallel -benchmem ./internal/ipc/
+
+check: build vet test race

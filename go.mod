@@ -1,0 +1,3 @@
+module vkernel
+
+go 1.24

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestRegistrySmoke runs every registered experiment end-to-end and checks
+// that each reproduced table stays within the repo's tolerances — the same
+// bounds the root-level TestAllExperimentsWithinTolerance enforces: 35 %
+// for every published cell, tighter for the flagship tables.
+func TestRegistrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take ~2s total")
+	}
+	tight := map[string]float64{
+		"table41": 0.08,
+		"table51": 0.06,
+		"table61": 0.25,
+		"table62": 0.08,
+		"sec8":    0.15,
+	}
+	if len(Registry) == 0 {
+		t.Fatal("experiment registry is empty")
+	}
+	for _, exp := range Registry {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			if _, ok := Find(exp.ID); !ok {
+				t.Fatalf("Find(%q) cannot resolve a registered experiment", exp.ID)
+			}
+			res, err := exp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			limit := 0.35
+			if l, ok := tight[exp.ID]; ok {
+				limit = l
+			}
+			for _, tb := range res.Tables {
+				if d := tb.MaxDeviation(); d > limit {
+					t.Errorf("%s: max deviation %.1f%% exceeds %.0f%%\n%s",
+						tb.ID, d*100, limit*100, tb.Render())
+				}
+			}
+		})
+	}
+}
+
+// TestFindUnknown covers the registry's negative path.
+func TestFindUnknown(t *testing.T) {
+	if _, ok := Find("no-such-experiment"); ok {
+		t.Fatal("Find resolved an unknown id")
+	}
+}

@@ -365,6 +365,30 @@ func TestManyConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestReceiverDeathAfterReceiveNacks: a process that receives a remote
+// message and dies without replying must not hold the sender in
+// reply-pending forever — its alien descriptor is dropped, so the next
+// retransmission is Nacked and the Send fails with ErrNoProcess.
+func TestReceiverDeathAfterReceiveNacks(t *testing.T) {
+	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{
+		RetransmitTimeout: 5 * time.Millisecond,
+		Retries:           50,
+	})
+	started := make(chan Pid, 1)
+	nb.Spawn("doomed", func(p *Proc) {
+		started <- p.Pid()
+		_, _, _ = p.Receive()
+		// Exit without replying.
+	})
+	server := <-started
+	client := na.Attach("client")
+	defer na.Detach(client)
+	var m Message
+	if err := client.Send(&m, server, nil); err != ErrNoProcess {
+		t.Fatalf("err = %v, want ErrNoProcess", err)
+	}
+}
+
 func TestNodeCloseReleasesBlockedOps(t *testing.T) {
 	mesh := NewMemNetwork(1, FaultConfig{})
 	na := NewNode(1, mesh.Transport(1), NodeConfig{RetransmitTimeout: time.Hour})

@@ -18,13 +18,31 @@ type FaultConfig struct {
 // MemNetwork is an in-process datagram mesh connecting Nodes, with
 // deterministic-seeded fault injection. It is the test double for the UDP
 // transport.
+//
+// Deliveries run on a bounded pool of worker goroutines (instead of one
+// goroutine per packet), so handlers are invoked concurrently — as the UDP
+// transport's worker pool does — without unbounded goroutine growth under
+// load. The queue feeding the pool is unbounded because handlers send
+// packets themselves (replies, acks): a worker blocking on a full queue
+// while every other worker does the same would deadlock the mesh.
 type MemNetwork struct {
 	mu     sync.Mutex
 	cfg    FaultConfig
 	rng    *rand.Rand
 	ports  map[LogicalHost]*memPort
 	closed bool
-	wg     sync.WaitGroup
+	wg     sync.WaitGroup // in-flight deliveries, Done after the handler returns
+
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []memDelivery
+	stopped bool
+	workers sync.WaitGroup
+}
+
+type memDelivery struct {
+	port *memPort
+	buf  []byte
 }
 
 type memPort struct {
@@ -37,11 +55,18 @@ type memPort struct {
 
 // NewMemNetwork creates a mesh with the given fault configuration.
 func NewMemNetwork(seed int64, cfg FaultConfig) *MemNetwork {
-	return &MemNetwork{
+	m := &MemNetwork{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(seed)),
 		ports: make(map[LogicalHost]*memPort),
 	}
+	m.qcond = sync.NewCond(&m.qmu)
+	workers := dispatchWorkers(0) // uncapped: meshes are per-test
+	m.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
 }
 
 // Transport attaches a new port for the given host.
@@ -56,15 +81,53 @@ func (m *MemNetwork) Transport(host LogicalHost) Transport {
 // Wait blocks until all in-flight deliveries complete (test helper).
 func (m *MemNetwork) Wait() { m.wg.Wait() }
 
-// Close tears the mesh down.
+// Close tears the mesh down: it waits for in-flight deliveries, then
+// stops the worker pool.
 func (m *MemNetwork) Close() {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
 	m.closed = true
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.qmu.Lock()
+	m.stopped = true
+	m.qcond.Broadcast()
+	m.qmu.Unlock()
+	m.workers.Wait()
 }
 
-// deliver applies fault injection and hands the packet to the target.
+// worker drains the delivery queue, handing packets to their ports.
+func (m *MemNetwork) worker() {
+	defer m.workers.Done()
+	for {
+		m.qmu.Lock()
+		for len(m.queue) == 0 && !m.stopped {
+			m.qcond.Wait()
+		}
+		if len(m.queue) == 0 && m.stopped {
+			m.qmu.Unlock()
+			return
+		}
+		d := m.queue[0]
+		m.queue = m.queue[1:]
+		m.qmu.Unlock()
+		d.port.handle(d.buf)
+		m.wg.Done()
+	}
+}
+
+// enqueue appends one delivery for the worker pool.
+func (m *MemNetwork) enqueue(d memDelivery) {
+	m.qmu.Lock()
+	m.queue = append(m.queue, d)
+	m.qcond.Signal()
+	m.qmu.Unlock()
+}
+
+// deliver applies fault injection and schedules the packet for the target.
 func (m *MemNetwork) deliver(to LogicalHost, pkt []byte) {
 	m.mu.Lock()
 	if m.closed {
@@ -102,20 +165,25 @@ func (m *MemNetwork) deliver(to LogicalHost, pkt []byte) {
 	m.mu.Unlock()
 
 	for _, s := range ships {
-		s := s
-		go func() {
-			defer m.wg.Done()
-			if s.delay > 0 {
-				time.Sleep(s.delay)
-			}
-			port.mu.Lock()
-			h := port.handler
-			closed := port.closed
-			port.mu.Unlock()
-			if h != nil && !closed {
-				h(s.buf)
-			}
-		}()
+		d := memDelivery{port: port, buf: s.buf}
+		if s.delay > 0 {
+			// Delayed packets hold a timer, not a worker, so a small pool
+			// cannot be starved by sleeps.
+			time.AfterFunc(s.delay, func() { m.enqueue(d) })
+		} else {
+			m.enqueue(d)
+		}
+	}
+}
+
+// handle invokes the port's handler, if attached and open.
+func (p *memPort) handle(buf []byte) {
+	p.mu.Lock()
+	h := p.handler
+	closed := p.closed
+	p.mu.Unlock()
+	if h != nil && !closed {
+		h(buf)
 	}
 }
 

@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"sync"
 	"time"
 
 	"vkernel/internal/vproto"
@@ -9,6 +10,11 @@ import (
 // Bulk data transfer (§3.3): back-to-back maximally-sized data packets, a
 // single completion acknowledgement, and retransmission that resumes from
 // the last correctly received byte.
+//
+// Concurrency: outgoing operations live in the node's moveTable (lifecycle
+// under its lock, buffer writes under the per-op lock); inbound MoveTo
+// streams reassemble under a per-stream lock so transfers from different
+// peers land in their granted segments in parallel.
 
 type moveKind int
 
@@ -18,24 +24,46 @@ const (
 )
 
 type moveOp struct {
-	kind    moveKind
-	seq     uint32
-	proc    *Proc
-	peer    Pid
-	data    []byte // moveTo: source; moveFrom: destination buffer
-	base    uint32 // offset within the peer's granted segment
-	got     uint32 // moveFrom: contiguously received bytes
-	ackCh   chan moveResult
-	timer   *time.Timer
+	kind  moveKind
+	seq   uint32
+	proc  *Proc
+	peer  Pid
+	data  []byte // moveTo: source; moveFrom: destination buffer
+	base  uint32 // offset within the peer's granted segment
+	ackCh chan moveResult
+	timer *time.Timer
+
+	// Guarded by the moveTable lock.
 	retries int
 	done    bool
+
+	// io orders data-buffer access against result delivery, exactly as
+	// pendingSend.io does for Send exchanges: handlers pin the buffer
+	// with io.RLock while holding the table lock (after checking the op
+	// is live), and completers barrier() after removing the op, so no
+	// handler can touch data once the owner has resumed.
+	io sync.RWMutex
+
+	// mu guards got and, for moveFrom, writes into data.
+	mu  sync.Mutex
+	got uint32 // moveFrom: contiguously received bytes
+}
+
+// barrier orders in-flight buffer access before result delivery; see
+// pendingSend.barrier.
+func (op *moveOp) barrier() {
+	op.io.Lock()
+	op.io.Unlock()
 }
 
 type moveResult struct {
 	err error
 }
 
+// moveRxState reassembles one inbound MoveTo stream; mu serializes the
+// contiguity check and the copy into the granted segment per stream.
 type moveRxState struct {
+	mu       sync.Mutex
 	expected uint32
 }
 
@@ -107,30 +135,28 @@ func (n *Node) runMove(p *Proc, kind moveKind, peer Pid, base uint32, data []byt
 	if len(data) == 0 {
 		return nil
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return ErrClosed
-	}
-	n.stats.MoveOps++
-	n.stats.MoveBytes += int64(len(data))
 	op := &moveOp{
 		kind:  kind,
-		seq:   n.nextSeqLocked(),
+		seq:   n.nextSeq(),
 		proc:  p,
 		peer:  peer,
 		data:  data,
 		base:  base,
 		ackCh: make(chan moveResult, 1),
 	}
-	n.moves[op.seq] = op
-	op.timer = time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.moveTimeout(op) })
-	n.mu.Unlock()
+	err := n.moves.add(op, func() *time.Timer {
+		return time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.moveTimeout(op) })
+	})
+	if err != nil {
+		return err
+	}
+	n.stats.moveOps.Add(1)
+	n.stats.moveBytes.Add(int64(len(data)))
 
 	if kind == moveTo {
 		n.streamMoveTo(op, 0)
 	} else {
-		n.sendMoveFromReq(op)
+		n.sendMoveFromReq(op, 0)
 	}
 	res := <-op.ackCh
 	return res.err
@@ -162,13 +188,15 @@ func (n *Node) streamMoveTo(op *moveOp, from uint32) {
 	}
 }
 
-func (n *Node) sendMoveFromReq(op *moveOp) {
+// sendMoveFromReq requests the remainder of a pull transfer, starting at
+// the got bytes already received contiguously.
+func (n *Node) sendMoveFromReq(op *moveOp, got uint32) {
 	pkt := &vproto.Packet{
 		Kind:   vproto.KindMoveFromReq,
 		Seq:    op.seq,
 		Src:    op.proc.pid,
 		Dst:    op.peer,
-		Offset: op.got,
+		Offset: got,
 		Count:  uint32(len(op.data)),
 	}
 	pkt.Msg.SetWord(1, op.base)
@@ -176,38 +204,45 @@ func (n *Node) sendMoveFromReq(op *moveOp) {
 }
 
 func (n *Node) moveTimeout(op *moveOp) {
-	n.mu.Lock()
-	if n.closed || n.moves[op.seq] != op || op.done {
-		n.mu.Unlock()
+	t := &n.moves
+	t.mu.Lock()
+	if t.closed || t.m[op.seq] != op || op.done {
+		t.mu.Unlock()
 		return
 	}
 	op.retries++
 	if op.retries > n.cfg.Retries {
 		op.done = true
-		delete(n.moves, op.seq)
-		n.mu.Unlock()
+		delete(t.m, op.seq)
+		t.mu.Unlock()
+		op.barrier()
 		op.ackCh <- moveResult{err: ErrTimeout}
 		return
 	}
-	n.stats.Retransmits++
-	kind := op.kind
-	n.mu.Unlock()
-	if kind == moveTo {
+	op.io.RLock()
+	t.mu.Unlock()
+	n.stats.retransmits.Add(1)
+	if op.kind == moveTo {
 		// Resend only the final packet to re-elicit a progress ack.
 		chunk := uint32(n.cfg.ChunkSize)
 		count := uint32(len(op.data))
 		last := (count - 1) / chunk * chunk
 		n.streamMoveTo(op, last)
 	} else {
-		n.sendMoveFromReq(op)
+		op.mu.Lock()
+		got := op.got
+		op.mu.Unlock()
+		n.sendMoveFromReq(op, got)
 	}
+	op.io.RUnlock()
 	op.timer.Reset(n.cfg.RetransmitTimeout)
 }
 
-// moveToTarget locates the pending Send whose process granted the segment
-// an inbound transfer writes to (or reads from). Caller holds n.mu.
+// moveToTargetLocked locates the pending Send whose process granted the
+// segment an inbound transfer writes to (or reads from). Caller holds the
+// pendingTable lock.
 func (n *Node) moveToTargetLocked(dst, src Pid) *pendingSend {
-	for _, ps := range n.pending {
+	for _, ps := range n.pending.m {
 		if !ps.done && ps.proc.pid == dst && ps.dst == src {
 			return ps
 		}
@@ -218,32 +253,45 @@ func (n *Node) moveToTargetLocked(dst, src Pid) *pendingSend {
 // handleMoveToData runs on the node of the process receiving a MoveTo:
 // data lands directly in the granted segment.
 func (n *Node) handleMoveToData(pkt *vproto.Packet) {
-	n.mu.Lock()
+	pt := &n.pending
+	pt.mu.Lock()
 	ps := n.moveToTargetLocked(pkt.Dst, pkt.Src)
 	if ps == nil || ps.seg == nil || ps.seg.Access&SegWrite == 0 {
-		n.stats.BadPackets++
-		n.mu.Unlock()
+		pt.mu.Unlock()
+		n.stats.badPackets.Add(1)
 		return
 	}
 	base := pkt.Msg.Word(1)
-	if uint64(base)+uint64(pkt.Count) > uint64(len(ps.seg.Data)) {
-		n.stats.BadPackets++
-		n.mu.Unlock()
+	if uint64(base)+uint64(pkt.Count) > uint64(len(ps.seg.Data)) ||
+		uint64(pkt.Offset)+uint64(len(pkt.Data)) > uint64(pkt.Count) {
+		pt.mu.Unlock()
+		n.stats.badPackets.Add(1)
 		return
 	}
+	// Pin the segment for writing before the exchange can complete (see
+	// pendingSend.barrier).
+	ps.io.RLock()
+	pt.mu.Unlock()
+	defer ps.io.RUnlock()
+
+	mt := &n.moves
 	key := moveKey{src: pkt.Src, seq: pkt.Seq}
-	st := n.moveRx[key]
+	mt.rxMu.Lock()
+	st := mt.rx[key]
 	if st == nil {
-		if d, ok := n.moveDone[pkt.Src]; ok && d.seq == pkt.Seq {
-			n.mu.Unlock()
+		if d, ok := mt.done[pkt.Src]; ok && d.seq == pkt.Seq {
+			mt.rxMu.Unlock()
 			if pkt.Flags&vproto.FlagLast != 0 {
 				n.sendMoveAck(pkt, d.count, true)
 			}
 			return
 		}
 		st = &moveRxState{}
-		n.moveRx[key] = st
+		mt.rx[key] = st
 	}
+	mt.rxMu.Unlock()
+
+	st.mu.Lock()
 	if pkt.Offset == st.expected {
 		copy(ps.seg.Data[base+pkt.Offset:], pkt.Data)
 		st.expected += uint32(len(pkt.Data))
@@ -251,11 +299,14 @@ func (n *Node) handleMoveToData(pkt *vproto.Packet) {
 	last := pkt.Flags&vproto.FlagLast != 0
 	complete := st.expected >= pkt.Count
 	received := st.expected
+	st.mu.Unlock()
+
 	if last && complete {
-		n.moveDone[pkt.Src] = doneTransfer{seq: pkt.Seq, count: pkt.Count}
-		delete(n.moveRx, key)
+		mt.rxMu.Lock()
+		mt.done[pkt.Src] = doneTransfer{seq: pkt.Seq, count: pkt.Count}
+		delete(mt.rx, key)
+		mt.rxMu.Unlock()
 	}
-	n.mu.Unlock()
 	if last {
 		n.sendMoveAck(pkt, received, complete)
 	}
@@ -277,45 +328,54 @@ func (n *Node) sendMoveAck(pkt *vproto.Packet, received uint32, complete bool) {
 
 // handleMoveAck completes or resumes an outstanding MoveTo.
 func (n *Node) handleMoveAck(pkt *vproto.Packet) {
-	n.mu.Lock()
-	op, ok := n.moves[pkt.Seq]
+	t := &n.moves
+	t.mu.Lock()
+	op, ok := t.m[pkt.Seq]
 	if !ok || op.kind != moveTo || op.done {
-		n.mu.Unlock()
+		t.mu.Unlock()
 		return
 	}
 	if pkt.Flags&vproto.FlagLast != 0 && pkt.Offset >= uint32(len(op.data)) {
 		op.done = true
-		delete(n.moves, op.seq)
-		n.mu.Unlock()
+		delete(t.m, op.seq)
+		t.mu.Unlock()
 		op.timer.Stop()
+		op.barrier()
 		op.ackCh <- moveResult{}
 		return
 	}
 	op.retries = 0
 	resume := pkt.Offset
-	n.mu.Unlock()
+	op.io.RLock()
+	t.mu.Unlock()
 	n.streamMoveTo(op, resume)
+	op.io.RUnlock()
 	op.timer.Reset(n.cfg.RetransmitTimeout)
 }
 
 // handleMoveFromReq streams the requested range back; the data packets
 // acknowledge the request (§3.3).
 func (n *Node) handleMoveFromReq(pkt *vproto.Packet) {
-	n.mu.Lock()
+	pt := &n.pending
+	pt.mu.Lock()
 	ps := n.moveToTargetLocked(pkt.Dst, pkt.Src)
 	if ps == nil || ps.seg == nil || ps.seg.Access&SegRead == 0 {
-		n.stats.BadPackets++
-		n.mu.Unlock()
+		pt.mu.Unlock()
+		n.stats.badPackets.Add(1)
 		return
 	}
 	base := pkt.Msg.Word(1)
 	if uint64(base)+uint64(pkt.Count) > uint64(len(ps.seg.Data)) {
-		n.stats.BadPackets++
-		n.mu.Unlock()
+		pt.mu.Unlock()
+		n.stats.badPackets.Add(1)
 		return
 	}
+	// Pin the segment for reading until streaming completes (see
+	// pendingSend.barrier).
+	ps.io.RLock()
+	pt.mu.Unlock()
+	defer ps.io.RUnlock()
 	src := ps.seg.Data[base : base+pkt.Count]
-	n.mu.Unlock()
 
 	chunk := uint32(n.cfg.ChunkSize)
 	for off := pkt.Offset; off < pkt.Count; off += chunk {
@@ -339,34 +399,50 @@ func (n *Node) handleMoveFromReq(pkt *vproto.Packet) {
 	}
 }
 
-// handleMoveFromData accumulates streamed bytes into the requester's buffer.
+// handleMoveFromData accumulates streamed bytes into the requester's
+// buffer. The copy runs under the per-op lock, so chunks of different
+// transfers land concurrently; completion is single-shot under the table
+// lock.
 func (n *Node) handleMoveFromData(pkt *vproto.Packet) {
-	n.mu.Lock()
-	op, ok := n.moves[pkt.Seq]
+	t := &n.moves
+	t.mu.Lock()
+	op, ok := t.m[pkt.Seq]
 	if !ok || op.kind != moveFrom || op.done {
-		n.mu.Unlock()
+		t.mu.Unlock()
 		return
 	}
-	if pkt.Offset == op.got {
+	// Pin the destination buffer before the op can complete (see
+	// moveOp.barrier).
+	op.io.RLock()
+	t.mu.Unlock()
+
+	op.mu.Lock()
+	if pkt.Offset == op.got && int(pkt.Offset)+len(pkt.Data) <= len(op.data) {
 		copy(op.data[pkt.Offset:], pkt.Data)
 		op.got += uint32(len(pkt.Data))
 	}
-	if op.got >= uint32(len(op.data)) {
-		op.done = true
-		delete(n.moves, op.seq)
-		n.mu.Unlock()
-		op.timer.Stop()
-		op.ackCh <- moveResult{}
+	got := op.got
+	op.mu.Unlock()
+	op.io.RUnlock()
+
+	if got >= uint32(len(op.data)) {
+		if n.moves.complete(op) {
+			op.timer.Stop()
+			op.barrier()
+			op.ackCh <- moveResult{}
+		}
 		return
 	}
-	last := pkt.Flags&vproto.FlagLast != 0
-	if last {
+	if pkt.Flags&vproto.FlagLast != 0 {
+		t.mu.Lock()
+		if t.m[pkt.Seq] != op || op.done {
+			t.mu.Unlock()
+			return
+		}
 		op.retries = 0
-	}
-	n.mu.Unlock()
-	if last {
+		t.mu.Unlock()
 		// Gap at end of stream: re-request from the last received byte.
-		n.sendMoveFromReq(op)
+		n.sendMoveFromReq(op, got)
 		op.timer.Reset(n.cfg.RetransmitTimeout)
 	}
 }

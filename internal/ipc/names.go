@@ -9,10 +9,10 @@ import (
 // SetPid associates pid with a well-known logical id in the given scope
 // (§2.1). Any process on the node may register names.
 func (p *Proc) SetPid(logicalID uint32, pid Pid, scope Scope) {
-	n := p.node
-	n.mu.Lock()
-	n.names[logicalID] = nameEntry{pid: pid, scope: scope}
-	n.mu.Unlock()
+	t := &p.node.names
+	t.mu.Lock()
+	t.names[logicalID] = nameEntry{pid: pid, scope: scope}
+	t.mu.Unlock()
 }
 
 // GetPid resolves a logical id, broadcasting on the network when the
@@ -20,23 +20,23 @@ func (p *Proc) SetPid(logicalID uint32, pid Pid, scope Scope) {
 // lookup fails.
 func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
 	n := p.node
-	n.mu.Lock()
-	if e, ok := n.names[logicalID]; ok && e.scope&scope != 0 {
-		n.mu.Unlock()
+	t := &n.names
+	t.mu.Lock()
+	if e, ok := t.names[logicalID]; ok && e.scope&scope != 0 {
+		t.mu.Unlock()
 		return e.pid
 	}
-	if scope&ScopeRemote == 0 || n.closed {
-		n.mu.Unlock()
+	if scope&ScopeRemote == 0 || n.closed.Load() {
+		t.mu.Unlock()
 		return vproto.Nil
 	}
 	ch := make(chan Pid, 1)
-	n.lookups[logicalID] = append(n.lookups[logicalID], ch)
-	seq := n.nextSeqLocked()
-	n.mu.Unlock()
+	t.lookups[logicalID] = append(t.lookups[logicalID], ch)
+	t.mu.Unlock()
 
 	pkt := &vproto.Packet{
 		Kind:  vproto.KindGetPid,
-		Seq:   seq,
+		Seq:   n.nextSeq(),
 		Src:   p.pid,
 		Flags: vproto.FlagScopeRemote,
 	}
@@ -48,18 +48,18 @@ func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
 
 	defer func() {
 		// Remove the waiter (if it is still registered).
-		n.mu.Lock()
-		ws := n.lookups[logicalID]
+		t.mu.Lock()
+		ws := t.lookups[logicalID]
 		for i, w := range ws {
 			if w == ch {
-				n.lookups[logicalID] = append(ws[:i], ws[i+1:]...)
+				t.lookups[logicalID] = append(ws[:i], ws[i+1:]...)
 				break
 			}
 		}
-		if len(n.lookups[logicalID]) == 0 {
-			delete(n.lookups, logicalID)
+		if len(t.lookups[logicalID]) == 0 {
+			delete(t.lookups, logicalID)
 		}
-		n.mu.Unlock()
+		t.mu.Unlock()
 	}()
 
 	for attempt := 0; attempt <= n.cfg.GetPidRetries; attempt++ {
@@ -76,9 +76,10 @@ func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
 // handleGetPid answers broadcast lookups this node can resolve.
 func (n *Node) handleGetPid(pkt *vproto.Packet) {
 	id := pkt.Msg.Word(1)
-	n.mu.Lock()
-	e, ok := n.names[id]
-	n.mu.Unlock()
+	t := &n.names
+	t.mu.Lock()
+	e, ok := t.names[id]
+	t.mu.Unlock()
 	if !ok || e.scope&ScopeRemote == 0 {
 		return
 	}
@@ -96,10 +97,11 @@ func (n *Node) handleGetPid(pkt *vproto.Packet) {
 func (n *Node) handleGetPidReply(pkt *vproto.Packet) {
 	id := pkt.Msg.Word(1)
 	pid := Pid(pkt.Msg.Word(2))
-	n.mu.Lock()
-	ws := n.lookups[id]
-	delete(n.lookups, id)
-	n.mu.Unlock()
+	t := &n.names
+	t.mu.Lock()
+	ws := t.lookups[id]
+	delete(t.lookups, id)
+	t.mu.Unlock()
 	for _, ch := range ws {
 		select {
 		case ch <- pid:

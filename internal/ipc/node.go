@@ -3,6 +3,7 @@ package ipc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vkernel/internal/vproto"
@@ -11,26 +12,28 @@ import (
 // Node is one V "kernel" instance: it owns local processes, represents
 // remote senders with alien descriptors, and speaks the interkernel
 // protocol through a Transport.
+//
+// Node state is decomposed into independently locked subsystems (see
+// tables.go and proctable.go) so that concurrent transactions — Sends from
+// many client processes, inbound packets dispatched by a transport worker
+// pool, bulk transfers — proceed in parallel instead of funnelling through
+// one global mutex. Every packet handler is safe to invoke concurrently.
 type Node struct {
 	host      LogicalHost
 	cfg       NodeConfig
 	transport Transport
 
-	mu        sync.Mutex
-	closed    bool
-	nextLocal uint16
-	seq       uint32
-	procs     map[Pid]*Proc
-	aliens    map[Pid]*alien
-	alienLRU  int64
-	pending   map[uint32]*pendingSend
-	moves     map[uint32]*moveOp
-	moveRx    map[moveKey]*moveRxState
-	moveDone  map[Pid]doneTransfer
-	names     map[uint32]nameEntry
-	lookups   map[uint32][]chan Pid
+	closed    atomic.Bool
+	nextLocal atomic.Uint32
+	seq       atomic.Uint32
 
-	stats NodeStats
+	procs   procTable
+	aliens  alienTable
+	pending pendingTable
+	moves   moveTable
+	names   nameTable
+
+	stats nodeCounters
 }
 
 // NodeStats counts protocol activity (snapshot via Stats).
@@ -52,7 +55,8 @@ type nameEntry struct {
 	scope Scope
 }
 
-// alien is the descriptor for a remote sending process (§3.2).
+// alien is the descriptor for a remote sending process (§3.2). Its
+// mutable fields are guarded by the node's alienTable lock.
 type alien struct {
 	src      Pid
 	seq      uint32
@@ -65,17 +69,31 @@ type alien struct {
 	lru      int64
 }
 
-// pendingSend is an outstanding remote Send from this node.
+// pendingSend is an outstanding remote Send from this node. Lifecycle
+// fields (done, retries, map membership) are guarded by the pendingTable
+// lock; io orders segment-data copies against result delivery (see
+// barrier).
 type pendingSend struct {
 	seq     uint32
 	proc    *Proc
 	dst     Pid
 	pkt     []byte // encoded, for retransmission
 	seg     *Segment
+	io      sync.RWMutex
 	replyCh chan sendResult
 	retries int
 	timer   *time.Timer
 	done    bool
+}
+
+// barrier orders in-flight segment copies (inbound MoveTo data landing in
+// the granted segment, MoveFrom reads of it) before the exchange result
+// is delivered: writers hold io.RLock across the copy after validating
+// the entry under the table lock, so write-locking once after removing
+// the entry is a full fence.
+func (ps *pendingSend) barrier() {
+	ps.io.Lock()
+	ps.io.Unlock()
 }
 
 type sendResult struct {
@@ -101,15 +119,12 @@ func NewNode(host LogicalHost, tr Transport, cfg NodeConfig) *Node {
 		host:      host,
 		cfg:       cfg.withDefaults(),
 		transport: tr,
-		procs:     make(map[Pid]*Proc),
-		aliens:    make(map[Pid]*alien),
-		pending:   make(map[uint32]*pendingSend),
-		moves:     make(map[uint32]*moveOp),
-		moveRx:    make(map[moveKey]*moveRxState),
-		moveDone:  make(map[Pid]doneTransfer),
-		names:     make(map[uint32]nameEntry),
-		lookups:   make(map[uint32][]chan Pid),
 	}
+	n.procs.init()
+	n.aliens.init()
+	n.pending.init()
+	n.moves.init()
+	n.names.init()
 	tr.SetHandler(n.handlePacket)
 	return n
 }
@@ -118,69 +133,45 @@ func NewNode(host LogicalHost, tr Transport, cfg NodeConfig) *Node {
 func (n *Node) Host() LogicalHost { return n.host }
 
 // Stats returns a snapshot of the node's counters.
-func (n *Node) Stats() NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
-}
+func (n *Node) Stats() NodeStats { return n.stats.snapshot() }
 
 // Close shuts the node down: outstanding operations fail with ErrClosed
 // and blocked receivers are released.
 func (n *Node) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Swap(true) {
 		return nil
 	}
-	n.closed = true
-	pend := make([]*pendingSend, 0, len(n.pending))
-	for _, ps := range n.pending {
-		pend = append(pend, ps)
-	}
-	n.pending = map[uint32]*pendingSend{}
-	mv := make([]*moveOp, 0, len(n.moves))
-	for _, op := range n.moves {
-		mv = append(mv, op)
-	}
-	n.moves = map[uint32]*moveOp{}
-	procs := make([]*Proc, 0, len(n.procs))
-	for _, p := range n.procs {
-		procs = append(procs, p)
-	}
-	n.mu.Unlock()
-
-	for _, ps := range pend {
+	for _, ps := range n.pending.drain() {
 		ps.timer.Stop()
+		ps.barrier()
 		ps.replyCh <- sendResult{err: ErrClosed}
 	}
-	for _, op := range mv {
+	for _, op := range n.moves.drain() {
 		op.timer.Stop()
+		op.barrier()
 		op.ackCh <- moveResult{err: ErrClosed}
 	}
-	for _, p := range procs {
+	for _, p := range n.procs.drain() {
 		p.close()
 	}
 	return n.transport.Close()
 }
 
-// nextSeq issues a fresh interkernel sequence number. Caller holds n.mu.
-func (n *Node) nextSeqLocked() uint32 {
-	n.seq++
-	if n.seq == 0 {
-		n.seq++
+// nextSeq issues a fresh nonzero interkernel sequence number.
+func (n *Node) nextSeq() uint32 {
+	for {
+		if s := n.seq.Add(1); s != 0 {
+			return s
+		}
 	}
-	return n.seq
 }
 
 // Spawn creates a process on this node and runs body on its own goroutine.
 // The body's return ends the process.
 func (n *Node) Spawn(name string, body func(p *Proc)) *Proc {
-	n.mu.Lock()
-	n.nextLocal++
-	pid := vproto.MakePid(n.host, n.nextLocal)
+	pid := vproto.MakePid(n.host, uint16(n.nextLocal.Add(1)))
 	p := newProc(n, pid, name)
-	n.procs[pid] = p
-	n.mu.Unlock()
+	n.procs.put(pid, p)
 	go func() {
 		defer n.removeProc(pid)
 		body(p)
@@ -192,12 +183,9 @@ func (n *Node) Spawn(name string, body func(p *Proc)) *Proc {
 // caller's goroutine is the process (useful in tests and servers embedded
 // in larger programs). Release it with Detach.
 func (n *Node) Attach(name string) *Proc {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.nextLocal++
-	pid := vproto.MakePid(n.host, n.nextLocal)
+	pid := vproto.MakePid(n.host, uint16(n.nextLocal.Add(1)))
 	p := newProc(n, pid, name)
-	n.procs[pid] = p
+	n.procs.put(pid, p)
 	return p
 }
 
@@ -205,24 +193,13 @@ func (n *Node) Attach(name string) *Proc {
 func (n *Node) Detach(p *Proc) { n.removeProc(p.pid) }
 
 func (n *Node) removeProc(pid Pid) {
-	n.mu.Lock()
-	p, ok := n.procs[pid]
-	if ok {
-		delete(n.procs, pid)
-	}
-	n.mu.Unlock()
-	if ok {
+	if p, ok := n.procs.remove(pid); ok {
 		p.close()
 	}
 }
 
 // lookupProc returns a local process.
-func (n *Node) lookupProc(pid Pid) (*Proc, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	p, ok := n.procs[pid]
-	return p, ok
-}
+func (n *Node) lookupProc(pid Pid) (*Proc, bool) { return n.procs.get(pid) }
 
 // send encodes and transmits a packet to the destination host.
 func (n *Node) send(pkt *vproto.Packet, to LogicalHost) {
@@ -233,13 +210,13 @@ func (n *Node) send(pkt *vproto.Packet, to LogicalHost) {
 	_ = n.transport.Send(to, buf)
 }
 
-// handlePacket is the transport upcall.
+// handlePacket is the transport upcall. Transports may invoke it from
+// many worker goroutines at once; every branch locks only the subsystem
+// it touches.
 func (n *Node) handlePacket(buf []byte) {
 	pkt, err := vproto.Decode(buf)
 	if err != nil {
-		n.mu.Lock()
-		n.stats.BadPackets++
-		n.mu.Unlock()
+		n.stats.badPackets.Add(1)
 		return
 	}
 	if pkt.Kind != vproto.KindGetPid && pkt.Dst.Host() != n.host {
@@ -267,93 +244,73 @@ func (n *Node) handlePacket(buf []byte) {
 	case vproto.KindGetPidReply:
 		n.handleGetPidReply(pkt)
 	default:
-		n.mu.Lock()
-		n.stats.BadPackets++
-		n.mu.Unlock()
+		n.stats.badPackets.Add(1)
 	}
 }
 
-// handleSend implements §3.2 delivery with duplicate filtering.
+// handleSend implements §3.2 delivery with duplicate filtering. The
+// check-and-insert against the alien table is atomic under its lock, so
+// concurrent workers processing a duplicated Send cannot both deliver it.
 func (n *Node) handleSend(pkt *vproto.Packet) {
-	n.mu.Lock()
-	if a, ok := n.aliens[pkt.Src]; ok {
+	t := &n.aliens
+	t.mu.Lock()
+	if a, ok := t.m[pkt.Src]; ok {
 		switch {
 		case pkt.Seq == a.seq:
-			n.stats.DupsFiltered++
+			n.stats.dupsFiltered.Add(1)
 			if a.replied {
-				n.stats.RemoteReplies++
 				reply := a.replyPkt
-				n.mu.Unlock()
+				t.mu.Unlock()
+				n.stats.remoteReplies.Add(1)
 				_ = n.transport.Send(pkt.Src.Host(), reply)
 				return
 			}
-			n.mu.Unlock()
+			t.mu.Unlock()
+			n.stats.replyPendingsSent.Add(1)
 			n.sendReplyPending(pkt)
 			return
 		case pkt.Seq-a.seq > 1<<31:
-			n.stats.DupsFiltered++
-			n.mu.Unlock()
+			n.stats.dupsFiltered.Add(1)
+			t.mu.Unlock()
 			return
 		default:
 			// Newer message: reuse the descriptor. An unconsumed or
 			// unreplied older message is orphaned — its sender has moved
 			// on (§3.2 timeout semantics).
-			delete(n.aliens, pkt.Src)
+			delete(t.m, pkt.Src)
 		}
 	}
-	if len(n.aliens) >= n.cfg.AlienDescriptors && !n.evictAlienLocked() {
-		n.stats.ReplyPendingsSent++
-		n.mu.Unlock()
-		n.sendReplyPendingRaw(pkt)
+	if len(t.m) >= n.cfg.AlienDescriptors && !t.evictLocked() {
+		t.mu.Unlock()
+		n.stats.replyPendingsSent.Add(1)
+		n.sendReplyPending(pkt)
 		return
 	}
-	n.alienLRU++
+	// Resolve the receiver before publishing the descriptor, so a
+	// concurrently processed duplicate of a Send to a nonexistent process
+	// cannot observe an unreplied alien and answer ReplyPending where a
+	// Nack is due. (Proc shards are leaf locks; this nesting is safe.)
+	rcv, ok := n.procs.get(pkt.Dst)
+	if !ok {
+		t.mu.Unlock()
+		n.stats.nacksSent.Add(1)
+		n.send(&vproto.Packet{Kind: vproto.KindNack, Seq: pkt.Seq, Dst: pkt.Src}, pkt.Src.Host())
+		return
+	}
+	t.lru++
 	a := &alien{
 		src:    pkt.Src,
 		seq:    pkt.Seq,
 		msg:    pkt.Msg,
 		inline: pkt.Data,
-		lru:    n.alienLRU,
+		lru:    t.lru,
 	}
-	n.aliens[pkt.Src] = a
-	rcv, ok := n.procs[pkt.Dst]
-	if !ok {
-		delete(n.aliens, pkt.Src)
-		n.stats.NacksSent++
-		n.mu.Unlock()
-		n.send(&vproto.Packet{Kind: vproto.KindNack, Seq: pkt.Seq, Dst: pkt.Src}, pkt.Src.Host())
-		return
-	}
-	n.mu.Unlock()
+	t.m[pkt.Src] = a
+	t.mu.Unlock()
 	rcv.enqueue(&envelope{from: pkt.Src, msg: pkt.Msg, inline: pkt.Data, alien: a})
 }
 
-// evictAlienLocked reclaims the LRU replied alien; caller holds n.mu.
-func (n *Node) evictAlienLocked() bool {
-	var victim *alien
-	for _, a := range n.aliens {
-		if !a.replied {
-			continue
-		}
-		if victim == nil || a.lru < victim.lru {
-			victim = a
-		}
-	}
-	if victim == nil {
-		return false
-	}
-	delete(n.aliens, victim.src)
-	return true
-}
-
 func (n *Node) sendReplyPending(pkt *vproto.Packet) {
-	n.mu.Lock()
-	n.stats.ReplyPendingsSent++
-	n.mu.Unlock()
-	n.sendReplyPendingRaw(pkt)
-}
-
-func (n *Node) sendReplyPendingRaw(pkt *vproto.Packet) {
 	n.send(&vproto.Packet{
 		Kind: vproto.KindReplyPending,
 		Seq:  pkt.Seq,
@@ -364,26 +321,23 @@ func (n *Node) sendReplyPendingRaw(pkt *vproto.Packet) {
 
 // handleReply completes an outstanding remote Send.
 func (n *Node) handleReply(pkt *vproto.Packet) {
-	n.mu.Lock()
-	ps, ok := n.pending[pkt.Seq]
-	if !ok || ps.proc.pid != pkt.Dst || ps.done {
-		n.stats.DupsFiltered++
-		n.mu.Unlock()
+	ps, ok := n.pending.take(pkt.Seq, pkt.Dst)
+	if !ok {
+		n.stats.dupsFiltered.Add(1)
 		return
 	}
-	ps.done = true
-	delete(n.pending, pkt.Seq)
-	n.mu.Unlock()
 	ps.timer.Stop()
+	ps.barrier()
 	ps.replyCh <- sendResult{msg: pkt.Msg, data: pkt.Data, off: pkt.Offset}
 }
 
 // handleReplyPending resets the retransmission budget (§3.2).
 func (n *Node) handleReplyPending(pkt *vproto.Packet) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats.ReplyPendingsSeen++
-	ps, ok := n.pending[pkt.Seq]
+	n.stats.replyPendingsSeen.Add(1)
+	t := &n.pending
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.m[pkt.Seq]
 	if !ok || ps.done {
 		return
 	}
@@ -392,39 +346,35 @@ func (n *Node) handleReplyPending(pkt *vproto.Packet) {
 
 // handleNack fails an outstanding Send.
 func (n *Node) handleNack(pkt *vproto.Packet) {
-	n.mu.Lock()
-	ps, ok := n.pending[pkt.Seq]
-	if !ok || ps.proc.pid != pkt.Dst || ps.done {
-		n.mu.Unlock()
+	ps, ok := n.pending.take(pkt.Seq, pkt.Dst)
+	if !ok {
 		return
 	}
-	ps.done = true
-	delete(n.pending, pkt.Seq)
-	n.mu.Unlock()
 	ps.timer.Stop()
+	ps.barrier()
 	ps.replyCh <- sendResult{err: ErrNoProcess}
 }
 
 // retransmit drives the §3.2 timeout machinery for one pending Send.
 func (n *Node) retransmit(ps *pendingSend) {
-	n.mu.Lock()
-	if n.closed || n.pending[ps.seq] != ps || ps.done {
-		n.mu.Unlock()
+	t := &n.pending
+	t.mu.Lock()
+	if t.closed || t.m[ps.seq] != ps || ps.done {
+		t.mu.Unlock()
 		return
 	}
 	ps.retries++
 	if ps.retries > n.cfg.Retries {
 		ps.done = true
-		delete(n.pending, ps.seq)
-		n.mu.Unlock()
+		delete(t.m, ps.seq)
+		t.mu.Unlock()
+		ps.barrier()
 		ps.replyCh <- sendResult{err: ErrTimeout}
 		return
 	}
-	n.stats.Retransmits++
-	buf := ps.pkt
-	dst := ps.dst
-	n.mu.Unlock()
-	_ = n.transport.Send(dst.Host(), buf)
+	t.mu.Unlock()
+	n.stats.retransmits.Add(1)
+	_ = n.transport.Send(ps.dst.Host(), ps.pkt)
 	ps.timer.Reset(n.cfg.RetransmitTimeout)
 }
 

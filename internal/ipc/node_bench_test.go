@@ -1,0 +1,145 @@
+package ipc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Parallel throughput benchmarks for the node's sharded-lock design:
+// Send/Receive/Reply transactions and MoveTo bulk transfers driven by 1,
+// 4 and 16 concurrent client processes against one server node. The
+// custom ops/s metric is the figure of merit — on a multi-core host it
+// must grow with client count, since the subsystems no longer serialize
+// on one global mutex.
+//
+// Run: go test -bench=Parallel -benchmem ./internal/ipc/
+
+// benchPair builds a fault-free client/server node pair on a mesh.
+func benchPair(b *testing.B) (client, server *Node) {
+	b.Helper()
+	mesh := NewMemNetwork(1, FaultConfig{})
+	server = NewNode(1, mesh.Transport(1), NodeConfig{})
+	client = NewNode(2, mesh.Transport(2), NodeConfig{})
+	b.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+		mesh.Close()
+	})
+	return client, server
+}
+
+func benchmarkParallelSendReply(b *testing.B, clients int) {
+	clientNode, serverNode := benchPair(b)
+	pids := make([]Pid, clients)
+	for i := range pids {
+		pids[i] = echoOn(serverNode, 0)
+	}
+	per := b.N/clients + 1
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := clientNode.Attach("bench-client")
+			defer clientNode.Detach(p)
+			for j := 0; j < per; j++ {
+				var m Message
+				m.SetWord(1, uint32(j))
+				if err := p.Send(&m, pids[c], nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(per*clients)/elapsed.Seconds(), "ops/s")
+}
+
+// BenchmarkParallelSendReply measures remote Send-Receive-Reply
+// transaction throughput versus client concurrency.
+func BenchmarkParallelSendReply(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			benchmarkParallelSendReply(b, clients)
+		})
+	}
+}
+
+// moverOn spawns a server process that answers each rendezvous by moving
+// size bytes into the client's granted segment and replying.
+func moverOn(n *Node, size int) Pid {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	ready := make(chan Pid, 1)
+	n.Spawn("mover", func(p *Proc) {
+		ready <- p.Pid()
+		for {
+			_, src, err := p.Receive()
+			if err != nil {
+				return
+			}
+			if err := p.MoveTo(src, 0, data); err != nil {
+				return
+			}
+			var reply Message
+			if err := p.Reply(&reply, src); err != nil {
+				return
+			}
+		}
+	})
+	return <-ready
+}
+
+func benchmarkParallelMoveTo(b *testing.B, clients, size int) {
+	clientNode, serverNode := benchPair(b)
+	pids := make([]Pid, clients)
+	for i := range pids {
+		pids[i] = moverOn(serverNode, size)
+	}
+	per := b.N/clients + 1
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := clientNode.Attach("bench-client")
+			defer clientNode.Detach(p)
+			buf := make([]byte, size)
+			for j := 0; j < per; j++ {
+				var m Message
+				if err := p.Send(&m, pids[c], &Segment{Data: buf, Access: SegWrite}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := float64(per * clients)
+	b.ReportMetric(ops/elapsed.Seconds(), "ops/s")
+	b.ReportMetric(ops*float64(size)/(1<<20)/elapsed.Seconds(), "MB/s")
+}
+
+// BenchmarkParallelMoveTo measures bulk-transfer throughput (32 KB MoveTo
+// per transaction) versus client concurrency.
+func BenchmarkParallelMoveTo(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			benchmarkParallelMoveTo(b, clients, 32*1024)
+		})
+	}
+}

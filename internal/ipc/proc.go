@@ -2,6 +2,7 @@ package ipc
 
 import (
 	"sync"
+	"time"
 
 	"vkernel/internal/vproto"
 )
@@ -53,7 +54,9 @@ func (p *Proc) Name() string { return p.name }
 // Node returns the owning node.
 func (p *Proc) Node() *Node { return p.node }
 
-// close releases a blocked receiver and fails queued local senders.
+// close releases a blocked receiver, fails queued local senders, and
+// orphans remote senders' descriptors so their retransmissions are
+// Nacked (§3.2 process-death semantics).
 func (p *Proc) close() {
 	p.mu.Lock()
 	p.closed = true
@@ -68,9 +71,14 @@ func (p *Proc) close() {
 	for _, env := range q {
 		if env.local != nil {
 			env.local.replyCh <- sendResult{err: ErrNoProcess}
+		} else if env.alien != nil {
+			p.node.aliens.drop(env.alien)
 		}
-		// Remote senders recover by retransmission → Nack.
 	}
+	// Received-but-unreplied exchanges can never complete now; without
+	// their descriptors the senders' retransmissions turn into Nacks
+	// instead of being held reply-pending forever.
+	p.node.aliens.dropAwaiting(p.pid)
 }
 
 // enqueue delivers an envelope, waking a blocked receiver if any.
@@ -80,6 +88,10 @@ func (p *Proc) enqueue(env *envelope) {
 		p.mu.Unlock()
 		if env.local != nil {
 			env.local.replyCh <- sendResult{err: ErrNoProcess}
+		} else if env.alien != nil {
+			// Drop the descriptor so the sender's retransmission is
+			// Nacked rather than answered reply-pending.
+			p.node.aliens.drop(env.alien)
 		}
 		return
 	}
@@ -122,15 +134,9 @@ func (p *Proc) Send(msg *Message, dst Pid, seg *Segment) error {
 // remoteSend implements the non-local Send path (§3.2).
 func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 	n := p.node
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return ErrClosed
-	}
-	n.stats.RemoteSends++
 	pkt := &vproto.Packet{
 		Kind: vproto.KindSend,
-		Seq:  n.nextSeqLocked(),
+		Seq:  n.nextSeq(),
 		Src:  p.pid,
 		Dst:  dst,
 		Msg:  *msg,
@@ -145,7 +151,6 @@ func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 	}
 	buf, err := pkt.Encode()
 	if err != nil {
-		n.mu.Unlock()
 		return err
 	}
 	ps := &pendingSend{
@@ -156,9 +161,10 @@ func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 		seg:     seg,
 		replyCh: make(chan sendResult, 1),
 	}
-	n.pending[pkt.Seq] = ps
-	ps.timer = newRetransmitTimer(n, ps)
-	n.mu.Unlock()
+	if err := n.pending.add(ps, func() *time.Timer { return newRetransmitTimer(n, ps) }); err != nil {
+		return err
+	}
+	n.stats.remoteSends.Add(1)
 
 	_ = n.transport.Send(dst.Host(), buf)
 	res := <-ps.replyCh
@@ -214,10 +220,7 @@ func (p *Proc) receive(buf []byte) (Message, Pid, int, error) {
 	p.received[env.from] = env
 	p.mu.Unlock()
 	if env.alien != nil {
-		p.node.mu.Lock()
-		env.alien.received = true
-		env.alien.awaiting = p.pid
-		p.node.mu.Unlock()
+		p.node.aliens.markReceived(env.alien, p.pid)
 	}
 	count := 0
 	if buf != nil {
@@ -312,11 +315,8 @@ func (n *Node) remoteReply(p *Proc, msg *Message, a *alien, destOff uint32, data
 	if err != nil {
 		return err
 	}
-	n.mu.Lock()
-	n.stats.RemoteReplies++
-	a.replied = true
-	a.replyPkt = buf
-	n.mu.Unlock()
+	n.aliens.cacheReply(a, buf)
+	n.stats.remoteReplies.Add(1)
 	_ = n.transport.Send(a.src.Host(), buf)
 	return nil
 }

@@ -1,0 +1,80 @@
+package ipc
+
+import "sync"
+
+// The process table is striped across independently locked shards so that
+// packet handlers running on different worker goroutines only contend when
+// two pids hash to the same stripe.
+const (
+	procTableBits   = 4
+	procTableShards = 1 << procTableBits
+)
+
+// procShard is one stripe of the process table. The pad brings the
+// stride to 64 bytes so adjacent shards' mutexes sit on separate cache
+// lines.
+type procShard struct {
+	mu sync.Mutex
+	m  map[Pid]*Proc
+	_  [48]byte
+}
+
+// procTable is a striped Pid -> *Proc map.
+type procTable struct {
+	shards [procTableShards]procShard
+}
+
+func (t *procTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[Pid]*Proc)
+	}
+}
+
+// shard spreads pids with a Fibonacci hash: local indexes are sequential
+// and host ids occupy the high half, so masking the raw pid would pile
+// every local process of one node onto a few stripes.
+func (t *procTable) shard(pid Pid) *procShard {
+	h := uint32(pid) * 2654435761
+	return &t.shards[h>>(32-procTableBits)]
+}
+
+func (t *procTable) get(pid Pid) (*Proc, bool) {
+	s := t.shard(pid)
+	s.mu.Lock()
+	p, ok := s.m[pid]
+	s.mu.Unlock()
+	return p, ok
+}
+
+func (t *procTable) put(pid Pid, p *Proc) {
+	s := t.shard(pid)
+	s.mu.Lock()
+	s.m[pid] = p
+	s.mu.Unlock()
+}
+
+func (t *procTable) remove(pid Pid) (*Proc, bool) {
+	s := t.shard(pid)
+	s.mu.Lock()
+	p, ok := s.m[pid]
+	if ok {
+		delete(s.m, pid)
+	}
+	s.mu.Unlock()
+	return p, ok
+}
+
+// drain empties every shard and returns the removed processes.
+func (t *procTable) drain() []*Proc {
+	var all []*Proc
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, p := range s.m {
+			all = append(all, p)
+		}
+		s.m = make(map[Pid]*Proc)
+		s.mu.Unlock()
+	}
+	return all
+}

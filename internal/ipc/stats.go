@@ -1,0 +1,35 @@
+package ipc
+
+import "sync/atomic"
+
+// nodeCounters holds the node's protocol statistics as independent atomic
+// counters, so hot paths on different subsystems never contend on a stats
+// lock.
+type nodeCounters struct {
+	remoteSends       atomic.Int64
+	remoteReplies     atomic.Int64
+	retransmits       atomic.Int64
+	dupsFiltered      atomic.Int64
+	replyPendingsSent atomic.Int64
+	replyPendingsSeen atomic.Int64
+	nacksSent         atomic.Int64
+	badPackets        atomic.Int64
+	moveOps           atomic.Int64
+	moveBytes         atomic.Int64
+}
+
+// snapshot materializes the exported NodeStats view.
+func (c *nodeCounters) snapshot() NodeStats {
+	return NodeStats{
+		RemoteSends:       int(c.remoteSends.Load()),
+		RemoteReplies:     int(c.remoteReplies.Load()),
+		Retransmits:       int(c.retransmits.Load()),
+		DupsFiltered:      int(c.dupsFiltered.Load()),
+		ReplyPendingsSent: int(c.replyPendingsSent.Load()),
+		ReplyPendingsSeen: int(c.replyPendingsSeen.Load()),
+		NacksSent:         int(c.nacksSent.Load()),
+		BadPackets:        int(c.badPackets.Load()),
+		MoveOps:           int(c.moveOps.Load()),
+		MoveBytes:         c.moveBytes.Load(),
+	}
+}

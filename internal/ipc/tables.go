@@ -1,0 +1,205 @@
+package ipc
+
+import (
+	"sync"
+	"time"
+)
+
+// The node's state is decomposed into independently locked subsystems so
+// that concurrent transactions only serialize where V semantics require
+// it: alien descriptors (duplicate filtering), outstanding Sends, bulk
+// transfers, and the name registry each have their own lock, and the
+// process table is striped (see proctable.go).
+
+// alienTable owns the remote-sender descriptors (§3.2) and their LRU
+// clock. Its mutex also guards every alien's mutable fields, so the
+// check-and-insert in handleSend — the duplicate filter — is atomic.
+type alienTable struct {
+	mu  sync.Mutex
+	m   map[Pid]*alien
+	lru int64
+}
+
+func (t *alienTable) init() { t.m = make(map[Pid]*alien) }
+
+// evictLocked reclaims the least-recently-used replied alien; caller
+// holds t.mu.
+func (t *alienTable) evictLocked() bool {
+	var victim *alien
+	for _, a := range t.m {
+		if !a.replied {
+			continue
+		}
+		if victim == nil || a.lru < victim.lru {
+			victim = a
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(t.m, victim.src)
+	return true
+}
+
+// markReceived records delivery of the alien's message to a local process.
+func (t *alienTable) markReceived(a *alien, by Pid) {
+	t.mu.Lock()
+	a.received = true
+	a.awaiting = by
+	t.mu.Unlock()
+}
+
+// cacheReply stores the encoded reply packet so duplicate retransmissions
+// are answered without re-executing the request.
+func (t *alienTable) cacheReply(a *alien, pkt []byte) {
+	t.mu.Lock()
+	a.replied = true
+	a.replyPkt = pkt
+	t.mu.Unlock()
+}
+
+// drop removes the descriptor if it is still the current one for its
+// source (a newer message may have replaced it meanwhile).
+func (t *alienTable) drop(a *alien) {
+	t.mu.Lock()
+	if t.m[a.src] == a {
+		delete(t.m, a.src)
+	}
+	t.mu.Unlock()
+}
+
+// dropAwaiting removes every unreplied descriptor whose message was
+// received by pid. When that process dies without replying, the sender's
+// retransmissions must find no descriptor — and so be Nacked — rather
+// than be answered reply-pending forever.
+func (t *alienTable) dropAwaiting(pid Pid) {
+	t.mu.Lock()
+	for src, a := range t.m {
+		if a.received && !a.replied && a.awaiting == pid {
+			delete(t.m, src)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// pendingTable owns the outstanding remote Sends, keyed by interkernel
+// sequence number.
+type pendingTable struct {
+	mu     sync.Mutex
+	m      map[uint32]*pendingSend
+	closed bool
+}
+
+func (t *pendingTable) init() { t.m = make(map[uint32]*pendingSend) }
+
+// add registers ps and arms its retransmission timer atomically, so a
+// reply processed concurrently can never observe a nil timer.
+func (t *pendingTable) add(ps *pendingSend, arm func() *time.Timer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	t.m[ps.seq] = ps
+	ps.timer = arm()
+	return nil
+}
+
+// take removes and returns the live entry for seq addressed to dst,
+// marking it done; the caller then owns result delivery.
+func (t *pendingTable) take(seq uint32, dst Pid) (*pendingSend, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.m[seq]
+	if !ok || ps.proc.pid != dst || ps.done {
+		return nil, false
+	}
+	ps.done = true
+	delete(t.m, seq)
+	return ps, true
+}
+
+// drain closes the table and returns every live entry, marked done.
+func (t *pendingTable) drain() []*pendingSend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	out := make([]*pendingSend, 0, len(t.m))
+	for _, ps := range t.m {
+		ps.done = true
+		out = append(out, ps)
+	}
+	t.m = map[uint32]*pendingSend{}
+	return out
+}
+
+// moveTable owns the outgoing bulk-transfer operations and, under a
+// separate lock, the receive-side stream-reassembly state, so inbound
+// data packets never contend with outbound transfers.
+type moveTable struct {
+	mu     sync.Mutex
+	m      map[uint32]*moveOp
+	closed bool
+
+	rxMu sync.Mutex
+	rx   map[moveKey]*moveRxState
+	done map[Pid]doneTransfer
+}
+
+func (t *moveTable) init() {
+	t.m = make(map[uint32]*moveOp)
+	t.rx = make(map[moveKey]*moveRxState)
+	t.done = make(map[Pid]doneTransfer)
+}
+
+// add registers op and arms its timeout atomically (see pendingTable.add).
+func (t *moveTable) add(op *moveOp, arm func() *time.Timer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	t.m[op.seq] = op
+	op.timer = arm()
+	return nil
+}
+
+// complete removes op if it is still current and not done; the caller
+// then owns delivery on ackCh.
+func (t *moveTable) complete(op *moveOp) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m[op.seq] != op || op.done {
+		return false
+	}
+	op.done = true
+	delete(t.m, op.seq)
+	return true
+}
+
+// drain closes the table and returns every live entry, marked done.
+func (t *moveTable) drain() []*moveOp {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	out := make([]*moveOp, 0, len(t.m))
+	for _, op := range t.m {
+		op.done = true
+		out = append(out, op)
+	}
+	t.m = map[uint32]*moveOp{}
+	return out
+}
+
+// nameTable owns the logical-name registry and the outstanding broadcast
+// lookups (§3.1).
+type nameTable struct {
+	mu      sync.Mutex
+	names   map[uint32]nameEntry
+	lookups map[uint32][]chan Pid
+}
+
+func (t *nameTable) init() {
+	t.names = make(map[uint32]nameEntry)
+	t.lookups = make(map[uint32][]chan Pid)
+}

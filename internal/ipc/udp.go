@@ -4,28 +4,59 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vkernel/internal/vproto"
 )
+
+// udpQueueDepth bounds datagrams buffered between the socket read loop
+// and the handler workers; when full, the read loop blocks and further
+// arrivals spill into the kernel socket buffer (and are eventually
+// dropped — the protocol recovers by retransmission, as it does for any
+// datagram loss).
+const udpQueueDepth = 512
+
+// dispatchWorkers sizes a packet-dispatch pool: one worker per available
+// CPU, at least 2, and at most limit when limit > 0 (so a large host does
+// not hold dozens of idle goroutines per transport).
+func dispatchWorkers(limit int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	if limit > 0 && w > limit {
+		w = limit
+	}
+	return w
+}
 
 // UDPTransport carries interkernel packets in UDP datagrams — the modern
 // stand-in for the paper's "raw Ethernet data link level": an unreliable,
 // unordered datagram service with no transport layer on top. Peers are
 // registered explicitly (the analogue of the §3.1 logical-host-to-network
 // address table); Broadcast sends to every registered peer.
+//
+// Received datagrams are dispatched to a bounded worker pool rather than
+// handled inline in the single socket read loop, so one host's packet
+// processing scales across cores; the handler must therefore be safe for
+// concurrent invocation (Node is).
 type UDPTransport struct {
-	conn *net.UDPConn
+	conn    *net.UDPConn
+	handler atomic.Pointer[func([]byte)]
 
 	mu      sync.Mutex
 	peers   map[LogicalHost]*net.UDPAddr
-	handler func([]byte)
 	closed  bool
-	done    chan struct{}
+	started bool
+	queue   chan []byte
+	wg      sync.WaitGroup
 }
 
 // NewUDPTransport opens a UDP socket on the given address (use
-// "127.0.0.1:0" for tests).
+// "127.0.0.1:0" for tests). The read loop starts when SetHandler installs
+// the upcall, so no packet can arrive before there is a handler for it.
 func NewUDPTransport(listen string) (*UDPTransport, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
@@ -35,13 +66,11 @@ func NewUDPTransport(listen string) (*UDPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipc: listen %q: %w", listen, err)
 	}
-	t := &UDPTransport{
+	return &UDPTransport{
 		conn:  conn,
 		peers: make(map[LogicalHost]*net.UDPAddr),
-		done:  make(chan struct{}),
-	}
-	go t.readLoop()
-	return t, nil
+		queue: make(chan []byte, udpQueueDepth),
+	}, nil
 }
 
 // Addr returns the transport's bound UDP address.
@@ -54,8 +83,11 @@ func (t *UDPTransport) AddPeer(host LogicalHost, addr *net.UDPAddr) {
 	t.mu.Unlock()
 }
 
+// readLoop pulls datagrams off the socket and feeds the worker pool. It
+// owns the queue and closes it on socket shutdown.
 func (t *UDPTransport) readLoop() {
-	defer close(t.done)
+	defer t.wg.Done()
+	defer close(t.queue)
 	buf := make([]byte, 64*1024)
 	for {
 		n, from, err := t.conn.ReadFromUDP(buf)
@@ -63,13 +95,21 @@ func (t *UDPTransport) readLoop() {
 			return // closed
 		}
 		t.learn(buf[:n], from)
-		t.mu.Lock()
-		h := t.handler
-		t.mu.Unlock()
-		if h != nil {
-			pkt := make([]byte, n)
-			copy(pkt, buf[:n])
-			h(pkt)
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		t.queue <- pkt
+	}
+}
+
+// worker drains the queue, invoking the handler on each packet. The
+// handler is an atomic pointer rather than a field under t.mu, so
+// dispatch never contends on the transport mutex and later SetHandler
+// calls still take effect.
+func (t *UDPTransport) worker() {
+	defer t.wg.Done()
+	for pkt := range t.queue {
+		if h := t.handler.Load(); h != nil {
+			(*h)(pkt)
 		}
 	}
 }
@@ -128,11 +168,29 @@ func (t *UDPTransport) Broadcast(pkt []byte) error {
 	return nil
 }
 
-// SetHandler implements Transport.
+// SetHandler implements Transport. The first call starts the read loop
+// and worker pool; installing the handler before any packet can be read
+// closes the seed's startup race where early datagrams were dropped.
 func (t *UDPTransport) SetHandler(h func([]byte)) {
+	if h == nil {
+		t.handler.Store(nil)
+	} else {
+		t.handler.Store(&h)
+	}
+	workers := dispatchWorkers(16)
 	t.mu.Lock()
-	t.handler = h
+	start := !t.started && !t.closed
+	if start {
+		t.started = true
+		t.wg.Add(1 + workers)
+	}
 	t.mu.Unlock()
+	if start {
+		go t.readLoop()
+		for i := 0; i < workers; i++ {
+			go t.worker()
+		}
+	}
 }
 
 // Close implements Transport.
@@ -145,6 +203,6 @@ func (t *UDPTransport) Close() error {
 	t.closed = true
 	t.mu.Unlock()
 	err := t.conn.Close()
-	<-t.done
+	t.wg.Wait() // read loop exits on the closed socket; workers drain
 	return err
 }
