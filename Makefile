@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-ipc check
+.PHONY: all build test race vet bench bench-ipc bench-rfs check
 
 all: build test
 
@@ -27,5 +27,8 @@ bench:
 
 bench-ipc:
 	$(GO) test -run 'TestNothing' -bench=Parallel -benchmem ./internal/ipc/
+
+bench-rfs:
+	$(GO) test -run 'TestNothing' -bench=. -benchmem ./internal/rfs/
 
 check: build vet test race

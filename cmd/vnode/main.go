@@ -1,9 +1,19 @@
-// Command vnode runs a real V IPC node over UDP: either a page server
-// (registering the well-known fileserver logical id) or a client that
-// locates the server and exercises page reads and writes.
+// Command vnode runs a real V IPC node over UDP: either the V file
+// server (internal/rfs, registered under the well-known fileserver
+// logical id) or a diskless client that locates the server and exercises
+// page reads, page writes and streamed large reads against it.
 //
-// Server:  vnode -host 2 -listen 127.0.0.1:4040 -serve
-// Client:  vnode -host 1 -listen 127.0.0.1:0 -peer 2=127.0.0.1:4040 -reads 1000
+// Server, in-memory store:
+//
+//	vnode -host 2 -listen 127.0.0.1:4040 -serve
+//
+// Server, file-backed store with read-ahead:
+//
+//	vnode -host 2 -listen 127.0.0.1:4040 -serve -store /var/lib/vnode -readahead
+//
+// Client:
+//
+//	vnode -host 1 -listen 127.0.0.1:0 -peer 2=127.0.0.1:4040 -reads 1000 -large 65536
 package main
 
 import (
@@ -11,22 +21,27 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
 	"vkernel/internal/ipc"
+	"vkernel/internal/rfs"
 )
-
-const pageSize = 512
 
 func main() {
 	var (
-		host   = flag.Int("host", 1, "logical host id of this node")
-		listen = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		peers  = flag.String("peer", "", "comma-separated host=addr peer list")
-		serve  = flag.Bool("serve", false, "run the page server")
-		reads  = flag.Int("reads", 100, "client: number of page reads")
+		host      = flag.Int("host", 1, "logical host id of this node")
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers     = flag.String("peer", "", "comma-separated host=addr peer list")
+		serve     = flag.Bool("serve", false, "run the file server")
+		storeDir  = flag.String("store", "", "server: directory for the file-backed store (empty = in-memory)")
+		cacheBlks = flag.Int("cache", 1024, "server: block-cache capacity in blocks")
+		readahead = flag.Bool("readahead", false, "server: prefetch the next block after each page read")
+		fileID    = flag.Uint("file", 1, "client: file id to exercise")
+		reads     = flag.Int("reads", 100, "client: number of page reads")
+		large     = flag.Int("large", 0, "client: also stream a large read of this many bytes")
 	)
 	flag.Parse()
 
@@ -51,73 +66,80 @@ func main() {
 	fmt.Printf("vnode: host %d listening on %v\n", *host, tr.Addr())
 
 	if *serve {
-		runServer(node)
+		runServer(node, *storeDir, *cacheBlks, *readahead)
 		return
 	}
-	runClient(node, *reads)
+	runClient(node, uint32(*fileID), *reads, *large)
 }
 
-func runServer(node *ipc.Node) {
-	done := make(chan struct{})
-	node.Spawn("pageserver", func(p *ipc.Proc) {
-		defer close(done)
-		store := make([]byte, 128*pageSize)
-		p.SetPid(1, p.Pid(), ipc.ScopeBoth)
-		fmt.Printf("vnode: page server %v registered as logical id 1\n", p.Pid())
-		buf := make([]byte, pageSize)
-		for {
-			msg, src, n, err := p.ReceiveWithSegment(buf)
-			if err != nil {
-				return
-			}
-			page := int(msg.Word(2)) % 128
-			var reply ipc.Message
-			switch msg.Word(1) {
-			case 1:
-				err = p.ReplyWithSegment(&reply, src, 0, store[page*pageSize:(page+1)*pageSize])
-			case 2:
-				copy(store[page*pageSize:], buf[:n])
-				err = p.Reply(&reply, src)
-			default:
-				reply.SetWord(1, 1)
-				err = p.Reply(&reply, src)
-			}
-			if err != nil {
-				return
-			}
-		}
-	})
-	<-done
-}
-
-func runClient(node *ipc.Node, reads int) {
-	client := node.Attach("client")
-	defer node.Detach(client)
-	server := client.GetPid(1, ipc.ScopeBoth)
-	if server == 0 {
-		fatalIf(fmt.Errorf("page server not resolved; is -serve running and -peer set?"))
+func runServer(node *ipc.Node, storeDir string, cacheBlocks int, readAhead bool) {
+	var store rfs.Store
+	if storeDir == "" {
+		store = rfs.NewMemStore()
+		fmt.Println("vnode: serving from an in-memory store")
+	} else {
+		fs, err := rfs.NewFileStore(storeDir)
+		fatalIf(err)
+		store = fs
+		fmt.Printf("vnode: serving from file-backed store %s\n", storeDir)
 	}
-	fmt.Printf("vnode: resolved page server -> %v\n", server)
+	defer store.Close()
 
-	out := make([]byte, pageSize)
+	srv, err := rfs.Start(node, store, rfs.Config{
+		CacheBlocks: cacheBlocks,
+		ReadAhead:   readAhead,
+	})
+	fatalIf(err)
+	defer srv.Close()
+	fmt.Printf("vnode: file server %v registered as logical id %d\n", srv.Pid(), rfs.LogicalFileServer)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Printf("vnode: shutting down; stats: %+v\n", srv.Stats())
+}
+
+func runClient(node *ipc.Node, file uint32, reads, large int) {
+	proc, err := node.Attach("client")
+	fatalIf(err)
+	defer node.Detach(proc)
+	client, err := rfs.Discover(proc)
+	fatalIf(err)
+	fmt.Printf("vnode: resolved file server -> %v\n", client.Server())
+
+	// Seed one page so reads have something to hit, then time the page
+	// fast path: one Send/Reply exchange per read, page in the reply.
+	out := make([]byte, 512)
 	for i := range out {
 		out[i] = byte(i)
 	}
-	var w ipc.Message
-	w.SetWord(1, 2)
-	w.SetWord(2, 3)
-	fatalIf(client.Send(&w, server, &ipc.Segment{Data: out, Access: ipc.SegRead}))
+	fatalIf(client.WriteBlock(file, 0, out))
 
-	in := make([]byte, pageSize)
+	in := make([]byte, 512)
 	start := time.Now()
 	for i := 0; i < reads; i++ {
-		var m ipc.Message
-		m.SetWord(1, 1)
-		m.SetWord(2, uint32(i))
-		fatalIf(client.Send(&m, server, &ipc.Segment{Data: in, Access: ipc.SegWrite}))
+		if _, err := client.ReadBlock(file, 0, in); err != nil {
+			fatalIf(err)
+		}
 	}
-	per := time.Since(start) / time.Duration(reads)
+	per := time.Since(start) / time.Duration(max(reads, 1))
 	fmt.Printf("vnode: %d page reads, %v/page\n", reads, per)
+
+	if large > 0 {
+		image := make([]byte, large)
+		for i := range image {
+			image[i] = byte(i * 13)
+		}
+		fatalIf(client.WriteLarge(file, 0, image))
+		buf := make([]byte, large)
+		start = time.Now()
+		n, err := client.ReadLarge(file, 0, buf)
+		fatalIf(err)
+		elapsed := time.Since(start)
+		fmt.Printf("vnode: streamed %d-byte read in %v (%.1f MB/s)\n",
+			n, elapsed, float64(n)/(1<<20)/elapsed.Seconds())
+	}
+	fmt.Printf("vnode: node stats: %+v\n", node.Stats())
 }
 
 func fatalIf(err error) {

@@ -32,7 +32,7 @@ func main() {
 
 	// The server: a 64-page in-memory "disk" serving the Verex-style I/O
 	// protocol. Word 1: 1 = read page, 2 = write page; word 2: page number.
-	nodeB.Spawn("pageserver", func(p *ipc.Proc) {
+	_, err = nodeB.Spawn("pageserver", func(p *ipc.Proc) {
 		store := make([]byte, 64*pageSize)
 		p.SetPid(1, p.Pid(), ipc.ScopeBoth) // logical id 1 = "fileserver"
 		buf := make([]byte, pageSize)
@@ -60,10 +60,12 @@ func main() {
 			}
 		}
 	})
+	must(err)
 
 	// The client: resolve the server by logical id, write a page, read it
 	// back, and time a burst of page reads over real sockets.
-	client := nodeA.Attach("client")
+	client, err := nodeA.Attach("client")
+	must(err)
 	defer nodeA.Detach(client)
 
 	server := client.GetPid(1, ipc.ScopeBoth)

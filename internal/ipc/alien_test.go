@@ -1,0 +1,95 @@
+package ipc
+
+import "testing"
+
+// TestAlienLRUEvictionOrder drives the alien table directly: eviction must
+// reclaim the least-recently-touched replied descriptor in order, never an
+// unreplied one, and answering a duplicate from the reply cache counts as
+// a touch.
+func TestAlienLRUEvictionOrder(t *testing.T) {
+	var tab alienTable
+	tab.init()
+
+	mk := func(src Pid) *alien {
+		a := &alien{src: src, seq: 1}
+		tab.mu.Lock()
+		tab.m[src] = a
+		tab.mu.Unlock()
+		return a
+	}
+	a1, a2, a3 := mk(1), mk(2), mk(3)
+
+	tab.mu.Lock()
+	if tab.evictLocked() {
+		t.Fatal("evicted with no replied descriptors")
+	}
+	tab.mu.Unlock()
+
+	tab.cacheReply(a1, []byte("r1"))
+	tab.cacheReply(a2, []byte("r2"))
+	tab.cacheReply(a3, []byte("r3"))
+
+	// Touch a1 (as answering a duplicate from the cache does): eviction
+	// order becomes a2, a3, a1.
+	tab.mu.Lock()
+	tab.lruTouchLocked(a1)
+	tab.mu.Unlock()
+
+	for _, want := range []Pid{2, 3, 1} {
+		tab.mu.Lock()
+		before := len(tab.m)
+		if !tab.evictLocked() {
+			tab.mu.Unlock()
+			t.Fatalf("eviction of %v failed", want)
+		}
+		if len(tab.m) != before-1 {
+			tab.mu.Unlock()
+			t.Fatal("eviction did not shrink the table")
+		}
+		_, still := tab.m[want]
+		tab.mu.Unlock()
+		if still {
+			t.Fatalf("expected %v to be the eviction victim", want)
+		}
+	}
+}
+
+// TestAlienLRUDropUnlinks: a dropped descriptor must leave the eviction
+// list; a descriptor orphaned by a newer message must not be pushed onto
+// it by a late cacheReply (evicting a stale entry would delete the new
+// descriptor under the same source key).
+func TestAlienLRUDropUnlinks(t *testing.T) {
+	var tab alienTable
+	tab.init()
+
+	old := &alien{src: 7, seq: 1}
+	tab.mu.Lock()
+	tab.m[7] = old
+	tab.mu.Unlock()
+	tab.cacheReply(old, []byte("r"))
+	tab.drop(old)
+	tab.mu.Lock()
+	if tab.lruHead != nil || tab.lruTail != nil {
+		tab.mu.Unlock()
+		t.Fatal("dropped descriptor left on the eviction list")
+	}
+	tab.mu.Unlock()
+
+	// Orphaned descriptor: replaced in the map before its reply lands.
+	stale := &alien{src: 9, seq: 1}
+	tab.mu.Lock()
+	tab.m[9] = stale
+	tab.removeLocked(stale)
+	fresh := &alien{src: 9, seq: 2}
+	tab.m[9] = fresh
+	tab.mu.Unlock()
+	tab.cacheReply(stale, []byte("late"))
+	tab.mu.Lock()
+	defer tab.mu.Unlock()
+	if stale.onLRU {
+		t.Fatal("orphaned descriptor pushed onto the eviction list")
+	}
+	if tab.m[9] != fresh {
+		t.Fatal("fresh descriptor displaced")
+	}
+}

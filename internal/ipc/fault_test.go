@@ -39,7 +39,7 @@ func TestExactlyOnceUnderFaults(t *testing.T) {
 	const n = 60
 	var mu sync.Mutex
 	seen := make(map[uint32]int)
-	nb.Spawn("server", func(p *Proc) {
+	mustSpawn(nb, "server", func(p *Proc) {
 		for {
 			msg, src, err := p.Receive()
 			if err != nil {
@@ -55,7 +55,7 @@ func TestExactlyOnceUnderFaults(t *testing.T) {
 			}
 		}
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	for i := uint32(1); i <= n; i++ {
 		var m Message
@@ -88,7 +88,7 @@ func TestMoveToUnderFaults(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i % 233)
 	}
-	nb.Spawn("server", func(p *Proc) {
+	mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -99,7 +99,7 @@ func TestMoveToUnderFaults(t *testing.T) {
 		var reply Message
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	buf := make([]byte, size)
 	var m Message
@@ -120,7 +120,7 @@ func TestMoveFromUnderFaults(t *testing.T) {
 		data[i] = byte(i % 51)
 	}
 	got := make(chan []byte, 1)
-	nb.Spawn("server", func(p *Proc) {
+	mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -133,7 +133,7 @@ func TestMoveFromUnderFaults(t *testing.T) {
 		var reply Message
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: data, Access: SegRead}); err != nil {
@@ -155,7 +155,7 @@ func TestReplyCacheAnswersDuplicates(t *testing.T) {
 
 	execs := 0
 	var mu sync.Mutex
-	nb.Spawn("server", func(p *Proc) {
+	mustSpawn(nb, "server", func(p *Proc) {
 		for {
 			_, src, err := p.Receive()
 			if err != nil {
@@ -168,7 +168,7 @@ func TestReplyCacheAnswersDuplicates(t *testing.T) {
 			_ = p.Reply(&reply, src)
 		}
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), nil); err != nil {
@@ -207,7 +207,7 @@ func TestReplyPendingSuppressesFailure(t *testing.T) {
 	nb := NewNode(2, mesh.Transport(2), cfg)
 	defer func() { _ = na.Close(); _ = nb.Close(); mesh.Close() }()
 
-	nb.Spawn("slow", func(p *Proc) {
+	mustSpawn(nb, "slow", func(p *Proc) {
 		msg, src, err := p.Receive()
 		if err != nil {
 			return
@@ -218,7 +218,7 @@ func TestReplyPendingSuppressesFailure(t *testing.T) {
 		reply.SetWord(1, 1)
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), nil); err != nil {
@@ -249,7 +249,7 @@ func TestAlienExhaustionRecovery(t *testing.T) {
 		nodes[i] = NewNode(LogicalHost(10+i), mesh.Transport(LogicalHost(10+i)), cfg)
 		defer nodes[i].Close()
 		wg.Add(1)
-		nodes[i].Spawn("client", func(p *Proc) {
+		mustSpawn(nodes[i], "client", func(p *Proc) {
 			defer wg.Done()
 			var m Message
 			m.SetWord(1, 5)

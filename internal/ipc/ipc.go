@@ -57,6 +57,7 @@ var (
 	ErrSegTooBig        = errors.New("ipc: segment exceeds one packet")
 	ErrClosed           = errors.New("ipc: node closed")
 	ErrNameUnknown      = errors.New("ipc: logical name not resolved")
+	ErrPidsExhausted    = errors.New("ipc: all local process ids in use")
 )
 
 // Scope selects name-service visibility (§2.1).

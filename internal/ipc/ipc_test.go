@@ -9,6 +9,24 @@ import (
 	"vkernel/internal/vproto"
 )
 
+// mustSpawn / mustAttach panic on pid exhaustion, which test-sized
+// workloads never hit.
+func mustSpawn(n *Node, name string, body func(p *Proc)) *Proc {
+	p, err := n.Spawn(name, body)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustAttach(n *Node, name string) *Proc {
+	p, err := n.Attach(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // pairOnMesh builds two nodes connected by an in-memory mesh.
 func pairOnMesh(t *testing.T, faults FaultConfig, cfg NodeConfig) (*Node, *Node, *MemNetwork) {
 	t.Helper()
@@ -26,7 +44,7 @@ func pairOnMesh(t *testing.T, faults FaultConfig, cfg NodeConfig) (*Node, *Node,
 // echoOn spawns a Receive/Reply echo server that doubles word 1.
 func echoOn(n *Node, iterations int) Pid {
 	ready := make(chan Pid, 1)
-	n.Spawn("echo", func(p *Proc) {
+	mustSpawn(n, "echo", func(p *Proc) {
 		ready <- p.Pid()
 		for i := 0; iterations <= 0 || i < iterations; i++ {
 			msg, src, err := p.Receive()
@@ -46,7 +64,7 @@ func echoOn(n *Node, iterations int) Pid {
 func TestLocalExchange(t *testing.T) {
 	na, _, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
 	server := echoOn(na, 1)
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	m.SetWord(1, 21)
@@ -61,7 +79,7 @@ func TestLocalExchange(t *testing.T) {
 func TestRemoteExchange(t *testing.T) {
 	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
 	server := echoOn(nb, 1)
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	m.SetWord(1, 7)
@@ -78,7 +96,7 @@ func TestRemoteExchange(t *testing.T) {
 
 func TestSendToMissingProcessNacks(t *testing.T) {
 	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	err := client.Send(&m, vproto.MakePid(nb.Host(), 999), nil)
@@ -92,7 +110,7 @@ func TestSendToDeadHostTimesOut(t *testing.T) {
 		RetransmitTimeout: 5 * time.Millisecond,
 		Retries:           3,
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	start := time.Now()
@@ -110,7 +128,7 @@ func TestFCFSOrderLocal(t *testing.T) {
 	var order []uint32
 	var mu sync.Mutex
 	done := make(chan struct{})
-	srv := na.Attach("server")
+	srv := mustAttach(na, "server")
 	defer na.Detach(srv)
 
 	// Wall-clock staggering: gaps must be wide enough that OS scheduling
@@ -121,7 +139,7 @@ func TestFCFSOrderLocal(t *testing.T) {
 	for i := uint32(1); i <= n; i++ {
 		i := i
 		wg.Add(1)
-		na.Spawn("client", func(p *Proc) {
+		mustSpawn(na, "client", func(p *Proc) {
 			defer wg.Done()
 			time.Sleep(time.Duration(i) * 60 * time.Millisecond)
 			var m Message
@@ -158,7 +176,7 @@ func TestPageReadViaReplyWithSegment(t *testing.T) {
 	for i := range page {
 		page[i] = byte(i * 3)
 	}
-	nb.Spawn("fs", func(p *Proc) {
+	mustSpawn(nb, "fs", func(p *Proc) {
 		msg, src, err := p.Receive()
 		if err != nil {
 			return
@@ -171,7 +189,7 @@ func TestPageReadViaReplyWithSegment(t *testing.T) {
 			t.Error(err)
 		}
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	buf := make([]byte, 512)
 	var m Message
@@ -190,7 +208,7 @@ func TestPageWriteViaInlineSegment(t *testing.T) {
 		page[i] = byte(200 - i)
 	}
 	got := make(chan []byte, 1)
-	nb.Spawn("fs", func(p *Proc) {
+	mustSpawn(nb, "fs", func(p *Proc) {
 		buf := make([]byte, 1024)
 		_, src, n, err := p.ReceiveWithSegment(buf)
 		if err != nil {
@@ -200,7 +218,7 @@ func TestPageWriteViaInlineSegment(t *testing.T) {
 		var reply Message
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: page, Access: SegRead}); err != nil {
@@ -218,7 +236,7 @@ func TestMoveToRemote(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i % 119)
 	}
-	nb.Spawn("server", func(p *Proc) {
+	mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -229,7 +247,7 @@ func TestMoveToRemote(t *testing.T) {
 		var reply Message
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	buf := make([]byte, size)
 	var m Message
@@ -249,7 +267,7 @@ func TestMoveFromRemote(t *testing.T) {
 		data[i] = byte(i % 101)
 	}
 	got := make(chan []byte, 1)
-	nb.Spawn("server", func(p *Proc) {
+	mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -262,7 +280,7 @@ func TestMoveFromRemote(t *testing.T) {
 		var reply Message
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: data, Access: SegRead}); err != nil {
@@ -276,7 +294,7 @@ func TestMoveFromRemote(t *testing.T) {
 func TestMoveWithoutGrantFails(t *testing.T) {
 	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
 	errs := make(chan error, 2)
-	nb.Spawn("server", func(p *Proc) {
+	mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -286,7 +304,7 @@ func TestMoveWithoutGrantFails(t *testing.T) {
 		var reply Message
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), nil); err != nil {
@@ -302,7 +320,7 @@ func TestMoveWithoutGrantFails(t *testing.T) {
 
 func TestReplyWithoutReceiveFails(t *testing.T) {
 	na, _, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
-	p := na.Attach("p")
+	p := mustAttach(na, "p")
 	defer na.Detach(p)
 	var m Message
 	if err := p.Reply(&m, vproto.MakePid(1, 99)); err != ErrNotAwaitingReply {
@@ -313,11 +331,11 @@ func TestReplyWithoutReceiveFails(t *testing.T) {
 func TestNameService(t *testing.T) {
 	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{GetPidTimeout: 20 * time.Millisecond})
 	server := echoOn(nb, 1)
-	reg := nb.Attach("registrar")
+	reg := mustAttach(nb, "registrar")
 	reg.SetPid(7, server, ScopeBoth)
 	nb.Detach(reg)
 
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	got := client.GetPid(7, ScopeBoth)
 	if got != server {
@@ -341,7 +359,7 @@ func TestManyConcurrentClients(t *testing.T) {
 	for c := 0; c < clients; c++ {
 		c := c
 		wg.Add(1)
-		na.Spawn("client", func(p *Proc) {
+		mustSpawn(na, "client", func(p *Proc) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				var m Message
@@ -375,13 +393,13 @@ func TestReceiverDeathAfterReceiveNacks(t *testing.T) {
 		Retries:           50,
 	})
 	started := make(chan Pid, 1)
-	nb.Spawn("doomed", func(p *Proc) {
+	mustSpawn(nb, "doomed", func(p *Proc) {
 		started <- p.Pid()
 		_, _, _ = p.Receive()
 		// Exit without replying.
 	})
 	server := <-started
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	if err := client.Send(&m, server, nil); err != ErrNoProcess {
@@ -392,7 +410,7 @@ func TestReceiverDeathAfterReceiveNacks(t *testing.T) {
 func TestNodeCloseReleasesBlockedOps(t *testing.T) {
 	mesh := NewMemNetwork(1, FaultConfig{})
 	na := NewNode(1, mesh.Transport(1), NodeConfig{RetransmitTimeout: time.Hour})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	done := make(chan error, 1)
 	go func() {
 		var m Message
@@ -411,4 +429,64 @@ func TestNodeCloseReleasesBlockedOps(t *testing.T) {
 		t.Fatal("Send not released by Close")
 	}
 	mesh.Close()
+}
+
+// TestFailedReplyLeavesSenderAwaiting: a Reply whose segment data fails
+// validation (no grant, too big) must not consume the exchange — the
+// replier answers again and the sender completes, instead of being
+// stranded in reply-pending limbo with its alien descriptor pinned.
+func TestFailedReplyLeavesSenderAwaiting(t *testing.T) {
+	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
+	mustSpawn(nb, "server", func(p *Proc) {
+		_, src, err := p.Receive()
+		if err != nil {
+			return
+		}
+		var reply Message
+		// The client granted 64 bytes; 512 must fail without consuming.
+		if err := p.ReplyWithSegment(&reply, src, 0, make([]byte, 512)); err != ErrBadAddress {
+			t.Errorf("oversized ReplyWithSegment err = %v, want ErrBadAddress", err)
+		}
+		reply.SetWord(1, 9)
+		if err := p.Reply(&reply, src); err != nil {
+			t.Errorf("recovery Reply failed: %v", err)
+		}
+	})
+	client := mustAttach(na, "client")
+	defer na.Detach(client)
+	buf := make([]byte, 64)
+	var m Message
+	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+		t.Fatalf("sender stranded by failed reply: %v", err)
+	}
+	if m.Word(1) != 9 {
+		t.Fatalf("reply word = %d", m.Word(1))
+	}
+}
+
+// TestFailedLocalReplyLeavesSenderAwaiting is the same property on the
+// local (same-node) fast path.
+func TestFailedLocalReplyLeavesSenderAwaiting(t *testing.T) {
+	na, _, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
+	srv := mustAttach(na, "server")
+	defer na.Detach(srv)
+	done := make(chan error, 1)
+	mustSpawn(na, "client", func(p *Proc) {
+		var m Message
+		done <- p.Send(&m, srv.Pid(), nil) // no grant at all
+	})
+	_, src, err := srv.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply Message
+	if err := srv.ReplyWithSegment(&reply, src, 0, []byte("x")); err != ErrNoAccess {
+		t.Fatalf("ungranted ReplyWithSegment err = %v, want ErrNoAccess", err)
+	}
+	if err := srv.Reply(&reply, src); err != nil {
+		t.Fatalf("recovery Reply failed: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("sender stranded: %v", err)
+	}
 }

@@ -66,7 +66,12 @@ type alien struct {
 	received bool
 	replied  bool
 	replyPkt []byte
-	lru      int64
+
+	// Intrusive LRU links. Only replied descriptors — the evictable ones —
+	// are on the list, ordered least- to most-recently touched; guarded by
+	// the alienTable lock.
+	lruPrev, lruNext *alien
+	onLRU            bool
 }
 
 // pendingSend is an outstanding remote Send from this node. Lifecycle
@@ -166,27 +171,51 @@ func (n *Node) nextSeq() uint32 {
 	}
 }
 
+// allocProc mints a locally unique pid and registers a new process under
+// it. Local ids come from a wrapping 16-bit counter, so on a long-lived
+// node an id can come around again while its original holder is still
+// alive; ids still present in the process table are skipped (registration
+// is an atomic check-and-insert) rather than silently overwritten, which
+// would hijack the live process's messages. When every local id is in use
+// the node is out of pids and the caller gets ErrPidsExhausted.
+func (n *Node) allocProc(name string) (*Proc, error) {
+	// One full wrap of the 16-bit space (plus the skipped zero) proves
+	// exhaustion: ids are minted from the shared counter, so even racing
+	// allocators never probe the same id twice in one wrap.
+	for tries := 0; tries < 1<<16+1; tries++ {
+		local := uint16(n.nextLocal.Add(1))
+		if local == 0 {
+			continue // local id 0 is reserved (vproto.Nil convention)
+		}
+		pid := vproto.MakePid(n.host, local)
+		p := newProc(n, pid, name)
+		if n.procs.putIfAbsent(pid, p) {
+			return p, nil
+		}
+	}
+	return nil, ErrPidsExhausted
+}
+
 // Spawn creates a process on this node and runs body on its own goroutine.
-// The body's return ends the process.
-func (n *Node) Spawn(name string, body func(p *Proc)) *Proc {
-	pid := vproto.MakePid(n.host, uint16(n.nextLocal.Add(1)))
-	p := newProc(n, pid, name)
-	n.procs.put(pid, p)
+// The body's return ends the process. It fails with ErrPidsExhausted when
+// all 2^16-1 local ids name live processes.
+func (n *Node) Spawn(name string, body func(p *Proc)) (*Proc, error) {
+	p, err := n.allocProc(name)
+	if err != nil {
+		return nil, err
+	}
 	go func() {
-		defer n.removeProc(pid)
+		defer n.removeProc(p.pid)
 		body(p)
 	}()
-	return p
+	return p, nil
 }
 
 // Attach creates a process handle without spawning a goroutine — the
 // caller's goroutine is the process (useful in tests and servers embedded
 // in larger programs). Release it with Detach.
-func (n *Node) Attach(name string) *Proc {
-	pid := vproto.MakePid(n.host, uint16(n.nextLocal.Add(1)))
-	p := newProc(n, pid, name)
-	n.procs.put(pid, p)
-	return p
+func (n *Node) Attach(name string) (*Proc, error) {
+	return n.allocProc(name)
 }
 
 // Detach removes a process created with Attach.
@@ -260,6 +289,7 @@ func (n *Node) handleSend(pkt *vproto.Packet) {
 			n.stats.dupsFiltered.Add(1)
 			if a.replied {
 				reply := a.replyPkt
+				t.lruTouchLocked(a) // answered from the cache: recently used
 				t.mu.Unlock()
 				n.stats.remoteReplies.Add(1)
 				_ = n.transport.Send(pkt.Src.Host(), reply)
@@ -277,7 +307,7 @@ func (n *Node) handleSend(pkt *vproto.Packet) {
 			// Newer message: reuse the descriptor. An unconsumed or
 			// unreplied older message is orphaned — its sender has moved
 			// on (§3.2 timeout semantics).
-			delete(t.m, pkt.Src)
+			t.removeLocked(a)
 		}
 	}
 	if len(t.m) >= n.cfg.AlienDescriptors && !t.evictLocked() {
@@ -297,13 +327,11 @@ func (n *Node) handleSend(pkt *vproto.Packet) {
 		n.send(&vproto.Packet{Kind: vproto.KindNack, Seq: pkt.Seq, Dst: pkt.Src}, pkt.Src.Host())
 		return
 	}
-	t.lru++
 	a := &alien{
 		src:    pkt.Src,
 		seq:    pkt.Seq,
 		msg:    pkt.Msg,
 		inline: pkt.Data,
-		lru:    t.lru,
 	}
 	t.m[pkt.Src] = a
 	t.mu.Unlock()

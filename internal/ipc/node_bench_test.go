@@ -45,7 +45,7 @@ func benchmarkParallelSendReply(b *testing.B, clients int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := clientNode.Attach("bench-client")
+			p := mustAttach(clientNode, "bench-client")
 			defer clientNode.Detach(p)
 			for j := 0; j < per; j++ {
 				var m Message
@@ -80,7 +80,7 @@ func moverOn(n *Node, size int) Pid {
 		data[i] = byte(i)
 	}
 	ready := make(chan Pid, 1)
-	n.Spawn("mover", func(p *Proc) {
+	mustSpawn(n, "mover", func(p *Proc) {
 		ready <- p.Pid()
 		for {
 			_, src, err := p.Receive()
@@ -115,7 +115,7 @@ func benchmarkParallelMoveTo(b *testing.B, clients, size int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := clientNode.Attach("bench-client")
+			p := mustAttach(clientNode, "bench-client")
 			defer clientNode.Detach(p)
 			buf := make([]byte, size)
 			for j := 0; j < per; j++ {

@@ -1,0 +1,97 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPidWrapSkipsLiveProcesses forces the 16-bit local-id counter around
+// its wrap and checks that an id still naming a live process is skipped
+// rather than reissued. Before the fix, the wrapped Attach overwrote the
+// long-lived process's table entry, silently hijacking its messages.
+func TestPidWrapSkipsLiveProcesses(t *testing.T) {
+	mesh := NewMemNetwork(1, FaultConfig{})
+	n := NewNode(1, mesh.Transport(1), NodeConfig{})
+	defer func() {
+		_ = n.Close()
+		mesh.Close()
+	}()
+
+	long := mustAttach(n, "long-lived")
+	if long.Pid().Local() != 1 {
+		t.Fatalf("first local id = %d, want 1", long.Pid().Local())
+	}
+
+	// Wind the counter to just before the wrap: the next allocations probe
+	// local id 0 (reserved), then 1 (live — must be skipped), then 2.
+	n.nextLocal.Store(^uint32(0))
+	p, err := n.Attach("wrapped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Detach(p)
+	if p.Pid() == long.Pid() {
+		t.Fatalf("wrapped allocation reissued live pid %v", long.Pid())
+	}
+	if p.Pid().Local() != 2 {
+		t.Fatalf("wrapped local id = %d, want 2", p.Pid().Local())
+	}
+	if got, ok := n.lookupProc(long.Pid()); !ok || got != long {
+		t.Fatal("live process displaced from the table by pid wrap")
+	}
+
+	// The long-lived process must still receive messages sent to its pid.
+	done := make(chan error, 1)
+	go func() {
+		_, src, err := long.Receive()
+		if err != nil {
+			done <- err
+			return
+		}
+		var reply Message
+		done <- long.Reply(&reply, src)
+	}()
+	var m Message
+	if err := p.Send(&m, long.Pid(), nil); err != nil {
+		t.Fatalf("send to long-lived pid: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("long-lived process never saw the message")
+	}
+}
+
+// TestPidExhaustionSurfacesError fills every usable local id and checks
+// that the next allocation fails with ErrPidsExhausted instead of
+// colliding, then succeeds again once an id is released.
+func TestPidExhaustionSurfacesError(t *testing.T) {
+	mesh := NewMemNetwork(1, FaultConfig{})
+	n := NewNode(1, mesh.Transport(1), NodeConfig{})
+	defer func() {
+		_ = n.Close()
+		mesh.Close()
+	}()
+
+	first := mustAttach(n, "filler")
+	for i := 1; i < 1<<16-1; i++ {
+		if _, err := n.Attach("filler"); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+	}
+	if _, err := n.Attach("overflow"); err != ErrPidsExhausted {
+		t.Fatalf("err = %v, want ErrPidsExhausted", err)
+	}
+
+	n.Detach(first)
+	p, err := n.Attach("replacement")
+	if err != nil {
+		t.Fatalf("attach after release: %v", err)
+	}
+	if p.Pid() != first.Pid() {
+		t.Fatalf("released id not reused: got %v, want %v", p.Pid(), first.Pid())
+	}
+}

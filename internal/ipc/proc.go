@@ -263,15 +263,16 @@ func (p *Proc) ReplyWithSegment(msg *Message, dst Pid, destOff uint32, data []by
 func (p *Proc) reply(msg *Message, dst Pid, destOff uint32, data []byte) error {
 	p.mu.Lock()
 	env, ok := p.received[dst]
-	if ok {
-		delete(p.received, dst)
-	}
 	p.mu.Unlock()
 	if !ok {
 		return ErrNotAwaitingReply
 	}
-	if env.local != nil {
-		if len(data) > 0 {
+	// Validate the data grant before consuming the exchange: a failed
+	// Reply must leave the sender awaiting, so the replier can answer
+	// again (say, with an error-status message) instead of stranding the
+	// sender in reply-pending limbo with its descriptor pinned.
+	if len(data) > 0 {
+		if env.local != nil {
 			seg := env.local.seg
 			if seg == nil || seg.Access&SegWrite == 0 {
 				return ErrNoAccess
@@ -279,7 +280,29 @@ func (p *Proc) reply(msg *Message, dst Pid, destOff uint32, data []byte) error {
 			if int(destOff)+len(data) > len(seg.Data) {
 				return ErrBadAddress
 			}
-			copy(seg.Data[destOff:], data)
+		} else {
+			if len(data) > vproto.MaxData {
+				return ErrSegTooBig
+			}
+			if _, size, access, ok := env.alien.msg.Segment(); !ok || access&SegWrite == 0 {
+				return ErrNoAccess
+			} else if uint64(destOff)+uint64(len(data)) > uint64(size) {
+				return ErrBadAddress
+			}
+		}
+	}
+	// Commit: consume the exchange, re-checking it is still ours — a
+	// concurrent Reply to the same sender may have won the race.
+	p.mu.Lock()
+	if p.received[dst] != env {
+		p.mu.Unlock()
+		return ErrNotAwaitingReply
+	}
+	delete(p.received, dst)
+	p.mu.Unlock()
+	if env.local != nil {
+		if len(data) > 0 {
+			copy(env.local.seg.Data[destOff:], data)
 		}
 		env.local.replyCh <- sendResult{msg: *msg}
 		return nil

@@ -46,11 +46,18 @@ func (t *procTable) get(pid Pid) (*Proc, bool) {
 	return p, ok
 }
 
-func (t *procTable) put(pid Pid, p *Proc) {
+// putIfAbsent registers p under pid unless the id already names a live
+// process; the check-and-insert is atomic under the shard lock, so a
+// wrapped id allocator can never displace a live registration.
+func (t *procTable) putIfAbsent(pid Pid, p *Proc) bool {
 	s := t.shard(pid)
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[pid]; ok {
+		return false
+	}
 	s.m[pid] = p
-	s.mu.Unlock()
+	return true
 }
 
 func (t *procTable) remove(pid Pid) (*Proc, bool) {

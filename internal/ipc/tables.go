@@ -11,34 +11,85 @@ import (
 // transfers, and the name registry each have their own lock, and the
 // process table is striped (see proctable.go).
 
-// alienTable owns the remote-sender descriptors (§3.2) and their LRU
-// clock. Its mutex also guards every alien's mutable fields, so the
-// check-and-insert in handleSend — the duplicate filter — is atomic.
+// alienTable owns the remote-sender descriptors (§3.2). Its mutex also
+// guards every alien's mutable fields, so the check-and-insert in
+// handleSend — the duplicate filter — is atomic.
+//
+// Replied descriptors — the only evictable ones — are threaded on an
+// intrusive doubly-linked LRU list, maintained on every touch (reply,
+// duplicate answered from the reply cache), so eviction under descriptor
+// pressure is O(1) instead of a full-map scan under the table lock.
 type alienTable struct {
-	mu  sync.Mutex
-	m   map[Pid]*alien
-	lru int64
+	mu      sync.Mutex
+	m       map[Pid]*alien
+	lruHead *alien // least recently touched replied descriptor
+	lruTail *alien // most recently touched
 }
 
 func (t *alienTable) init() { t.m = make(map[Pid]*alien) }
 
-// evictLocked reclaims the least-recently-used replied alien; caller
-// holds t.mu.
-func (t *alienTable) evictLocked() bool {
-	var victim *alien
-	for _, a := range t.m {
-		if !a.replied {
-			continue
-		}
-		if victim == nil || a.lru < victim.lru {
-			victim = a
-		}
+// lruPushLocked appends a as the most recently touched evictable
+// descriptor; caller holds t.mu and a is not on the list.
+func (t *alienTable) lruPushLocked(a *alien) {
+	a.onLRU = true
+	a.lruPrev = t.lruTail
+	a.lruNext = nil
+	if t.lruTail != nil {
+		t.lruTail.lruNext = a
+	} else {
+		t.lruHead = a
 	}
+	t.lruTail = a
+}
+
+// lruUnlinkLocked removes a from the eviction list if present; caller
+// holds t.mu.
+func (t *alienTable) lruUnlinkLocked(a *alien) {
+	if !a.onLRU {
+		return
+	}
+	if a.lruPrev != nil {
+		a.lruPrev.lruNext = a.lruNext
+	} else {
+		t.lruHead = a.lruNext
+	}
+	if a.lruNext != nil {
+		a.lruNext.lruPrev = a.lruPrev
+	} else {
+		t.lruTail = a.lruPrev
+	}
+	a.lruPrev, a.lruNext = nil, nil
+	a.onLRU = false
+}
+
+// lruTouchLocked moves a to the most-recently-touched end; caller holds
+// t.mu and a is on the list.
+func (t *alienTable) lruTouchLocked(a *alien) {
+	if a.lruNext == nil {
+		return // already the tail
+	}
+	t.lruUnlinkLocked(a)
+	t.lruPushLocked(a)
+}
+
+// evictLocked reclaims the least-recently-touched replied alien in O(1);
+// caller holds t.mu. Unreplied descriptors represent exchanges still in
+// progress and are never on the list.
+func (t *alienTable) evictLocked() bool {
+	victim := t.lruHead
 	if victim == nil {
 		return false
 	}
+	t.lruUnlinkLocked(victim)
 	delete(t.m, victim.src)
 	return true
+}
+
+// removeLocked deletes a's map entry and eviction-list membership; caller
+// holds t.mu.
+func (t *alienTable) removeLocked(a *alien) {
+	t.lruUnlinkLocked(a)
+	delete(t.m, a.src)
 }
 
 // markReceived records delivery of the alien's message to a local process.
@@ -50,11 +101,15 @@ func (t *alienTable) markReceived(a *alien, by Pid) {
 }
 
 // cacheReply stores the encoded reply packet so duplicate retransmissions
-// are answered without re-executing the request.
+// are answered without re-executing the request, and makes the descriptor
+// evictable.
 func (t *alienTable) cacheReply(a *alien, pkt []byte) {
 	t.mu.Lock()
 	a.replied = true
 	a.replyPkt = pkt
+	if t.m[a.src] == a && !a.onLRU {
+		t.lruPushLocked(a)
+	}
 	t.mu.Unlock()
 }
 
@@ -63,7 +118,7 @@ func (t *alienTable) cacheReply(a *alien, pkt []byte) {
 func (t *alienTable) drop(a *alien) {
 	t.mu.Lock()
 	if t.m[a.src] == a {
-		delete(t.m, a.src)
+		t.removeLocked(a)
 	}
 	t.mu.Unlock()
 }
@@ -74,9 +129,9 @@ func (t *alienTable) drop(a *alien) {
 // than be answered reply-pending forever.
 func (t *alienTable) dropAwaiting(pid Pid) {
 	t.mu.Lock()
-	for src, a := range t.m {
+	for _, a := range t.m {
 		if a.received && !a.replied && a.awaiting == pid {
-			delete(t.m, src)
+			t.removeLocked(a)
 		}
 	}
 	t.mu.Unlock()

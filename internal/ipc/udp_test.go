@@ -33,7 +33,7 @@ func udpPair(t *testing.T) (*Node, *Node) {
 func TestUDPExchange(t *testing.T) {
 	na, nb := udpPair(t)
 	server := echoOn(nb, 5)
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	for i := uint32(1); i <= 5; i++ {
 		var m Message
@@ -50,7 +50,7 @@ func TestUDPExchange(t *testing.T) {
 func TestUDPPageReadAndWrite(t *testing.T) {
 	na, nb := udpPair(t)
 	store := make([]byte, 512)
-	nb.Spawn("fs", func(p *Proc) {
+	mustSpawn(nb, "fs", func(p *Proc) {
 		buf := make([]byte, 1024)
 		for {
 			msg, src, n, err := p.ReceiveWithSegment(buf)
@@ -66,7 +66,7 @@ func TestUDPPageReadAndWrite(t *testing.T) {
 			}
 		}
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 
 	page := make([]byte, 512)
@@ -96,7 +96,7 @@ func TestUDPProgramLoadSizedMoveTo(t *testing.T) {
 	for i := range img {
 		img[i] = byte(i * 31)
 	}
-	nb.Spawn("loader", func(p *Proc) {
+	mustSpawn(nb, "loader", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -107,7 +107,7 @@ func TestUDPProgramLoadSizedMoveTo(t *testing.T) {
 		var reply Message
 		_ = p.Reply(&reply, src)
 	})
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	buf := make([]byte, size)
 	var m Message
@@ -122,10 +122,10 @@ func TestUDPProgramLoadSizedMoveTo(t *testing.T) {
 func TestUDPNameService(t *testing.T) {
 	na, nb := udpPair(t)
 	server := echoOn(nb, 1)
-	reg := nb.Attach("registrar")
+	reg := mustAttach(nb, "registrar")
 	reg.SetPid(42, server, ScopeBoth)
 	nb.Detach(reg)
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	if got := client.GetPid(42, ScopeBoth); got != server {
 		t.Fatalf("GetPid over UDP = %v, want %v", got, server)
@@ -150,7 +150,7 @@ func TestUDPServerLearnsClientAddress(t *testing.T) {
 	defer func() { _ = na.Close(); _ = nb.Close() }()
 
 	server := echoOn(nb, 1)
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	m.SetWord(1, 4)
@@ -182,7 +182,7 @@ func TestUDPUnknownPeerBroadcastFallback(t *testing.T) {
 	defer func() { _ = na.Close(); _ = nb.Close() }()
 
 	server := echoOn(nb, 1)
-	client := na.Attach("client")
+	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
 	m.SetWord(1, 3)

@@ -1,0 +1,131 @@
+package rfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vkernel/internal/ipc"
+)
+
+// Throughput benchmarks for the real file service: §3.4 page reads (one
+// Send/Reply exchange, page in the reply packet) and §6.3 64 KB streamed
+// reads (MoveTo in transfer-unit chunks) at 1, 4 and 16 concurrent
+// clients, over both the in-memory mesh and loopback UDP sockets. The
+// custom ops/s metric is the figure of merit — on a multi-core host it
+// must grow with client count, since the server handles requests on a
+// worker pool and the node's subsystems are independently locked.
+//
+// Run: go test -run=- -bench=. -benchmem ./internal/rfs/
+
+const benchFile = 1
+
+// benchEnv builds a warmed server/client pair on the given transport
+// flavor with a file large enough for the access patterns below.
+func benchEnv(b *testing.B, flavor string) *env {
+	b.Helper()
+	var e *env
+	switch flavor {
+	case "mem":
+		e = memEnv(b, ipc.FaultConfig{}, ipc.NodeConfig{}, Config{})
+	case "udp":
+		e = udpEnv(b, Config{})
+	default:
+		b.Fatalf("unknown flavor %q", flavor)
+	}
+	const size = 256 * 1024
+	if err := e.store.Create(benchFile, size); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.store.WriteAt(benchFile, pattern(benchFile, size), 0); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// run drives clients goroutines, each looping op until the shared
+// iteration budget is spent, and reports ops/s.
+func run(b *testing.B, e *env, clients int, bytesPer int, op func(c *Client, i int) error) {
+	per := b.N/clients + 1
+	if bytesPer > 0 {
+		b.SetBytes(int64(bytesPer))
+	}
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		c := e.client(b, fmt.Sprintf("bench%d", g))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := op(c, i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := float64(per * clients)
+	b.ReportMetric(ops/elapsed.Seconds(), "ops/s")
+	if bytesPer > 0 {
+		b.ReportMetric(ops*float64(bytesPer)/(1<<20)/elapsed.Seconds(), "MB/s")
+	}
+}
+
+// BenchmarkPageRead measures §3.4 page-read throughput (512 B in the
+// reply packet) versus client concurrency.
+func BenchmarkPageRead(b *testing.B) {
+	for _, flavor := range []string{"mem", "udp"} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
+				e := benchEnv(b, flavor)
+				run(b, e, clients, 512, func(c *Client, i int) error {
+					buf := make([]byte, 512)
+					_, err := c.ReadBlock(benchFile, uint32(i%256), buf)
+					return err
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkPageWrite measures §3.4 page-write throughput (data inline
+// with the Send packet) versus client concurrency.
+func BenchmarkPageWrite(b *testing.B) {
+	for _, flavor := range []string{"mem", "udp"} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
+				e := benchEnv(b, flavor)
+				page := pattern(3, 512)
+				run(b, e, clients, 512, func(c *Client, i int) error {
+					return c.WriteBlock(benchFile, uint32(i%256), page)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkReadLarge64K measures §6.3 program-load-sized streamed reads
+// (64 KB via MoveTo) versus client concurrency.
+func BenchmarkReadLarge64K(b *testing.B) {
+	const size = 64 * 1024
+	for _, flavor := range []string{"mem", "udp"} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
+				e := benchEnv(b, flavor)
+				run(b, e, clients, size, func(c *Client, i int) error {
+					buf := make([]byte, size)
+					n, err := c.ReadLarge(benchFile, 0, buf)
+					if err == nil && n != size {
+						return fmt.Errorf("short read: %d", n)
+					}
+					return err
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package rfs
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// blockID names one cached block.
+type blockID struct {
+	file  uint32
+	block uint32
+}
+
+// blockCache is the server's in-memory block cache with LRU replacement.
+// It caches read data only: writes go through to the store and invalidate
+// the affected blocks, so a cached slice is an immutable snapshot and may
+// be handed to concurrent readers without copying.
+//
+// A miss is filled outside the lock (the store read may block), which
+// opens a race: read old bytes from the store, lose the CPU to a
+// write-through + invalidate of the same block, then insert the stale
+// bytes — poisoning the cache until the next write. Invalidations
+// therefore bump a generation counter (sharded by block id to bound
+// space); the miss path snapshots the generation before reading the
+// store and inserts only if it is unchanged (put with the gen argument).
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[blockID]*list.Element
+	lru      *list.List // front = most recently used
+
+	gens [256]atomic.Uint64 // invalidation stamps, sharded by block id
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	id   blockID
+	data []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		entries:  make(map[blockID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached block, marking it most recently used. Callers
+// must not mutate the returned slice.
+func (c *blockCache) get(id blockID) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// contains reports presence without touching recency or hit counters.
+func (c *blockCache) contains(id blockID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[id]
+	return ok
+}
+
+// genOf returns the invalidation-stamp shard for a block id.
+func (c *blockCache) genOf(id blockID) *atomic.Uint64 {
+	h := (id.file*2654435761 + id.block) * 2654435761
+	return &c.gens[h>>24&0xff]
+}
+
+// snapshot returns the block's current invalidation stamp; take it before
+// reading the store on a miss and pass it to put.
+func (c *blockCache) snapshot(id blockID) uint64 { return c.genOf(id).Load() }
+
+// put inserts or refreshes a block, evicting the least recently used
+// entry past capacity; the cache takes ownership of data. The insert is
+// skipped if the block was invalidated since gen was snapshotted — the
+// data was read before a concurrent write and is stale.
+func (c *blockCache) put(id blockID, data []byte, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.genOf(id).Load() != gen {
+		return
+	}
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, data: data})
+	if c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).id)
+	}
+}
+
+// invalidate drops a block (after a write-through made it stale) and
+// stamps the invalidation so in-flight miss fills cannot resurrect it.
+func (c *blockCache) invalidate(id blockID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.genOf(id).Add(1)
+	if el, ok := c.entries[id]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, id)
+	}
+}
+
+// invalidateFile drops every cached block of a file (after a create or
+// truncate made the whole file stale).
+func (c *blockCache) invalidateFile(file uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.id.file == file {
+			c.lru.Remove(el)
+			delete(c.entries, e.id)
+		}
+		el = next
+	}
+	// Blocks of the file may also be mid-fill from the old contents
+	// without being cached yet; bump every shard so those inserts drop.
+	for i := range c.gens {
+		c.gens[i].Add(1)
+	}
+}
+
+func (c *blockCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

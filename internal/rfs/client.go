@@ -1,0 +1,137 @@
+package rfs
+
+import (
+	"fmt"
+
+	"vkernel/internal/ipc"
+	"vkernel/internal/vproto"
+)
+
+// Client provides the stub routines a diskless workstation's programs use
+// for remote file access (§3.4): each call is one V message exchange with
+// the segment grants the I/O protocol prescribes. A Client wraps one V
+// process and is not safe for concurrent use — give each concurrent
+// client its own process and Client (as the kernel does).
+type Client struct {
+	p      *ipc.Proc
+	server ipc.Pid
+}
+
+// NewClient binds stubs for the calling process to the given server pid.
+func NewClient(p *ipc.Proc, server ipc.Pid) *Client {
+	return &Client{p: p, server: server}
+}
+
+// Discover resolves the file server via the broadcast name service and
+// returns a client bound to it.
+func Discover(p *ipc.Proc) (*Client, error) {
+	pid := p.GetPid(LogicalFileServer, ipc.ScopeBoth)
+	if pid == vproto.Nil {
+		return nil, ErrNoServer
+	}
+	return NewClient(p, pid), nil
+}
+
+// Server returns the bound server pid.
+func (c *Client) Server() ipc.Pid { return c.server }
+
+// ReadBlock reads up to len(dst) bytes of the given file block into dst:
+// one Send granting write access to dst, one reply packet carrying the
+// page (§3.4). It returns the byte count the server sent.
+func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
+	m := buildRequest(OpReadBlock, file, block, uint32(len(dst)))
+	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+		return 0, err
+	}
+	status, n := parseReply(&m)
+	if status != StatusOK {
+		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return int(n), nil
+}
+
+// WriteBlock writes data as the given file block: one Send carrying the
+// data inline (§3.4), one reply.
+func (c *Client) WriteBlock(file, block uint32, data []byte) error {
+	m := buildRequest(OpWriteBlock, file, block, uint32(len(data)))
+	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
+		return err
+	}
+	if status, _ := parseReply(&m); status != StatusOK {
+		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return nil
+}
+
+// ReadLarge reads up to len(dst) bytes starting at byte offset off into
+// dst. The server streams the data with MoveTo in transfer-unit chunks
+// (§6.3); the count returned is how many bytes the file held.
+func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
+	m := buildRequest(OpReadLarge, file, off, uint32(len(dst)))
+	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+		return 0, err
+	}
+	status, n := parseReply(&m)
+	if status != StatusOK {
+		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return int(n), nil
+}
+
+// WriteLarge writes data to the file at byte offset off; the server pulls
+// it with MoveFrom in transfer-unit chunks.
+func (c *Client) WriteLarge(file, off uint32, data []byte) error {
+	m := buildRequest(OpWriteLarge, file, off, uint32(len(data)))
+	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
+		return err
+	}
+	if status, _ := parseReply(&m); status != StatusOK {
+		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return nil
+}
+
+// QueryFile returns a file's size in bytes.
+func (c *Client) QueryFile(file uint32) (int, error) {
+	m := buildRequest(OpQueryFile, file, 0, 0)
+	if err := c.p.Send(&m, c.server, nil); err != nil {
+		return 0, err
+	}
+	status, n := parseReply(&m)
+	if status != StatusOK {
+		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return int(n), nil
+}
+
+// CreateFile creates (or truncates) a file of the given size.
+func (c *Client) CreateFile(file uint32, size uint32) error {
+	m := buildRequest(OpCreateFile, file, size, 0)
+	if err := c.p.Send(&m, c.server, nil); err != nil {
+		return err
+	}
+	if status, _ := parseReply(&m); status != StatusOK {
+		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return nil
+}
+
+// LoadProgram performs the §6.3 command-interpreter load sequence: one
+// page read for the program header, a size query, then one large read
+// streaming the code and data.
+func (c *Client) LoadProgram(file uint32, headerSize int) ([]byte, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := c.ReadBlock(file, 0, hdr); err != nil {
+		return nil, err
+	}
+	size, err := c.QueryFile(file)
+	if err != nil {
+		return nil, err
+	}
+	image := make([]byte, size)
+	n, err := c.ReadLarge(file, 0, image)
+	if err != nil {
+		return nil, err
+	}
+	return image[:n], nil
+}

@@ -1,0 +1,134 @@
+package rfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"vkernel/internal/ipc"
+)
+
+// lossyEnv builds the server/client pair on a mesh that drops, duplicates,
+// corrupts and reorders packets, with a retransmission budget large enough
+// to ride out the losses.
+func lossyEnv(t *testing.T) *env {
+	t.Helper()
+	return memEnv(t,
+		ipc.FaultConfig{
+			DropProb:    0.12,
+			DupProb:     0.10,
+			CorruptProb: 0.05,
+			MaxDelay:    2 * time.Millisecond,
+		},
+		ipc.NodeConfig{RetransmitTimeout: 10 * time.Millisecond, Retries: 100},
+		Config{},
+	)
+}
+
+// TestReadLargeUnderFaults is the §3.3 property end-to-end through the
+// file service: a streamed ReadLarge over a lossy, duplicating, reordering
+// network must deliver the file intact, with the kernels resuming each
+// transfer from the last correctly received byte (visible as
+// retransmissions, not corruption).
+func TestReadLargeUnderFaults(t *testing.T) {
+	e := lossyEnv(t)
+	c := e.client(t, "app")
+
+	const size = 64 * 1024
+	image := pattern(8, size)
+	if err := c.WriteLarge(8, 0, image); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	n, err := c.ReadLarge(8, 0, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != size {
+		t.Fatalf("short read: %d", n)
+	}
+	if !bytes.Equal(got, image) {
+		t.Fatal("ReadLarge under faults corrupted data")
+	}
+
+	// The MoveTo stream runs server→client, so its resume machinery shows
+	// up in the server node's retransmission counter (the client node
+	// retransmits Sends). With ~12% loss over ≥64 data packets the run is
+	// vacuous if nothing was retransmitted.
+	retrans := e.serverNode.Stats().Retransmits + e.clientNode.Stats().Retransmits
+	if retrans == 0 {
+		t.Fatal("no retransmissions under fault injection; test is vacuous")
+	}
+}
+
+// TestWritesApplyExactlyOnceUnderFaults: page writes whose requests and
+// replies are being dropped and duplicated must each execute exactly once
+// at the server — duplicate Sends are answered from the alien reply cache,
+// never re-applied.
+func TestWritesApplyExactlyOnceUnderFaults(t *testing.T) {
+	e := lossyEnv(t)
+	c := e.client(t, "app")
+
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		page := pattern(uint32(i), 512)
+		if err := c.WriteBlock(20, uint32(i), page); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Every page arrived intact...
+	buf := make([]byte, 512)
+	for i := 0; i < writes; i++ {
+		if _, err := c.ReadBlock(20, uint32(i), buf); err != nil {
+			t.Fatalf("read back %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, pattern(uint32(i), 512)) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+	// ...and each write executed exactly once despite duplicate requests
+	// reaching the server (DupsFiltered counts them).
+	if st := e.srv.Stats(); st.PageWrites != writes {
+		t.Fatalf("server applied %d page writes, want exactly %d (%+v)", st.PageWrites, writes, st)
+	}
+	if e.serverNode.Stats().DupsFiltered == 0 {
+		t.Log("note: fault seed produced no duplicate Sends this run")
+	}
+}
+
+// TestConcurrentLargeReadsUnderFaults overlays four concurrent streamed
+// reads on the lossy mesh; per-stream reassembly must keep them isolated.
+func TestConcurrentLargeReadsUnderFaults(t *testing.T) {
+	e := lossyEnv(t)
+	seed := e.client(t, "seeder")
+	const size = 24 * 1024
+	files := []uint32{41, 42, 43, 44}
+	for _, f := range files {
+		if err := seed.WriteLarge(f, 0, pattern(f, size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, len(files))
+	for i, f := range files {
+		c := e.client(t, fmt.Sprintf("app%d", i))
+		f := f
+		go func() {
+			got := make([]byte, size)
+			if n, err := c.ReadLarge(f, 0, got); err != nil || n != size {
+				errs <- fmt.Errorf("file %d: n=%d err=%v", f, n, err)
+				return
+			}
+			if !bytes.Equal(got, pattern(f, size)) {
+				errs <- fmt.Errorf("file %d corrupted", f)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for range files {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package rfs is the real networked V file server: the Verex-style I/O
+// protocol of §3.4/§6, served over the runnable IPC runtime
+// (vkernel/internal/ipc) instead of the discrete-event simulation that
+// internal/fsrv drives.
+//
+// The fast paths match the paper's diskless-workstation workload:
+//
+//   - A page read is one Send/Reply exchange — the client grants write
+//     access to its page buffer and the server answers with
+//     ReplyWithSegment, so the page travels in the reply packet.
+//   - A page write is also one exchange — the data rides inline with the
+//     Send packet (§3.4's read-segment prefix); any remainder beyond the
+//     inline allowance is pulled with MoveFrom.
+//   - Reads larger than a page (program loading, §6.3) are streamed with
+//     MoveTo in TransferUnit chunks; large writes are pulled with
+//     MoveFrom.
+//
+// The server owns a byte-addressed block store (in-memory or file-backed)
+// behind an LRU block cache with optional read-ahead, and handles
+// requests on a bounded worker pool so independent clients proceed in
+// parallel (the node's sharded locking keeps their exchanges from
+// serializing).
+package rfs
+
+import (
+	"errors"
+
+	"vkernel/internal/ipc"
+)
+
+// LogicalFileServer is the well-known logical id the server registers
+// under (the same id internal/core uses for the simulated file server).
+const LogicalFileServer uint32 = 1
+
+// Request opcodes (message word 1).
+const (
+	OpReadBlock  uint32 = 1 // page-level read: data in the reply packet
+	OpWriteBlock uint32 = 2 // page-level write: data inline with the Send
+	OpReadLarge  uint32 = 3 // multi-block read streamed via MoveTo
+	OpWriteLarge uint32 = 4 // multi-block write pulled via MoveFrom
+	OpQueryFile  uint32 = 5 // file size lookup
+	OpCreateFile uint32 = 6 // create (or truncate) a file
+)
+
+// Reply status codes (reply word 1).
+const (
+	StatusOK uint32 = iota
+	StatusBadRequest
+	StatusNoFile
+	StatusIOError
+)
+
+// Errors returned by the client stubs.
+var (
+	ErrBadStatus = errors.New("rfs: server returned error status")
+	ErrNoServer  = errors.New("rfs: no file server registered")
+)
+
+// Message layout. Requests use:
+//
+//	word 1: opcode
+//	word 2: file id
+//	word 3: block number (page ops), byte offset (large ops) or size
+//	        (create)
+//	word 4: byte count
+//
+// The data buffer itself is granted through the message's segment
+// descriptor. Replies use word 1 = status, word 2 = count (bytes
+// read/written, or the file size for query).
+
+// buildRequest assembles a request message.
+func buildRequest(op, file, blockOrOff, count uint32) ipc.Message {
+	var m ipc.Message
+	m.SetWord(1, op)
+	m.SetWord(2, file)
+	m.SetWord(3, blockOrOff)
+	m.SetWord(4, count)
+	return m
+}
+
+// parseRequest decodes a request message.
+func parseRequest(m *ipc.Message) (op, file, blockOrOff, count uint32) {
+	return m.Word(1), m.Word(2), m.Word(3), m.Word(4)
+}
+
+// buildReply assembles a reply message.
+func buildReply(status, count uint32) ipc.Message {
+	var m ipc.Message
+	m.SetWord(1, status)
+	m.SetWord(2, count)
+	return m
+}
+
+// parseReply decodes a reply message.
+func parseReply(m *ipc.Message) (status, count uint32) {
+	return m.Word(1), m.Word(2)
+}

@@ -1,0 +1,447 @@
+package rfs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vkernel/internal/ipc"
+	"vkernel/internal/vproto"
+)
+
+// Config tunes the file server; the zero value gets defaults.
+type Config struct {
+	// BlockSize is the page size in bytes (0 → 512, the paper's page).
+	// Pages travel in one reply packet, so it is capped at vproto.MaxData.
+	BlockSize int
+	// CacheBlocks is the block-cache capacity in blocks (0 → 1024).
+	CacheBlocks int
+	// ReadAhead prefetches block N+1 after serving block N of a file.
+	ReadAhead bool
+	// TransferUnit bounds each MoveTo/MoveFrom chunk of a large transfer
+	// (§6.3; the paper's VAX server moved at most 4 KB at a time). 0 → 4096.
+	TransferUnit int
+	// Workers sizes the request worker pool (0 → one per CPU, 2..16).
+	Workers int
+	// QueueDepth bounds requests buffered between the receive loop and
+	// the workers (0 → 128). A full queue blocks the receive loop; waiting
+	// clients are held in their exchanges by reply-pending packets.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 512
+	}
+	if c.BlockSize > vproto.MaxData {
+		c.BlockSize = vproto.MaxData
+	}
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = 1024
+	}
+	if c.TransferUnit <= 0 {
+		c.TransferUnit = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+		if c.Workers > 16 {
+			c.Workers = 16
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	return c
+}
+
+// Stats is a snapshot of server activity.
+type Stats struct {
+	Requests     int64
+	PageReads    int64
+	PageWrites   int64
+	LargeReads   int64
+	LargeWrites  int64
+	Queries      int64
+	Creates      int64
+	BadRequests  int64
+	BytesRead    int64
+	BytesWritten int64
+	CacheHits    int64
+	CacheMisses  int64
+	Prefetches   int64
+}
+
+type serverCounters struct {
+	requests    atomic.Int64
+	pageReads   atomic.Int64
+	pageWrites  atomic.Int64
+	largeReads  atomic.Int64
+	largeWrites atomic.Int64
+	queries     atomic.Int64
+	creates     atomic.Int64
+	badRequests atomic.Int64
+	bytesRead   atomic.Int64
+	bytesWrite  atomic.Int64
+	prefetches  atomic.Int64
+}
+
+// request is one received exchange awaiting a worker.
+type request struct {
+	msg    ipc.Message
+	src    ipc.Pid
+	buf    []byte // staging: holds the inline segment prefix, reused for MoveFrom pulls
+	inline int    // bytes of buf filled by the Send's inline prefix
+}
+
+// Server is a real networked V file server: one V process receiving the
+// Verex I/O protocol, a bounded worker pool executing requests, an LRU
+// block cache over a Store.
+//
+// The receive loop and the workers share the server process: Receive
+// records which client each exchange came from, so any worker may Reply,
+// MoveTo or MoveFrom on that client's behalf while the loop blocks in the
+// next Receive — requests from independent clients proceed in parallel.
+type Server struct {
+	node  *ipc.Node
+	store Store
+	cfg   Config
+	cache *blockCache
+	proc  *ipc.Proc
+
+	queue   chan *request
+	workers sync.WaitGroup
+	closed  sync.Once
+
+	raMu       sync.Mutex
+	raInflight map[blockID]bool
+
+	stats serverCounters
+}
+
+// Start spawns the file-server process on node and registers it under
+// LogicalFileServer with network-wide scope. The caller retains ownership
+// of store until Close.
+func Start(node *ipc.Node, store Store, cfg Config) (*Server, error) {
+	s := &Server{
+		node:       node,
+		store:      store,
+		cfg:        cfg.withDefaults(),
+		raInflight: make(map[blockID]bool),
+	}
+	s.cache = newBlockCache(s.cfg.CacheBlocks)
+	s.queue = make(chan *request, s.cfg.QueueDepth)
+	proc, err := node.Spawn("fileserver", s.serve)
+	if err != nil {
+		return nil, err
+	}
+	s.proc = proc
+	proc.SetPid(LogicalFileServer, proc.Pid(), ipc.ScopeBoth)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Pid returns the server process id.
+func (s *Server) Pid() ipc.Pid { return s.proc.Pid() }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.stats.requests.Load(),
+		PageReads:    s.stats.pageReads.Load(),
+		PageWrites:   s.stats.pageWrites.Load(),
+		LargeReads:   s.stats.largeReads.Load(),
+		LargeWrites:  s.stats.largeWrites.Load(),
+		Queries:      s.stats.queries.Load(),
+		Creates:      s.stats.creates.Load(),
+		BadRequests:  s.stats.badRequests.Load(),
+		BytesRead:    s.stats.bytesRead.Load(),
+		BytesWritten: s.stats.bytesWrite.Load(),
+		CacheHits:    s.cache.hits.Load(),
+		CacheMisses:  s.cache.misses.Load(),
+		Prefetches:   s.stats.prefetches.Load(),
+	}
+}
+
+// Close stops the server: the receive loop unblocks, queued requests
+// drain, and the workers exit. The backing store is not closed.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		s.node.Detach(s.proc)
+		s.workers.Wait()
+	})
+}
+
+// serve is the receive loop: it pulls exchanges off the process queue and
+// hands them to the worker pool. Each request gets its own staging buffer
+// because workers process them concurrently.
+func (s *Server) serve(p *ipc.Proc) {
+	defer close(s.queue)
+	for {
+		buf := make([]byte, vproto.MaxData)
+		msg, src, n, err := p.ReceiveWithSegment(buf)
+		if err != nil {
+			return
+		}
+		s.queue <- &request{msg: msg, src: src, buf: buf, inline: n}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for req := range s.queue {
+		s.handle(req)
+	}
+}
+
+func (s *Server) handle(req *request) {
+	s.stats.requests.Add(1)
+	op, file, arg, count := parseRequest(&req.msg)
+	switch op {
+	case OpReadBlock:
+		s.pageRead(req, file, arg, count)
+	case OpWriteBlock:
+		s.pageWrite(req, file, arg, count)
+	case OpReadLarge:
+		s.largeRead(req, file, arg, count)
+	case OpWriteLarge:
+		s.largeWrite(req, file, arg, count)
+	case OpQueryFile:
+		s.stats.queries.Add(1)
+		size, err := s.store.Size(file)
+		if err != nil {
+			s.replyStatus(req.src, statusFor(err), 0)
+			return
+		}
+		s.replyStatus(req.src, StatusOK, uint32(size))
+	case OpCreateFile:
+		s.stats.creates.Add(1)
+		if err := s.store.Create(file, int64(arg)); err != nil {
+			s.replyStatus(req.src, StatusIOError, 0)
+			return
+		}
+		s.cache.invalidateFile(file)
+		s.replyStatus(req.src, StatusOK, 0)
+	default:
+		s.replyStatus(req.src, StatusBadRequest, 0)
+	}
+}
+
+// replyStatus answers an exchange with a bare status reply.
+func (s *Server) replyStatus(src ipc.Pid, status, count uint32) {
+	if status == StatusBadRequest {
+		s.stats.badRequests.Add(1)
+	}
+	m := buildReply(status, count)
+	_ = s.proc.Reply(&m, src)
+}
+
+func statusFor(err error) uint32 {
+	if err == ErrNoFile {
+		return StatusNoFile
+	}
+	return StatusIOError
+}
+
+// getBlock returns the block through the cache, zero-padded to a full
+// block. The returned slice is shared and must not be written. The miss
+// fill is generation-stamped so a write-through racing the store read
+// cannot leave stale bytes cached (see blockCache).
+func (s *Server) getBlock(file, block uint32) ([]byte, error) {
+	id := blockID{file: file, block: block}
+	if data, ok := s.cache.get(id); ok {
+		return data, nil
+	}
+	gen := s.cache.snapshot(id)
+	buf := make([]byte, s.cfg.BlockSize)
+	if _, err := s.store.ReadAt(file, buf, int64(block)*int64(s.cfg.BlockSize)); err != nil {
+		return nil, err
+	}
+	s.cache.put(id, buf, gen)
+	return buf, nil
+}
+
+// readAhead prefetches a block asynchronously (§6.2's read-ahead).
+func (s *Server) readAhead(file, block uint32) {
+	id := blockID{file: file, block: block}
+	if s.cache.contains(id) {
+		return
+	}
+	if size, err := s.store.Size(file); err != nil || int64(block)*int64(s.cfg.BlockSize) >= size {
+		return // past EOF
+	}
+	s.raMu.Lock()
+	if s.raInflight[id] {
+		s.raMu.Unlock()
+		return
+	}
+	s.raInflight[id] = true
+	s.raMu.Unlock()
+	go func() {
+		defer func() {
+			s.raMu.Lock()
+			delete(s.raInflight, id)
+			s.raMu.Unlock()
+		}()
+		gen := s.cache.snapshot(id)
+		buf := make([]byte, s.cfg.BlockSize)
+		if _, err := s.store.ReadAt(file, buf, int64(block)*int64(s.cfg.BlockSize)); err == nil {
+			s.cache.put(id, buf, gen)
+			s.stats.prefetches.Add(1)
+		}
+	}()
+}
+
+// pageRead serves OpReadBlock: the page travels in the reply packet
+// (ReplyWithSegment), one Send/Reply exchange total.
+func (s *Server) pageRead(req *request, file, block, count uint32) {
+	s.stats.pageReads.Add(1)
+	if count > uint32(s.cfg.BlockSize) {
+		s.replyStatus(req.src, StatusBadRequest, 0)
+		return
+	}
+	data, err := s.getBlock(file, block)
+	if err != nil {
+		s.replyStatus(req.src, statusFor(err), 0)
+		return
+	}
+	if s.cfg.ReadAhead {
+		s.readAhead(file, block+1)
+	}
+	s.stats.bytesRead.Add(int64(count))
+	reply := buildReply(StatusOK, count)
+	if err := s.proc.ReplyWithSegment(&reply, req.src, 0, data[:count]); err != nil {
+		// The client's grant was missing or too small: answer without data.
+		s.replyStatus(req.src, StatusBadRequest, 0)
+	}
+}
+
+// pageWrite serves OpWriteBlock: the data arrived inline with the Send
+// (§3.4); any remainder beyond the inline allowance is pulled with
+// MoveFrom before the write goes through to the store.
+func (s *Server) pageWrite(req *request, file, block, count uint32) {
+	s.stats.pageWrites.Add(1)
+	if count > uint32(s.cfg.BlockSize) || int(count) > len(req.buf) {
+		s.replyStatus(req.src, StatusBadRequest, 0)
+		return
+	}
+	got := uint32(req.inline)
+	if got > count {
+		got = count
+	}
+	if got < count {
+		if err := s.proc.MoveFrom(req.src, got, req.buf[got:count]); err != nil {
+			s.replyStatus(req.src, StatusBadRequest, 0)
+			return
+		}
+	}
+	if err := s.store.WriteAt(file, req.buf[:count], int64(block)*int64(s.cfg.BlockSize)); err != nil {
+		s.replyStatus(req.src, StatusIOError, 0)
+		return
+	}
+	s.cache.invalidate(blockID{file: file, block: block})
+	s.stats.bytesWrite.Add(int64(count))
+	s.replyStatus(req.src, StatusOK, count)
+}
+
+// largeRead serves OpReadLarge: count bytes from byte offset off, moved
+// into the client's granted buffer in TransferUnit chunks (§6.3 program
+// loading). The reply reports how many bytes the file actually held.
+func (s *Server) largeRead(req *request, file, off, count uint32) {
+	s.stats.largeReads.Add(1)
+	size, err := s.store.Size(file)
+	if err != nil {
+		s.replyStatus(req.src, statusFor(err), 0)
+		return
+	}
+	n := count
+	if int64(off) >= size {
+		n = 0
+	} else if int64(off)+int64(n) > size {
+		n = uint32(size - int64(off))
+	}
+	bs := uint32(s.cfg.BlockSize)
+	unit := uint32(s.cfg.TransferUnit)
+	staging := make([]byte, unit)
+	for done := uint32(0); done < n; {
+		m := n - done
+		if m > unit {
+			m = unit
+		}
+		// Assemble the chunk from cached blocks.
+		for fill := uint32(0); fill < m; {
+			pos := off + done + fill
+			blk := pos / bs
+			in := pos % bs
+			c := bs - in
+			if c > m-fill {
+				c = m - fill
+			}
+			data, err := s.getBlock(file, blk)
+			if err != nil {
+				s.replyStatus(req.src, statusFor(err), done)
+				return
+			}
+			copy(staging[fill:fill+c], data[in:in+c])
+			fill += c
+		}
+		if s.cfg.ReadAhead {
+			s.readAhead(file, (off+done+m)/bs)
+		}
+		if err := s.proc.MoveTo(req.src, done, staging[:m]); err != nil {
+			s.replyStatus(req.src, StatusBadRequest, done)
+			return
+		}
+		done += m
+	}
+	s.stats.bytesRead.Add(int64(n))
+	s.replyStatus(req.src, StatusOK, n)
+}
+
+// largeWrite serves OpWriteLarge: count bytes pulled from the client's
+// granted buffer in TransferUnit chunks and written through to the store.
+// The first bytes arrived inline with the Send (§3.4) and are not pulled
+// again.
+func (s *Server) largeWrite(req *request, file, off, count uint32) {
+	s.stats.largeWrites.Add(1)
+	bs := uint32(s.cfg.BlockSize)
+	pre := uint32(req.inline)
+	if pre > count {
+		pre = count
+	}
+	if pre > 0 {
+		if err := s.store.WriteAt(file, req.buf[:pre], int64(off)); err != nil {
+			s.replyStatus(req.src, StatusIOError, 0)
+			return
+		}
+	}
+	unit := uint32(s.cfg.TransferUnit)
+	staging := make([]byte, unit)
+	for done := pre; done < count; {
+		m := count - done
+		if m > unit {
+			m = unit
+		}
+		if err := s.proc.MoveFrom(req.src, done, staging[:m]); err != nil {
+			s.replyStatus(req.src, StatusBadRequest, done)
+			return
+		}
+		if err := s.store.WriteAt(file, staging[:m], int64(off)+int64(done)); err != nil {
+			s.replyStatus(req.src, StatusIOError, done)
+			return
+		}
+		done += m
+	}
+	if count > 0 {
+		for blk := off / bs; blk <= (off+count-1)/bs; blk++ {
+			s.cache.invalidate(blockID{file: file, block: blk})
+		}
+	}
+	s.stats.bytesWrite.Add(int64(count))
+	s.replyStatus(req.src, StatusOK, count)
+}
