@@ -5,8 +5,11 @@
 #   make bench  — paper-reproduction benchmarks (root) + parallel IPC benchmarks
 
 GO ?= go
+# Iterations for bench-alloc: 1x in CI smoke runs, raise (e.g. 2s) for
+# stable local numbers.
+BENCHTIME ?= 1x
 
-.PHONY: all build test race vet bench bench-ipc bench-rfs check
+.PHONY: all build test race vet bench bench-ipc bench-rfs bench-alloc check
 
 all: build test
 
@@ -30,5 +33,12 @@ bench-ipc:
 
 bench-rfs:
 	$(GO) test -run 'TestNothing' -bench=. -benchmem ./internal/rfs/
+
+# Allocation pressure on the zero-copy data path: page reads, streamed
+# 64 KB reads and the parallel IPC transactions report allocs/op and
+# B/op at 1/4/16 clients so pooling regressions are visible at a glance.
+bench-alloc:
+	$(GO) test -run=- -bench='BenchmarkPageRead|BenchmarkReadLarge64K|BenchmarkParallel' \
+		-benchmem -benchtime=$(BENCHTIME) ./internal/ipc/ ./internal/rfs/
 
 check: build vet test race

@@ -1,0 +1,125 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetSizesAndClasses(t *testing.T) {
+	for _, n := range []int{1, 255, 256, 257, 512, 1088, 2048, 4096, 65536} {
+		b := Get(n)
+		if len(b.Data) != n {
+			t.Fatalf("Get(%d): len = %d", n, len(b.Data))
+		}
+		if b.Cap() < n {
+			t.Fatalf("Get(%d): cap = %d", n, b.Cap())
+		}
+		b.Release()
+	}
+}
+
+func TestOversizedNotPooledButCounted(t *testing.T) {
+	base := Outstanding()
+	b := Get(classSizes[len(classSizes)-1] + 1)
+	if b.class != -1 {
+		t.Fatalf("oversized buffer got class %d", b.class)
+	}
+	if Outstanding() != base+1 {
+		t.Fatalf("outstanding = %d, want %d", Outstanding(), base+1)
+	}
+	b.Release()
+	if Outstanding() != base {
+		t.Fatalf("outstanding after release = %d, want %d", Outstanding(), base)
+	}
+}
+
+func TestRetainRelease(t *testing.T) {
+	base := Outstanding()
+	b := Get(100)
+	b.Retain()
+	if got := b.Refs(); got != 2 {
+		t.Fatalf("refs = %d, want 2", got)
+	}
+	b.Release()
+	if Outstanding() != base+1 {
+		t.Fatal("buffer freed while a reference was held")
+	}
+	b.Release()
+	if Outstanding() != base {
+		t.Fatalf("outstanding = %d, want %d", Outstanding(), base)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Get(8)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainAfterFreePanics(t *testing.T) {
+	b := Get(8)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retain of released buffer did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestNilSafe(t *testing.T) {
+	var b *Buf
+	b.Release()
+	if b.Retain() != nil {
+		t.Fatal("nil retain returned non-nil")
+	}
+}
+
+func TestReuseResetsView(t *testing.T) {
+	b := Get(2048)
+	for i := range b.Data {
+		b.Data[i] = 0xFF
+	}
+	b.Data = b.Data[:7] // caller shrank the view
+	b.Release()
+	c := Get(2000)
+	if len(c.Data) != 2000 {
+		t.Fatalf("reused buffer view = %d bytes, want 2000", len(c.Data))
+	}
+	c.Release()
+}
+
+// TestConcurrentChurn exercises the pool under the race detector: many
+// goroutines get, retain, share and release buffers.
+func TestConcurrentChurn(t *testing.T) {
+	base := Outstanding()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := Get(64 + (seed+i)%4000)
+				b.Data[0] = byte(i)
+				b.Retain()
+				done := make(chan struct{})
+				go func() {
+					_ = b.Data[0]
+					b.Release()
+					close(done)
+				}()
+				b.Release()
+				<-done
+			}
+		}(g)
+	}
+	wg.Wait()
+	if Outstanding() != base {
+		t.Fatalf("outstanding after churn = %d, want %d", Outstanding(), base)
+	}
+}

@@ -1,6 +1,10 @@
 package ipc
 
-import "testing"
+import (
+	"testing"
+
+	"vkernel/internal/bufpool"
+)
 
 // TestAlienLRUEvictionOrder drives the alien table directly: eviction must
 // reclaim the least-recently-touched replied descriptor in order, never an
@@ -25,9 +29,11 @@ func TestAlienLRUEvictionOrder(t *testing.T) {
 	}
 	tab.mu.Unlock()
 
-	tab.cacheReply(a1, []byte("r1"))
-	tab.cacheReply(a2, []byte("r2"))
-	tab.cacheReply(a3, []byte("r3"))
+	for _, a := range []*alien{a1, a2, a3} {
+		f := bufpool.Get(8)
+		tab.cacheReply(a, f)
+		f.Release() // the table holds its own reference now
+	}
 
 	// Touch a1 (as answering a duplicate from the cache does): eviction
 	// order becomes a2, a3, a1.
@@ -66,7 +72,9 @@ func TestAlienLRUDropUnlinks(t *testing.T) {
 	tab.mu.Lock()
 	tab.m[7] = old
 	tab.mu.Unlock()
-	tab.cacheReply(old, []byte("r"))
+	f := bufpool.Get(8)
+	tab.cacheReply(old, f)
+	f.Release()
 	tab.drop(old)
 	tab.mu.Lock()
 	if tab.lruHead != nil || tab.lruTail != nil {
@@ -83,7 +91,9 @@ func TestAlienLRUDropUnlinks(t *testing.T) {
 	fresh := &alien{src: 9, seq: 2}
 	tab.m[9] = fresh
 	tab.mu.Unlock()
-	tab.cacheReply(stale, []byte("late"))
+	late := bufpool.Get(8)
+	tab.cacheReply(stale, late)
+	late.Release() // not stored: the stale descriptor is no longer current
 	tab.mu.Lock()
 	defer tab.mu.Unlock()
 	if stale.onLRU {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -186,7 +187,10 @@ func TestReplyCacheAnswersDuplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nb.handlePacket(buf)
+	f := bufpool.Get(len(buf))
+	copy(f.Data, buf)
+	nb.handlePacket(f)
+	f.Release()
 	time.Sleep(20 * time.Millisecond)
 	mu.Lock()
 	defer mu.Unlock()

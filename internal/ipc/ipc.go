@@ -19,6 +19,7 @@ import (
 	"errors"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -58,6 +59,10 @@ var (
 	ErrClosed           = errors.New("ipc: node closed")
 	ErrNameUnknown      = errors.New("ipc: logical name not resolved")
 	ErrPidsExhausted    = errors.New("ipc: all local process ids in use")
+	// ErrOverloaded reports that the receiver shed the message because its
+	// FCFS receive queue was full (backpressure Nack). The exchange was
+	// never delivered; the operation is safe to retry after backoff.
+	ErrOverloaded = errors.New("ipc: receiver overloaded (retryable)")
 )
 
 // Scope selects name-service visibility (§2.1).
@@ -87,6 +92,13 @@ type NodeConfig struct {
 	GetPidTimeout time.Duration
 	// GetPidRetries bounds lookup rounds.
 	GetPidRetries int
+	// ReceiveQueueDepth bounds each process's FCFS receive queue. A Send
+	// to a process whose queue is full is shed: remote senders get a Nack
+	// carrying the overload flag (their Send fails with ErrOverloaded,
+	// retryable), local senders get ErrOverloaded directly. 0 selects the
+	// generous default (1024); negative disables the bound. Individual
+	// processes can override with Proc.SetQueueLimit.
+	ReceiveQueueDepth int
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -114,19 +126,33 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.GetPidRetries == 0 {
 		c.GetPidRetries = 3
 	}
+	switch {
+	case c.ReceiveQueueDepth < 0:
+		c.ReceiveQueueDepth = 0 // unbounded
+	case c.ReceiveQueueDepth == 0:
+		c.ReceiveQueueDepth = 1024
+	}
 	return c
 }
 
 // Transport moves encoded interkernel packets between nodes. Delivery may
 // drop, duplicate or reorder packets; the protocol recovers.
+//
+// Buffer ownership: Send and Broadcast borrow pkt only for the duration
+// of the call — the caller may recycle it as soon as they return. On the
+// receive side the transport owns each frame: it holds one reference
+// across the handler upcall and releases it when the handler returns, so
+// a handler that needs frame bytes past its return (zero-copy dispatch)
+// must Retain the frame and Release it at last use.
 type Transport interface {
 	// Send transmits to one node, best effort.
 	Send(to LogicalHost, pkt []byte) error
 	// Broadcast transmits to all nodes, best effort.
 	Broadcast(pkt []byte) error
-	// SetHandler installs the receive upcall. The transport must call it
-	// serially or concurrently; the node handles its own locking.
-	SetHandler(h func(pkt []byte))
+	// SetHandler installs the receive upcall. The transport may call it
+	// serially or concurrently; the node handles its own locking. The
+	// frame is valid for the duration of the call unless retained.
+	SetHandler(h func(frame *bufpool.Buf))
 	// Close releases transport resources.
 	Close() error
 }

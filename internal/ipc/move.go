@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -28,8 +29,10 @@ type moveOp struct {
 	seq   uint32
 	proc  *Proc
 	peer  Pid
-	data  []byte // moveTo: source; moveFrom: destination buffer
-	base  uint32 // offset within the peer's granted segment
+	data  []byte   // moveFrom: destination buffer
+	vec   [][]byte // moveTo: gather list of source slices, streamed in order
+	size  uint32   // total transfer size in bytes
+	base  uint32   // offset within the peer's granted segment
 	ackCh chan moveResult
 	timer *time.Timer
 
@@ -73,8 +76,25 @@ func newRetransmitTimer(n *Node, ps *pendingSend) *time.Timer {
 
 // MoveTo copies data into the granted segment of dst at destOff. dst must
 // be awaiting a reply from this process and must have granted write access
-// (§2.1).
+// (§2.1). The data is borrowed for the duration of the call only: MoveTo
+// blocks until the transfer completes (or fails), after which the kernel
+// holds no reference to it — so callers may lend slices of long-lived
+// structures (pooled cache blocks) as long as they keep them alive across
+// the call.
 func (p *Proc) MoveTo(dst Pid, destOff uint32, data []byte) error {
+	return p.MoveToVec(dst, destOff, data)
+}
+
+// MoveToVec is MoveTo over a gather list: the concatenation of srcs is
+// moved into the granted segment of dst at destOff. Data packets are
+// assembled straight from the source slices into pooled wire frames, so
+// a bulk read served from several cached blocks needs no intermediate
+// staging copy. Borrowing rules are those of MoveTo.
+func (p *Proc) MoveToVec(dst Pid, destOff uint32, srcs ...[]byte) error {
+	total := 0
+	for _, s := range srcs {
+		total += len(s)
+	}
 	p.mu.Lock()
 	env, ok := p.received[dst]
 	p.mu.Unlock()
@@ -86,19 +106,32 @@ func (p *Proc) MoveTo(dst Pid, destOff uint32, data []byte) error {
 		if seg == nil || seg.Access&SegWrite == 0 {
 			return ErrNoAccess
 		}
-		if int(destOff)+len(data) > len(seg.Data) {
+		if int(destOff)+total > len(seg.Data) {
 			return ErrBadAddress
 		}
-		copy(seg.Data[destOff:], data)
+		at := destOff
+		for _, s := range srcs {
+			copy(seg.Data[at:], s)
+			at += uint32(len(s))
+		}
 		return nil
 	}
 	// Remote: validate against the alien's message grant, then stream.
 	if _, size, access, ok := env.alien.msg.Segment(); !ok || access&SegWrite == 0 {
 		return ErrNoAccess
-	} else if uint64(destOff)+uint64(len(data)) > uint64(size) {
+	} else if uint64(destOff)+uint64(total) > uint64(size) {
 		return ErrBadAddress
 	}
-	return p.node.runMove(p, moveTo, dst, destOff, data)
+	op := &moveOp{
+		kind:  moveTo,
+		proc:  p,
+		peer:  dst,
+		vec:   srcs,
+		size:  uint32(total),
+		base:  destOff,
+		ackCh: make(chan moveResult, 1),
+	}
+	return p.node.runMove(op)
 }
 
 // MoveFrom copies len(buf) bytes from the granted segment of src at
@@ -127,23 +160,24 @@ func (p *Proc) MoveFrom(src Pid, srcOff uint32, buf []byte) error {
 	} else if uint64(srcOff)+uint64(len(buf)) > uint64(size) {
 		return ErrBadAddress
 	}
-	return p.node.runMove(p, moveFrom, src, srcOff, buf)
+	op := &moveOp{
+		kind:  moveFrom,
+		proc:  p,
+		peer:  src,
+		data:  buf,
+		size:  uint32(len(buf)),
+		base:  srcOff,
+		ackCh: make(chan moveResult, 1),
+	}
+	return p.node.runMove(op)
 }
 
 // runMove drives one remote bulk transfer to completion.
-func (n *Node) runMove(p *Proc, kind moveKind, peer Pid, base uint32, data []byte) error {
-	if len(data) == 0 {
+func (n *Node) runMove(op *moveOp) error {
+	if op.size == 0 {
 		return nil
 	}
-	op := &moveOp{
-		kind:  kind,
-		seq:   n.nextSeq(),
-		proc:  p,
-		peer:  peer,
-		data:  data,
-		base:  base,
-		ackCh: make(chan moveResult, 1),
-	}
+	op.seq = n.nextSeq()
 	err := n.moves.add(op, func() *time.Timer {
 		return time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.moveTimeout(op) })
 	})
@@ -151,9 +185,9 @@ func (n *Node) runMove(p *Proc, kind moveKind, peer Pid, base uint32, data []byt
 		return err
 	}
 	n.stats.moveOps.Add(1)
-	n.stats.moveBytes.Add(int64(len(data)))
+	n.stats.moveBytes.Add(int64(op.size))
 
-	if kind == moveTo {
+	if op.kind == moveTo {
 		n.streamMoveTo(op, 0)
 	} else {
 		n.sendMoveFromReq(op, 0)
@@ -162,15 +196,39 @@ func (n *Node) runMove(p *Proc, kind moveKind, peer Pid, base uint32, data []byt
 	return res.err
 }
 
-// streamMoveTo transmits data packets from offset from.
+// gatherCopy fills dst from the concatenation of vec starting at byte
+// offset off (off + len(dst) must lie within the gather list).
+func gatherCopy(dst []byte, vec [][]byte, off uint32) {
+	skip := int(off)
+	for _, s := range vec {
+		if skip >= len(s) {
+			skip -= len(s)
+			continue
+		}
+		n := copy(dst, s[skip:])
+		dst = dst[n:]
+		skip = 0
+		if len(dst) == 0 {
+			return
+		}
+	}
+}
+
+// streamMoveTo transmits data packets from offset from. Each packet is
+// assembled once: source bytes are gathered straight into a pooled wire
+// frame around which the header is then written (EncodePrefilled), so the
+// only copy between the caller's memory and the transport is the wire
+// serialization itself.
 func (n *Node) streamMoveTo(op *moveOp, from uint32) {
 	chunk := uint32(n.cfg.ChunkSize)
-	count := uint32(len(op.data))
+	count := op.size
 	for off := from; off < count; off += chunk {
 		m := count - off
 		if m > chunk {
 			m = chunk
 		}
+		f := bufpool.Get(vproto.HeaderSize + vproto.MessageSize + int(m))
+		gatherCopy(f.Data[vproto.HeaderSize+vproto.MessageSize:], op.vec, off)
 		pkt := &vproto.Packet{
 			Kind:   vproto.KindMoveToData,
 			Seq:    op.seq,
@@ -178,13 +236,17 @@ func (n *Node) streamMoveTo(op *moveOp, from uint32) {
 			Dst:    op.peer,
 			Offset: off,
 			Count:  count,
-			Data:   op.data[off : off+m],
 		}
 		pkt.Msg.SetWord(1, op.base)
 		if off+m == count {
 			pkt.Flags |= vproto.FlagLast
 		}
-		n.send(pkt, op.peer.Host())
+		if _, err := pkt.EncodePrefilled(f.Data, int(m)); err != nil {
+			f.Release()
+			panic("ipc: " + err.Error())
+		}
+		_ = n.transport.Send(op.peer.Host(), f.Data)
+		f.Release()
 	}
 }
 
@@ -197,7 +259,7 @@ func (n *Node) sendMoveFromReq(op *moveOp, got uint32) {
 		Src:    op.proc.pid,
 		Dst:    op.peer,
 		Offset: got,
-		Count:  uint32(len(op.data)),
+		Count:  op.size,
 	}
 	pkt.Msg.SetWord(1, op.base)
 	n.send(pkt, op.peer.Host())
@@ -225,8 +287,7 @@ func (n *Node) moveTimeout(op *moveOp) {
 	if op.kind == moveTo {
 		// Resend only the final packet to re-elicit a progress ack.
 		chunk := uint32(n.cfg.ChunkSize)
-		count := uint32(len(op.data))
-		last := (count - 1) / chunk * chunk
+		last := (op.size - 1) / chunk * chunk
 		n.streamMoveTo(op, last)
 	} else {
 		op.mu.Lock()
@@ -335,7 +396,7 @@ func (n *Node) handleMoveAck(pkt *vproto.Packet) {
 		t.mu.Unlock()
 		return
 	}
-	if pkt.Flags&vproto.FlagLast != 0 && pkt.Offset >= uint32(len(op.data)) {
+	if pkt.Flags&vproto.FlagLast != 0 && pkt.Offset >= op.size {
 		op.done = true
 		delete(t.m, op.seq)
 		t.mu.Unlock()

@@ -3,6 +3,7 @@ package ipc
 import (
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -41,10 +42,12 @@ func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
 		Flags: vproto.FlagScopeRemote,
 	}
 	pkt.Msg.SetWord(1, logicalID)
-	buf, err := pkt.Encode()
-	if err != nil {
+	f := bufpool.Get(pkt.WireSize())
+	if _, err := pkt.EncodeInto(f.Data); err != nil {
+		f.Release()
 		return vproto.Nil
 	}
+	defer f.Release()
 
 	defer func() {
 		// Remove the waiter (if it is still registered).
@@ -63,7 +66,7 @@ func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
 	}()
 
 	for attempt := 0; attempt <= n.cfg.GetPidRetries; attempt++ {
-		_ = n.transport.Broadcast(buf)
+		_ = n.transport.Broadcast(f.Data)
 		select {
 		case pid := <-ch:
 			return pid

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -61,17 +62,33 @@ type alien struct {
 	src      Pid
 	seq      uint32
 	msg      Message
-	inline   []byte
 	awaiting Pid // local process that received the message
 	received bool
 	replied  bool
-	replyPkt []byte
+	// shed marks a message refused by receive-queue backpressure. The
+	// descriptor stays in the table (evictable) so duplicates of the shed
+	// Send keep being answered with the overload Nack instead of being
+	// delivered — ErrOverloaded promises the exchange never executed, and
+	// a late transport duplicate must not break that.
+	shed bool
+	// replyFrame is the encoded reply packet, cached so duplicate
+	// retransmissions are answered without re-executing the request. The
+	// table owns one reference, dropped when the descriptor is removed;
+	// senders of the cached frame retain around the transmit.
+	replyFrame *bufpool.Buf
 
 	// Intrusive LRU links. Only replied descriptors — the evictable ones —
 	// are on the list, ordered least- to most-recently touched; guarded by
 	// the alienTable lock.
 	lruPrev, lruNext *alien
 	onLRU            bool
+
+	// env is the delivery envelope for this descriptor's message,
+	// embedded so one Send costs one allocation instead of two. The
+	// envelope's lifecycle (receiver queue → received map → consumed) is
+	// never longer than the descriptor's reachability, and its fields are
+	// owned by the receiving process, not the table lock.
+	env envelope
 }
 
 // pendingSend is an outstanding remote Send from this node. Lifecycle
@@ -82,7 +99,7 @@ type pendingSend struct {
 	seq     uint32
 	proc    *Proc
 	dst     Pid
-	pkt     []byte // encoded, for retransmission
+	frame   *bufpool.Buf // the encoded Send, held for retransmission; owned by the sending goroutine, released after the result
 	seg     *Segment
 	io      sync.RWMutex
 	replyCh chan sendResult
@@ -102,10 +119,11 @@ func (ps *pendingSend) barrier() {
 }
 
 type sendResult struct {
-	msg  Message
-	err  error
-	data []byte // ReplyWithSegment payload
-	off  uint32
+	msg   Message
+	err   error
+	data  []byte // ReplyWithSegment payload (aliases frame)
+	off   uint32
+	frame *bufpool.Buf // retained receive frame backing data; receiver releases
 }
 
 type moveKey struct {
@@ -159,7 +177,12 @@ func (n *Node) Close() error {
 	for _, p := range n.procs.drain() {
 		p.close()
 	}
-	return n.transport.Close()
+	err := n.transport.Close()
+	// The transport has quiesced (no handler can run), so the cached
+	// reply frames can be returned to the pool; the table's closed flag
+	// keeps any straggling replier from caching new ones.
+	n.aliens.drainRelease()
+	return err
 }
 
 // nextSeq issues a fresh nonzero interkernel sequence number.
@@ -230,21 +253,28 @@ func (n *Node) removeProc(pid Pid) {
 // lookupProc returns a local process.
 func (n *Node) lookupProc(pid Pid) (*Proc, bool) { return n.procs.get(pid) }
 
-// send encodes and transmits a packet to the destination host.
+// send encodes into a pooled frame and transmits it to the destination
+// host; the frame is recycled as soon as the transport hands it back
+// (Transport.Send borrows, never keeps).
 func (n *Node) send(pkt *vproto.Packet, to LogicalHost) {
-	buf, err := pkt.Encode()
-	if err != nil {
+	f := bufpool.Get(pkt.WireSize())
+	if _, err := pkt.EncodeInto(f.Data); err != nil {
+		f.Release()
 		panic("ipc: " + err.Error())
 	}
-	_ = n.transport.Send(to, buf)
+	_ = n.transport.Send(to, f.Data)
+	f.Release()
 }
 
 // handlePacket is the transport upcall. Transports may invoke it from
 // many worker goroutines at once; every branch locks only the subsystem
-// it touches.
-func (n *Node) handlePacket(buf []byte) {
-	pkt, err := vproto.Decode(buf)
-	if err != nil {
+// it touches. Decoding is zero-copy: pkt.Data aliases the pooled frame,
+// which the transport recycles when this call returns — handlers that
+// need payload bytes past their return (delivered inline segments, reply
+// data handed to a blocked sender) retain f and release at last use.
+func (n *Node) handlePacket(f *bufpool.Buf) {
+	var pkt vproto.Packet
+	if err := vproto.DecodeInto(&pkt, f.Data); err != nil {
 		n.stats.badPackets.Add(1)
 		return
 	}
@@ -253,25 +283,25 @@ func (n *Node) handlePacket(buf []byte) {
 	}
 	switch pkt.Kind {
 	case vproto.KindSend:
-		n.handleSend(pkt)
+		n.handleSend(&pkt, f)
 	case vproto.KindReply:
-		n.handleReply(pkt)
+		n.handleReply(&pkt, f)
 	case vproto.KindReplyPending:
-		n.handleReplyPending(pkt)
+		n.handleReplyPending(&pkt)
 	case vproto.KindNack:
-		n.handleNack(pkt)
+		n.handleNack(&pkt)
 	case vproto.KindMoveToData:
-		n.handleMoveToData(pkt)
+		n.handleMoveToData(&pkt)
 	case vproto.KindMoveToAck:
-		n.handleMoveAck(pkt)
+		n.handleMoveAck(&pkt)
 	case vproto.KindMoveFromReq:
-		n.handleMoveFromReq(pkt)
+		n.handleMoveFromReq(&pkt)
 	case vproto.KindMoveFromData:
-		n.handleMoveFromData(pkt)
+		n.handleMoveFromData(&pkt)
 	case vproto.KindGetPid:
-		n.handleGetPid(pkt)
+		n.handleGetPid(&pkt)
 	case vproto.KindGetPidReply:
-		n.handleGetPidReply(pkt)
+		n.handleGetPidReply(&pkt)
 	default:
 		n.stats.badPackets.Add(1)
 	}
@@ -280,19 +310,41 @@ func (n *Node) handlePacket(buf []byte) {
 // handleSend implements §3.2 delivery with duplicate filtering. The
 // check-and-insert against the alien table is atomic under its lock, so
 // concurrent workers processing a duplicated Send cannot both deliver it.
-func (n *Node) handleSend(pkt *vproto.Packet) {
+func (n *Node) handleSend(pkt *vproto.Packet, f *bufpool.Buf) {
 	t := &n.aliens
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
 	if a, ok := t.m[pkt.Src]; ok {
 		switch {
 		case pkt.Seq == a.seq:
 			n.stats.dupsFiltered.Add(1)
-			if a.replied {
-				reply := a.replyPkt
-				t.lruTouchLocked(a) // answered from the cache: recently used
+			if a.shed {
+				// Duplicate of a message we refused under overload: shed
+				// it again (the first Nack may have been lost).
 				t.mu.Unlock()
-				n.stats.remoteReplies.Add(1)
-				_ = n.transport.Send(pkt.Src.Host(), reply)
+				n.stats.nacksSent.Add(1)
+				n.send(&vproto.Packet{
+					Kind:  vproto.KindNack,
+					Flags: vproto.FlagOverload,
+					Seq:   pkt.Seq,
+					Dst:   pkt.Src,
+				}, pkt.Src.Host())
+				return
+			}
+			if a.replied {
+				if reply := a.replyFrame; reply != nil {
+					reply.Retain() // keep valid across the transmit even if evicted now
+					t.lruTouchLocked(a)
+					t.mu.Unlock()
+					n.stats.remoteReplies.Add(1)
+					_ = n.transport.Send(pkt.Src.Host(), reply.Data)
+					reply.Release()
+					return
+				}
+				t.mu.Unlock()
 				return
 			}
 			t.mu.Unlock()
@@ -328,14 +380,44 @@ func (n *Node) handleSend(pkt *vproto.Packet) {
 		return
 	}
 	a := &alien{
-		src:    pkt.Src,
-		seq:    pkt.Seq,
-		msg:    pkt.Msg,
-		inline: pkt.Data,
+		src: pkt.Src,
+		seq: pkt.Seq,
+		msg: pkt.Msg,
+	}
+	a.env = envelope{from: pkt.Src, msg: pkt.Msg, alien: a}
+	env := &a.env
+	if len(pkt.Data) > 0 {
+		// The inline segment prefix aliases the receive frame; pin the
+		// frame until the exchange consumes it (zero-copy delivery).
+		env.inline = pkt.Data
+		env.frame = f.Retain()
 	}
 	t.m[pkt.Src] = a
 	t.mu.Unlock()
-	rcv.enqueue(&envelope{from: pkt.Src, msg: pkt.Msg, inline: pkt.Data, alien: a})
+	switch rcv.enqueue(env) {
+	case enqOK:
+	case enqClosed:
+		// Drop the descriptor so the sender's retransmission is Nacked
+		// rather than answered reply-pending.
+		env.releaseFrame()
+		n.aliens.drop(a)
+	case enqOverflow:
+		// Backpressure: shed the message and tell the sender it may
+		// retry (§3.2 Nack machinery with the overload flag). The
+		// descriptor is kept, marked shed and evictable, so a transport
+		// duplicate of this Send is shed too rather than delivered after
+		// the sender was already told the exchange never happened. A
+		// retry is a new Send with a higher seq and replaces it.
+		env.releaseFrame()
+		n.aliens.markShed(a)
+		n.stats.nacksSent.Add(1)
+		n.send(&vproto.Packet{
+			Kind:  vproto.KindNack,
+			Flags: vproto.FlagOverload,
+			Seq:   pkt.Seq,
+			Dst:   pkt.Src,
+		}, pkt.Src.Host())
+	}
 }
 
 func (n *Node) sendReplyPending(pkt *vproto.Packet) {
@@ -347,8 +429,10 @@ func (n *Node) sendReplyPending(pkt *vproto.Packet) {
 	}, pkt.Src.Host())
 }
 
-// handleReply completes an outstanding remote Send.
-func (n *Node) handleReply(pkt *vproto.Packet) {
+// handleReply completes an outstanding remote Send. Reply data is not
+// copied here: the receive frame is retained and handed to the blocked
+// sender, which copies straight into its granted segment and releases.
+func (n *Node) handleReply(pkt *vproto.Packet, f *bufpool.Buf) {
 	ps, ok := n.pending.take(pkt.Seq, pkt.Dst)
 	if !ok {
 		n.stats.dupsFiltered.Add(1)
@@ -356,7 +440,11 @@ func (n *Node) handleReply(pkt *vproto.Packet) {
 	}
 	ps.timer.Stop()
 	ps.barrier()
-	ps.replyCh <- sendResult{msg: pkt.Msg, data: pkt.Data, off: pkt.Offset}
+	res := sendResult{msg: pkt.Msg, data: pkt.Data, off: pkt.Offset}
+	if len(pkt.Data) > 0 {
+		res.frame = f.Retain()
+	}
+	ps.replyCh <- res
 }
 
 // handleReplyPending resets the retransmission budget (§3.2).
@@ -372,7 +460,9 @@ func (n *Node) handleReplyPending(pkt *vproto.Packet) {
 	ps.retries = 0
 }
 
-// handleNack fails an outstanding Send.
+// handleNack fails an outstanding Send: ErrNoProcess for a dead
+// destination, ErrOverloaded (retryable) when the receiver shed the
+// message under queue pressure.
 func (n *Node) handleNack(pkt *vproto.Packet) {
 	ps, ok := n.pending.take(pkt.Seq, pkt.Dst)
 	if !ok {
@@ -380,7 +470,11 @@ func (n *Node) handleNack(pkt *vproto.Packet) {
 	}
 	ps.timer.Stop()
 	ps.barrier()
-	ps.replyCh <- sendResult{err: ErrNoProcess}
+	err := ErrNoProcess
+	if pkt.Flags&vproto.FlagOverload != 0 {
+		err = ErrOverloaded
+	}
+	ps.replyCh <- sendResult{err: err}
 }
 
 // retransmit drives the §3.2 timeout machinery for one pending Send.
@@ -400,9 +494,13 @@ func (n *Node) retransmit(ps *pendingSend) {
 		ps.replyCh <- sendResult{err: ErrTimeout}
 		return
 	}
+	// Pin the encoded frame across the transmit: the owner releases it
+	// as soon as the exchange completes, which can race this timer.
+	f := ps.frame.Retain()
 	t.mu.Unlock()
 	n.stats.retransmits.Add(1)
-	_ = n.transport.Send(ps.dst.Host(), ps.pkt)
+	_ = n.transport.Send(ps.dst.Host(), f.Data)
+	f.Release()
 	ps.timer.Reset(n.cfg.RetransmitTimeout)
 }
 

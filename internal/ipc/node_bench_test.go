@@ -37,6 +37,7 @@ func benchmarkParallelSendReply(b *testing.B, clients int) {
 		pids[i] = echoOn(serverNode, 0)
 	}
 	per := b.N/clients + 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -107,6 +108,7 @@ func benchmarkParallelMoveTo(b *testing.B, clients, size int) {
 	}
 	per := b.N/clients + 1
 	b.SetBytes(int64(size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup

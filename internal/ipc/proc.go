@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -11,10 +12,29 @@ import (
 type envelope struct {
 	from   Pid
 	msg    Message
-	inline []byte   // segment prefix that travelled with a remote Send
-	local  *sendCtx // local sender context (nil for remote senders)
-	alien  *alien   // remote sender descriptor (nil for local senders)
+	inline []byte       // segment prefix that travelled with a remote Send (aliases frame)
+	frame  *bufpool.Buf // pinned receive frame backing inline; nil when no inline data
+	local  *sendCtx     // local sender context (nil for remote senders)
+	alien  *alien       // remote sender descriptor (nil for local senders)
 }
+
+// releaseFrame returns the pinned receive frame, if any. Called exactly
+// once per envelope, when the exchange is consumed (reply), superseded,
+// or dropped (shed, process death).
+func (env *envelope) releaseFrame() {
+	env.frame.Release()
+	env.frame = nil
+	env.inline = nil
+}
+
+// enqueue results.
+type enqStatus int
+
+const (
+	enqOK       enqStatus = iota
+	enqClosed             // receiver is gone
+	enqOverflow           // FCFS queue at its configured bound; message shed
+)
 
 // sendCtx is a blocked local sender.
 type sendCtx struct {
@@ -29,20 +49,42 @@ type Proc struct {
 	pid  Pid
 	name string
 
-	mu       sync.Mutex
-	queue    []*envelope
-	waiting  chan *envelope // non-nil while a Receive is blocked
-	received map[Pid]*envelope
-	closed   bool
+	mu         sync.Mutex
+	queue      []*envelope
+	queueLimit int  // max queued envelopes; 0 = unbounded
+	waiting    bool // a Receive is blocked on wake
+	wake       chan *envelope
+	received   map[Pid]*envelope
+	closed     bool
+
+	// sendRes is the per-process exchange-result channel, reused across
+	// Sends: a process has at most one outstanding Send (the primitive
+	// blocks its goroutine), so a single one-slot channel serves them all
+	// without a per-exchange allocation. The single-delivery discipline
+	// around pendingSend (take/drain/timeout mark done exactly once)
+	// guarantees no stale result can linger into the next Send.
+	sendRes chan sendResult
 }
 
 func newProc(n *Node, pid Pid, name string) *Proc {
 	return &Proc{
-		node:     n,
-		pid:      pid,
-		name:     name,
-		received: make(map[Pid]*envelope),
+		node:       n,
+		pid:        pid,
+		name:       name,
+		queueLimit: n.cfg.ReceiveQueueDepth,
+		wake:       make(chan *envelope, 1),
+		received:   make(map[Pid]*envelope),
+		sendRes:    make(chan sendResult, 1),
 	}
+}
+
+// SetQueueLimit overrides the node-wide FCFS receive-queue bound for this
+// process (0 disables the bound). Sends past the bound are shed with
+// ErrOverloaded — see NodeConfig.ReceiveQueueDepth.
+func (p *Proc) SetQueueLimit(n int) {
+	p.mu.Lock()
+	p.queueLimit = n
+	p.mu.Unlock()
 }
 
 // Pid returns the process identifier.
@@ -56,17 +98,23 @@ func (p *Proc) Node() *Node { return p.node }
 
 // close releases a blocked receiver, fails queued local senders, and
 // orphans remote senders' descriptors so their retransmissions are
-// Nacked (§3.2 process-death semantics).
+// Nacked (§3.2 process-death semantics). Pinned receive frames of
+// undelivered and unreplied exchanges go back to the pool.
 func (p *Proc) close() {
 	p.mu.Lock()
 	p.closed = true
-	w := p.waiting
-	p.waiting = nil
+	wasWaiting := p.waiting
+	p.waiting = false
 	q := p.queue
 	p.queue = nil
+	rcvd := make([]*envelope, 0, len(p.received))
+	for from, env := range p.received {
+		delete(p.received, from)
+		rcvd = append(rcvd, env)
+	}
 	p.mu.Unlock()
-	if w != nil {
-		close(w)
+	if wasWaiting {
+		p.wake <- nil // nil envelope: closed
 	}
 	for _, env := range q {
 		if env.local != nil {
@@ -74,6 +122,10 @@ func (p *Proc) close() {
 		} else if env.alien != nil {
 			p.node.aliens.drop(env.alien)
 		}
+		env.releaseFrame()
+	}
+	for _, env := range rcvd {
+		env.releaseFrame()
 	}
 	// Received-but-unreplied exchanges can never complete now; without
 	// their descriptors the senders' retransmissions turn into Nacks
@@ -81,29 +133,28 @@ func (p *Proc) close() {
 	p.node.aliens.dropAwaiting(p.pid)
 }
 
-// enqueue delivers an envelope, waking a blocked receiver if any.
-func (p *Proc) enqueue(env *envelope) {
+// enqueue delivers an envelope, waking a blocked receiver if any. The
+// caller handles non-OK statuses (sender notification, descriptor and
+// frame cleanup) — enqueue itself takes ownership only on enqOK.
+func (p *Proc) enqueue(env *envelope) enqStatus {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		if env.local != nil {
-			env.local.replyCh <- sendResult{err: ErrNoProcess}
-		} else if env.alien != nil {
-			// Drop the descriptor so the sender's retransmission is
-			// Nacked rather than answered reply-pending.
-			p.node.aliens.drop(env.alien)
-		}
-		return
+		return enqClosed
 	}
-	if p.waiting != nil {
-		w := p.waiting
-		p.waiting = nil
+	if p.waiting {
+		p.waiting = false
 		p.mu.Unlock()
-		w <- env
-		return
+		p.wake <- env
+		return enqOK
+	}
+	if p.queueLimit > 0 && len(p.queue) >= p.queueLimit {
+		p.mu.Unlock()
+		return enqOverflow
 	}
 	p.queue = append(p.queue, env)
 	p.mu.Unlock()
+	return enqOK
 }
 
 // Send sends msg to dst and blocks until the receiver replies; the reply
@@ -121,8 +172,13 @@ func (p *Proc) Send(msg *Message, dst Pid, seg *Segment) error {
 	if !ok {
 		return ErrNoProcess
 	}
-	ctx := &sendCtx{from: p.pid, seg: seg, replyCh: make(chan sendResult, 1)}
-	target.enqueue(&envelope{from: p.pid, msg: *msg, local: ctx})
+	ctx := &sendCtx{from: p.pid, seg: seg, replyCh: p.sendRes}
+	switch target.enqueue(&envelope{from: p.pid, msg: *msg, local: ctx}) {
+	case enqClosed:
+		return ErrNoProcess
+	case enqOverflow:
+		return ErrOverloaded
+	}
 	res := <-ctx.replyCh
 	if res.err != nil {
 		return res.err
@@ -131,7 +187,10 @@ func (p *Proc) Send(msg *Message, dst Pid, seg *Segment) error {
 	return nil
 }
 
-// remoteSend implements the non-local Send path (§3.2).
+// remoteSend implements the non-local Send path (§3.2). The Send packet
+// is encoded once into a pooled frame that lives for the whole exchange
+// (retransmissions pin it); the inline segment prefix is copied straight
+// from the granted segment into the frame, with no intermediate buffer.
 func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 	n := p.node
 	pkt := &vproto.Packet{
@@ -146,36 +205,41 @@ func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 		if m > n.cfg.InlineSegMax {
 			m = n.cfg.InlineSegMax
 		}
-		pkt.Data = append([]byte(nil), seg.Data[:m]...)
+		pkt.Data = seg.Data[:m] // borrowed for the encode below only
 		pkt.Count = uint32(m)
 	}
-	buf, err := pkt.Encode()
-	if err != nil {
+	f := bufpool.Get(pkt.WireSize())
+	if _, err := pkt.EncodeInto(f.Data); err != nil {
+		f.Release()
 		return err
 	}
 	ps := &pendingSend{
 		seq:     pkt.Seq,
 		proc:    p,
 		dst:     dst,
-		pkt:     buf,
+		frame:   f,
 		seg:     seg,
-		replyCh: make(chan sendResult, 1),
+		replyCh: p.sendRes,
 	}
 	if err := n.pending.add(ps, func() *time.Timer { return newRetransmitTimer(n, ps) }); err != nil {
+		f.Release()
 		return err
 	}
 	n.stats.remoteSends.Add(1)
 
-	_ = n.transport.Send(dst.Host(), buf)
+	_ = n.transport.Send(dst.Host(), f.Data)
 	res := <-ps.replyCh
-	if res.err != nil {
-		return res.err
-	}
-	// ReplyWithSegment data lands in the granted segment.
-	if len(res.data) > 0 && seg != nil && seg.Access&SegWrite != 0 {
+	f.Release() // exchange over; in-flight retransmits hold their own refs
+	// ReplyWithSegment data lands in the granted segment straight from
+	// the retained receive frame.
+	if res.err == nil && len(res.data) > 0 && seg != nil && seg.Access&SegWrite != 0 {
 		if int(res.off)+len(res.data) <= len(seg.Data) {
 			copy(seg.Data[res.off:], res.data)
 		}
+	}
+	res.frame.Release()
+	if res.err != nil {
+		return res.err
 	}
 	*msg = res.msg
 	return nil
@@ -207,18 +271,41 @@ func (p *Proc) receive(buf []byte) (Message, Pid, int, error) {
 		p.queue = p.queue[1:]
 		p.mu.Unlock()
 	} else {
-		w := make(chan *envelope, 1)
-		p.waiting = w
+		// Block on the reusable wake channel: exactly one producer (the
+		// enqueue or close that flips waiting back off under the lock)
+		// hands over per wait cycle, so the one-slot channel never blocks
+		// a sender and never carries stale envelopes.
+		p.waiting = true
 		p.mu.Unlock()
-		var ok bool
-		env, ok = <-w
-		if !ok {
+		env = <-p.wake
+		if env == nil {
 			return Message{}, vproto.Nil, 0, ErrClosed
 		}
 	}
 	p.mu.Lock()
+	if p.closed {
+		// The process died between the handoff and here; the exchange can
+		// never be replied. Settle it exactly as close() settles queued
+		// envelopes — fail a local sender, drop a remote sender's
+		// descriptor so its retransmission is Nacked instead of answered
+		// reply-pending forever — and return the pinned frame.
+		p.mu.Unlock()
+		if env.local != nil {
+			env.local.replyCh <- sendResult{err: ErrNoProcess}
+		} else if env.alien != nil {
+			p.node.aliens.drop(env.alien)
+		}
+		env.releaseFrame()
+		return Message{}, vproto.Nil, 0, ErrClosed
+	}
+	old := p.received[env.from]
 	p.received[env.from] = env
 	p.mu.Unlock()
+	if old != nil {
+		// A newer message from the same sender superseded an exchange
+		// that was never replied; the orphaned envelope's frame is done.
+		old.releaseFrame()
+	}
 	if env.alien != nil {
 		p.node.aliens.markReceived(env.alien, p.pid)
 	}
@@ -300,6 +387,7 @@ func (p *Proc) reply(msg *Message, dst Pid, destOff uint32, data []byte) error {
 	}
 	delete(p.received, dst)
 	p.mu.Unlock()
+	env.releaseFrame() // the inline prefix can't be consumed anymore
 	if env.local != nil {
 		if len(data) > 0 {
 			copy(env.local.seg.Data[destOff:], data)
@@ -310,7 +398,12 @@ func (p *Proc) reply(msg *Message, dst Pid, destOff uint32, data []byte) error {
 	return p.node.remoteReply(p, msg, env.alien, destOff, data)
 }
 
-// remoteReply transmits and caches the reply packet (§3.2, §3.4).
+// remoteReply transmits and caches the reply packet (§3.2, §3.4). The
+// caller's data is borrowed only for the encode — it is copied exactly
+// once, into the pooled reply frame — so repliers can hand segments of
+// long-lived structures (a server's block cache) without defensive
+// copies. The frame itself stays alive in the reply cache until the
+// descriptor is evicted.
 func (n *Node) remoteReply(p *Proc, msg *Message, a *alien, destOff uint32, data []byte) error {
 	if len(data) > vproto.MaxData {
 		return ErrSegTooBig
@@ -330,16 +423,16 @@ func (n *Node) remoteReply(p *Proc, msg *Message, a *alien, destOff uint32, data
 		Offset: destOff,
 		Count:  uint32(len(data)),
 		Msg:    *msg,
+		Data:   data, // borrowed for the encode below only
 	}
-	if len(data) > 0 {
-		pkt.Data = append([]byte(nil), data...)
-	}
-	buf, err := pkt.Encode()
-	if err != nil {
+	f := bufpool.Get(pkt.WireSize())
+	if _, err := pkt.EncodeInto(f.Data); err != nil {
+		f.Release()
 		return err
 	}
-	n.aliens.cacheReply(a, buf)
+	n.aliens.cacheReply(a, f)
 	n.stats.remoteReplies.Add(1)
-	_ = n.transport.Send(a.src.Host(), buf)
+	_ = n.transport.Send(a.src.Host(), f.Data)
+	f.Release()
 	return nil
 }

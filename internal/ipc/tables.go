@@ -3,6 +3,8 @@ package ipc
 import (
 	"sync"
 	"time"
+
+	"vkernel/internal/bufpool"
 )
 
 // The node's state is decomposed into independently locked subsystems so
@@ -24,6 +26,7 @@ type alienTable struct {
 	m       map[Pid]*alien
 	lruHead *alien // least recently touched replied descriptor
 	lruTail *alien // most recently touched
+	closed  bool   // set by drainRelease; no descriptors or frames after
 }
 
 func (t *alienTable) init() { t.m = make(map[Pid]*alien) }
@@ -80,16 +83,18 @@ func (t *alienTable) evictLocked() bool {
 	if victim == nil {
 		return false
 	}
-	t.lruUnlinkLocked(victim)
-	delete(t.m, victim.src)
+	t.removeLocked(victim)
 	return true
 }
 
-// removeLocked deletes a's map entry and eviction-list membership; caller
-// holds t.mu.
+// removeLocked deletes a's map entry and eviction-list membership and
+// returns the table's reference on the cached reply frame; caller holds
+// t.mu. In-flight transmitters of the frame hold their own references.
 func (t *alienTable) removeLocked(a *alien) {
 	t.lruUnlinkLocked(a)
 	delete(t.m, a.src)
+	a.replyFrame.Release()
+	a.replyFrame = nil
 }
 
 // markReceived records delivery of the alien's message to a local process.
@@ -100,15 +105,34 @@ func (t *alienTable) markReceived(a *alien, by Pid) {
 	t.mu.Unlock()
 }
 
-// cacheReply stores the encoded reply packet so duplicate retransmissions
+// cacheReply stores the encoded reply frame so duplicate retransmissions
 // are answered without re-executing the request, and makes the descriptor
-// evictable.
-func (t *alienTable) cacheReply(a *alien, pkt []byte) {
+// evictable. The table takes its own reference on the frame — dropped
+// when the descriptor goes — unless the descriptor was already replaced
+// or the table has shut down, in which case the frame is left to the
+// caller alone.
+func (t *alienTable) cacheReply(a *alien, f *bufpool.Buf) {
 	t.mu.Lock()
 	a.replied = true
-	a.replyPkt = pkt
-	if t.m[a.src] == a && !a.onLRU {
-		t.lruPushLocked(a)
+	if !t.closed && t.m[a.src] == a {
+		a.replyFrame = f.Retain()
+		if !a.onLRU {
+			t.lruPushLocked(a)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// markShed flags the descriptor's message as refused by backpressure and
+// makes the descriptor evictable: it only exists to keep filtering
+// duplicates of the shed Send, so it must not pin table capacity.
+func (t *alienTable) markShed(a *alien) {
+	t.mu.Lock()
+	if t.m[a.src] == a {
+		a.shed = true
+		if !a.onLRU {
+			t.lruPushLocked(a)
+		}
 	}
 	t.mu.Unlock()
 }
@@ -134,6 +158,20 @@ func (t *alienTable) dropAwaiting(pid Pid) {
 			t.removeLocked(a)
 		}
 	}
+	t.mu.Unlock()
+}
+
+// drainRelease closes the table, returning every cached reply frame to
+// the pool. Called once, after the node's transport has quiesced.
+func (t *alienTable) drainRelease() {
+	t.mu.Lock()
+	t.closed = true
+	for _, a := range t.m {
+		a.replyFrame.Release()
+		a.replyFrame = nil
+	}
+	t.m = map[Pid]*alien{}
+	t.lruHead, t.lruTail = nil, nil
 	t.mu.Unlock()
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -42,15 +43,23 @@ func dispatchWorkers(limit int) int {
 // handled inline in the single socket read loop, so one host's packet
 // processing scales across cores; the handler must therefore be safe for
 // concurrent invocation (Node is).
+//
+// Receive buffers are pooled and reference counted. The read loop fills a
+// fresh pooled frame per datagram and transfers its single reference to
+// the queue; the worker that dequeues it owns that reference across the
+// handler upcall and releases it when the handler returns. The read loop
+// never touches a frame after handing it off, so a worker can never
+// observe a recycled buffer mid-dispatch — the lifetime audit is the ref
+// count.
 type UDPTransport struct {
 	conn    *net.UDPConn
-	handler atomic.Pointer[func([]byte)]
+	handler atomic.Pointer[func(*bufpool.Buf)]
 
 	mu      sync.Mutex
 	peers   map[LogicalHost]*net.UDPAddr
 	closed  bool
 	started bool
-	queue   chan []byte
+	queue   chan *bufpool.Buf
 	wg      sync.WaitGroup
 }
 
@@ -69,7 +78,7 @@ func NewUDPTransport(listen string) (*UDPTransport, error) {
 	return &UDPTransport{
 		conn:  conn,
 		peers: make(map[LogicalHost]*net.UDPAddr),
-		queue: make(chan []byte, udpQueueDepth),
+		queue: make(chan *bufpool.Buf, udpQueueDepth),
 	}, nil
 }
 
@@ -84,33 +93,38 @@ func (t *UDPTransport) AddPeer(host LogicalHost, addr *net.UDPAddr) {
 }
 
 // readLoop pulls datagrams off the socket and feeds the worker pool. It
-// owns the queue and closes it on socket shutdown.
+// owns the queue and closes it on socket shutdown. Each datagram lands
+// in its own pooled frame whose single reference rides the queue to a
+// worker — no copy, and no reuse until that worker's release. Datagrams
+// larger than a maximal interkernel packet are truncated and fail the
+// decode checksum, as any non-protocol traffic does.
 func (t *UDPTransport) readLoop() {
 	defer t.wg.Done()
 	defer close(t.queue)
-	buf := make([]byte, 64*1024)
 	for {
-		n, from, err := t.conn.ReadFromUDP(buf)
+		f := bufpool.Get(vproto.MaxWireSize)
+		n, from, err := t.conn.ReadFromUDP(f.Data)
 		if err != nil {
+			f.Release()
 			return // closed
 		}
-		t.learn(buf[:n], from)
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		t.queue <- pkt
+		f.Data = f.Data[:n]
+		t.learn(f.Data, from)
+		t.queue <- f
 	}
 }
 
-// worker drains the queue, invoking the handler on each packet. The
-// handler is an atomic pointer rather than a field under t.mu, so
-// dispatch never contends on the transport mutex and later SetHandler
-// calls still take effect.
+// worker drains the queue, invoking the handler on each frame and
+// returning the queue's reference afterwards. The handler is an atomic
+// pointer rather than a field under t.mu, so dispatch never contends on
+// the transport mutex and later SetHandler calls still take effect.
 func (t *UDPTransport) worker() {
 	defer t.wg.Done()
-	for pkt := range t.queue {
+	for f := range t.queue {
 		if h := t.handler.Load(); h != nil {
-			(*h)(pkt)
+			(*h)(f)
 		}
+		f.Release()
 	}
 }
 
@@ -171,7 +185,7 @@ func (t *UDPTransport) Broadcast(pkt []byte) error {
 // SetHandler implements Transport. The first call starts the read loop
 // and worker pool; installing the handler before any packet can be read
 // closes the seed's startup race where early datagrams were dropped.
-func (t *UDPTransport) SetHandler(h func([]byte)) {
+func (t *UDPTransport) SetHandler(h func(*bufpool.Buf)) {
 	if h == nil {
 		t.handler.Store(nil)
 	} else {

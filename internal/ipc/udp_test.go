@@ -2,9 +2,12 @@ package ipc
 
 import (
 	"bytes"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/vproto"
 )
 
@@ -116,6 +119,85 @@ func TestUDPProgramLoadSizedMoveTo(t *testing.T) {
 	}
 	if !bytes.Equal(buf, img) {
 		t.Fatal("256 KB image corrupted over UDP")
+	}
+}
+
+// TestUDPDispatchBufferLifetime guards the pooled receive path's
+// ownership rule: a dispatched frame must not be recycled while a worker
+// — or anyone the worker lent it to — still reads it. The handler holds
+// each frame past its return (Retain) and verifies the payload from a
+// separate goroutine after a delay; if the read loop reused frames it had
+// already handed off, the delayed readers would observe bytes of newer
+// datagrams (corruption below) or race the socket read (caught by -race).
+func TestUDPDispatchBufferLifetime(t *testing.T) {
+	ta, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.AddPeer(2, tb.Addr())
+
+	const packets = 300
+	const payload = 512
+	var verified, corrupted atomic.Int32
+	var wg sync.WaitGroup
+	tb.SetHandler(func(f *bufpool.Buf) {
+		var pkt vproto.Packet
+		if err := vproto.DecodeInto(&pkt, f.Data); err != nil {
+			return // startup noise or truncation: not what this test checks
+		}
+		seq := pkt.Seq
+		data := pkt.Data // aliases the pooled frame
+		f.Retain()       // keep the frame alive past the handler's return
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer f.Release()
+			time.Sleep(2 * time.Millisecond) // let the read loop run far ahead
+			for i, b := range data {
+				if b != byte(int(seq)*7+i) {
+					corrupted.Add(1)
+					return
+				}
+			}
+			verified.Add(1)
+		}()
+	})
+
+	for seq := uint32(1); seq <= packets; seq++ {
+		pkt := &vproto.Packet{Kind: vproto.KindMoveToData, Seq: seq, Dst: vproto.MakePid(2, 1),
+			Count: payload, Data: make([]byte, payload)}
+		for i := range pkt.Data {
+			pkt.Data[i] = byte(int(seq)*7 + i)
+		}
+		buf, err := pkt.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ta.Send(2, buf); err != nil {
+			t.Fatal(err)
+		}
+		if seq%32 == 0 {
+			time.Sleep(time.Millisecond) // pace to keep loopback loss low
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for verified.Load()+corrupted.Load() < packets && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = tb.Close() // quiesce workers before counting
+	wg.Wait()
+	if corrupted.Load() > 0 {
+		t.Fatalf("%d frames were recycled while still lent out", corrupted.Load())
+	}
+	// Loopback UDP may drop under burst; corruption is the failure mode,
+	// loss is not. Still require most packets to have made it through.
+	if verified.Load() < packets/2 {
+		t.Fatalf("only %d/%d packets verified; transport lost too much", verified.Load(), packets)
 	}
 }
 

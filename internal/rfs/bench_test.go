@@ -45,22 +45,28 @@ func benchEnv(b *testing.B, flavor string) *env {
 }
 
 // run drives clients goroutines, each looping op until the shared
-// iteration budget is spent, and reports ops/s.
-func run(b *testing.B, e *env, clients int, bytesPer int, op func(c *Client, i int) error) {
+// iteration budget is spent, and reports ops/s. Each goroutine gets one
+// reusable scratch buffer (the page/image buffer a real program would own)
+// so that ReportAllocs measures the data path itself — client stubs, both
+// nodes, transport, server, cache — as allocs/op and B/op, the figure of
+// merit for the pooled zero-copy path.
+func run(b *testing.B, e *env, clients int, bytesPer int, op func(c *Client, scratch []byte, i int) error) {
 	per := b.N/clients + 1
 	if bytesPer > 0 {
 		b.SetBytes(int64(bytesPer))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for g := 0; g < clients; g++ {
 		c := e.client(b, fmt.Sprintf("bench%d", g))
+		scratch := make([]byte, bytesPer)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if err := op(c, i); err != nil {
+				if err := op(c, scratch, i); err != nil {
 					b.Error(err)
 					return
 				}
@@ -83,9 +89,8 @@ func BenchmarkPageRead(b *testing.B) {
 		for _, clients := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
 				e := benchEnv(b, flavor)
-				run(b, e, clients, 512, func(c *Client, i int) error {
-					buf := make([]byte, 512)
-					_, err := c.ReadBlock(benchFile, uint32(i%256), buf)
+				run(b, e, clients, 512, func(c *Client, scratch []byte, i int) error {
+					_, err := c.ReadBlock(benchFile, uint32(i%256), scratch)
 					return err
 				})
 			})
@@ -101,7 +106,7 @@ func BenchmarkPageWrite(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
 				e := benchEnv(b, flavor)
 				page := pattern(3, 512)
-				run(b, e, clients, 512, func(c *Client, i int) error {
+				run(b, e, clients, 512, func(c *Client, _ []byte, i int) error {
 					return c.WriteBlock(benchFile, uint32(i%256), page)
 				})
 			})
@@ -117,9 +122,8 @@ func BenchmarkReadLarge64K(b *testing.B) {
 		for _, clients := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
 				e := benchEnv(b, flavor)
-				run(b, e, clients, size, func(c *Client, i int) error {
-					buf := make([]byte, size)
-					n, err := c.ReadLarge(benchFile, 0, buf)
+				run(b, e, clients, size, func(c *Client, scratch []byte, i int) error {
+					n, err := c.ReadLarge(benchFile, 0, scratch)
 					if err == nil && n != size {
 						return fmt.Errorf("short read: %d", n)
 					}

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"vkernel/internal/bufpool"
 )
 
 // blockID names one cached block.
@@ -14,8 +16,18 @@ type blockID struct {
 
 // blockCache is the server's in-memory block cache with LRU replacement.
 // It caches read data only: writes go through to the store and invalidate
-// the affected blocks, so a cached slice is an immutable snapshot and may
-// be handed to concurrent readers without copying.
+// the affected blocks, so a cached block is an immutable snapshot and may
+// be lent to concurrent readers without copying.
+//
+// Blocks are pooled, reference-counted buffers. The cache holds one
+// reference per entry; get hands the caller another, so a block lent to
+// an in-flight reply or bulk transfer survives invalidation or eviction —
+// the pool cannot recycle it until the borrower's Release — while the
+// cache itself drops stale data immediately. That is what makes serving
+// straight from cache memory safe with recycled buffers: invalidate never
+// frees a lent block, it only severs it from the cache (the borrower
+// finishes with the consistent pre-write snapshot, exactly as a reply
+// already on the wire would).
 //
 // A miss is filled outside the lock (the store read may block), which
 // opens a race: read old bytes from the store, lose the CPU to a
@@ -37,8 +49,8 @@ type blockCache struct {
 }
 
 type cacheEntry struct {
-	id   blockID
-	data []byte
+	id  blockID
+	buf *bufpool.Buf
 }
 
 func newBlockCache(capacity int) *blockCache {
@@ -49,9 +61,10 @@ func newBlockCache(capacity int) *blockCache {
 	}
 }
 
-// get returns the cached block, marking it most recently used. Callers
-// must not mutate the returned slice.
-func (c *blockCache) get(id blockID) ([]byte, bool) {
+// get returns the cached block with a reference for the caller (Release
+// when done), marking it most recently used. Callers must not mutate the
+// block's bytes.
+func (c *blockCache) get(id blockID) (*bufpool.Buf, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[id]
@@ -61,7 +74,7 @@ func (c *blockCache) get(id blockID) ([]byte, bool) {
 	}
 	c.hits.Add(1)
 	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).data, true
+	return el.Value.(*cacheEntry).buf.Retain(), true
 }
 
 // contains reports presence without touching recency or hit counters.
@@ -83,30 +96,37 @@ func (c *blockCache) genOf(id blockID) *atomic.Uint64 {
 func (c *blockCache) snapshot(id blockID) uint64 { return c.genOf(id).Load() }
 
 // put inserts or refreshes a block, evicting the least recently used
-// entry past capacity; the cache takes ownership of data. The insert is
-// skipped if the block was invalidated since gen was snapshotted — the
-// data was read before a concurrent write and is stale.
-func (c *blockCache) put(id blockID, data []byte, gen uint64) {
+// entry past capacity. The cache takes its own reference on buf; the
+// caller keeps (and eventually releases) its own. The insert is skipped
+// if the block was invalidated since gen was snapshotted — the data was
+// read before a concurrent write and is stale.
+func (c *blockCache) put(id blockID, buf *bufpool.Buf, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.genOf(id).Load() != gen {
 		return
 	}
 	if el, ok := c.entries[id]; ok {
-		el.Value.(*cacheEntry).data = data
+		e := el.Value.(*cacheEntry)
+		e.buf.Release()
+		e.buf = buf.Retain()
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, data: data})
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, buf: buf.Retain()})
 	if c.lru.Len() > c.capacity {
 		back := c.lru.Back()
 		c.lru.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).id)
+		e := back.Value.(*cacheEntry)
+		delete(c.entries, e.id)
+		e.buf.Release()
 	}
 }
 
 // invalidate drops a block (after a write-through made it stale) and
 // stamps the invalidation so in-flight miss fills cannot resurrect it.
+// Borrowers of the block are unaffected: only the cache's reference is
+// dropped.
 func (c *blockCache) invalidate(id blockID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -114,6 +134,7 @@ func (c *blockCache) invalidate(id blockID) {
 	if el, ok := c.entries[id]; ok {
 		c.lru.Remove(el)
 		delete(c.entries, id)
+		el.Value.(*cacheEntry).buf.Release()
 	}
 }
 
@@ -127,6 +148,7 @@ func (c *blockCache) invalidateFile(file uint32) {
 		if e := el.Value.(*cacheEntry); e.id.file == file {
 			c.lru.Remove(el)
 			delete(c.entries, e.id)
+			e.buf.Release()
 		}
 		el = next
 	}
@@ -135,6 +157,17 @@ func (c *blockCache) invalidateFile(file uint32) {
 	for i := range c.gens {
 		c.gens[i].Add(1)
 	}
+}
+
+// clear returns every cached block to the pool (server shutdown).
+func (c *blockCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		el.Value.(*cacheEntry).buf.Release()
+	}
+	c.lru.Init()
+	c.entries = make(map[blockID]*list.Element)
 }
 
 func (c *blockCache) len() int {

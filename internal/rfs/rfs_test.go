@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/ipc"
 )
 
@@ -18,9 +19,33 @@ type env struct {
 	store      Store
 }
 
+// leakCheck registers a cleanup — running after the scenario's own
+// teardown — that asserts every pooled buffer the scenario took was
+// returned: outstanding buffers must drain to zero once the nodes, mesh
+// and server have closed. Stragglers (blocked senders releasing their
+// frames just after Close returns) get a grace period.
+func leakCheck(t testing.TB) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := bufpool.Outstanding()
+			if n == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("bufpool leak: %d buffers still outstanding after teardown", n)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
 // memEnv builds the pair on an in-memory mesh.
 func memEnv(t testing.TB, faults ipc.FaultConfig, nodeCfg ipc.NodeConfig, cfg Config) *env {
 	t.Helper()
+	leakCheck(t)
 	mesh := ipc.NewMemNetwork(7, faults)
 	serverNode := ipc.NewNode(1, mesh.Transport(1), nodeCfg)
 	clientNode := ipc.NewNode(2, mesh.Transport(2), nodeCfg)
@@ -41,6 +66,7 @@ func memEnv(t testing.TB, faults ipc.FaultConfig, nodeCfg ipc.NodeConfig, cfg Co
 // udpEnv builds the pair on loopback UDP sockets.
 func udpEnv(t testing.TB, cfg Config) *env {
 	t.Helper()
+	leakCheck(t)
 	trS, err := ipc.NewUDPTransport("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/ipc"
 	"vkernel/internal/vproto"
 )
@@ -27,6 +28,13 @@ type Config struct {
 	// the workers (0 → 128). A full queue blocks the receive loop; waiting
 	// clients are held in their exchanges by reply-pending packets.
 	QueueDepth int
+	// ReceiveQueueDepth bounds the server process's FCFS receive queue —
+	// the exchanges that pile up behind a blocked receive loop. Past the
+	// bound the kernel sheds new Sends with an overload Nack, which the
+	// client stub surfaces as ipc.ErrOverloaded (retryable), instead of
+	// growing memory without limit. 0 → a generous 1024; negative
+	// disables the bound.
+	ReceiveQueueDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +61,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
+	}
+	switch {
+	case c.ReceiveQueueDepth < 0:
+		c.ReceiveQueueDepth = 0 // unbounded
+	case c.ReceiveQueueDepth == 0:
+		c.ReceiveQueueDepth = 1024
 	}
 	return c
 }
@@ -88,13 +102,18 @@ type serverCounters struct {
 	prefetches  atomic.Int64
 }
 
-// request is one received exchange awaiting a worker.
+// request is one received exchange awaiting a worker. Requests are
+// pooled: the receive loop takes one per exchange, the handling worker
+// returns it.
 type request struct {
 	msg    ipc.Message
 	src    ipc.Pid
-	buf    []byte // staging: holds the inline segment prefix, reused for MoveFrom pulls
-	inline int    // bytes of buf filled by the Send's inline prefix
+	frame  *bufpool.Buf // pooled staging buffer backing buf; released after handling
+	buf    []byte       // staging: holds the inline segment prefix, reused for MoveFrom pulls
+	inline int          // bytes of buf filled by the Send's inline prefix
 }
+
+var requestPool = sync.Pool{New: func() any { return new(request) }}
 
 // Server is a real networked V file server: one V process receiving the
 // Verex I/O protocol, a bounded worker pool executing requests, an LRU
@@ -116,6 +135,7 @@ type Server struct {
 	closed  sync.Once
 
 	raMu       sync.Mutex
+	raWG       sync.WaitGroup // outstanding read-ahead goroutines
 	raInflight map[blockID]bool
 
 	stats serverCounters
@@ -138,6 +158,7 @@ func Start(node *ipc.Node, store Store, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.proc = proc
+	proc.SetQueueLimit(s.cfg.ReceiveQueueDepth)
 	proc.SetPid(LogicalFileServer, proc.Pid(), ipc.ScopeBoth)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -169,26 +190,33 @@ func (s *Server) Stats() Stats {
 }
 
 // Close stops the server: the receive loop unblocks, queued requests
-// drain, and the workers exit. The backing store is not closed.
+// drain, the workers exit, in-flight read-aheads land, and the block
+// cache returns its buffers to the pool. The backing store is not closed.
 func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.node.Detach(s.proc)
 		s.workers.Wait()
+		s.raWG.Wait()
+		s.cache.clear()
 	})
 }
 
 // serve is the receive loop: it pulls exchanges off the process queue and
-// hands them to the worker pool. Each request gets its own staging buffer
-// because workers process them concurrently.
+// hands them to the worker pool. Each request gets its own pooled staging
+// buffer because workers process them concurrently; the worker returns it
+// after handling.
 func (s *Server) serve(p *ipc.Proc) {
 	defer close(s.queue)
 	for {
-		buf := make([]byte, vproto.MaxData)
-		msg, src, n, err := p.ReceiveWithSegment(buf)
+		f := bufpool.Get(vproto.MaxData)
+		msg, src, n, err := p.ReceiveWithSegment(f.Data)
 		if err != nil {
+			f.Release()
 			return
 		}
-		s.queue <- &request{msg: msg, src: src, buf: buf, inline: n}
+		req := requestPool.Get().(*request)
+		*req = request{msg: msg, src: src, frame: f, buf: f.Data, inline: n}
+		s.queue <- req
 	}
 }
 
@@ -196,6 +224,9 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for req := range s.queue {
 		s.handle(req)
+		req.frame.Release()
+		*req = request{}
+		requestPool.Put(req)
 	}
 }
 
@@ -249,21 +280,23 @@ func statusFor(err error) uint32 {
 }
 
 // getBlock returns the block through the cache, zero-padded to a full
-// block. The returned slice is shared and must not be written. The miss
-// fill is generation-stamped so a write-through racing the store read
-// cannot leave stale bytes cached (see blockCache).
-func (s *Server) getBlock(file, block uint32) ([]byte, error) {
+// block, with a reference for the caller (Release when done). The block's
+// bytes are shared and must not be written. The miss fill is
+// generation-stamped so a write-through racing the store read cannot
+// leave stale bytes cached (see blockCache).
+func (s *Server) getBlock(file, block uint32) (*bufpool.Buf, error) {
 	id := blockID{file: file, block: block}
-	if data, ok := s.cache.get(id); ok {
-		return data, nil
+	if b, ok := s.cache.get(id); ok {
+		return b, nil
 	}
 	gen := s.cache.snapshot(id)
-	buf := make([]byte, s.cfg.BlockSize)
-	if _, err := s.store.ReadAt(file, buf, int64(block)*int64(s.cfg.BlockSize)); err != nil {
+	b := bufpool.Get(s.cfg.BlockSize)
+	if _, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize)); err != nil {
+		b.Release()
 		return nil, err
 	}
-	s.cache.put(id, buf, gen)
-	return buf, nil
+	s.cache.put(id, b, gen)
+	return b, nil
 }
 
 // readAhead prefetches a block asynchronously (§6.2's read-ahead).
@@ -281,31 +314,36 @@ func (s *Server) readAhead(file, block uint32) {
 		return
 	}
 	s.raInflight[id] = true
+	s.raWG.Add(1)
 	s.raMu.Unlock()
 	go func() {
 		defer func() {
 			s.raMu.Lock()
 			delete(s.raInflight, id)
 			s.raMu.Unlock()
+			s.raWG.Done()
 		}()
 		gen := s.cache.snapshot(id)
-		buf := make([]byte, s.cfg.BlockSize)
-		if _, err := s.store.ReadAt(file, buf, int64(block)*int64(s.cfg.BlockSize)); err == nil {
-			s.cache.put(id, buf, gen)
+		b := bufpool.Get(s.cfg.BlockSize)
+		defer b.Release()
+		if _, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize)); err == nil {
+			s.cache.put(id, b, gen)
 			s.stats.prefetches.Add(1)
 		}
 	}()
 }
 
 // pageRead serves OpReadBlock: the page travels in the reply packet
-// (ReplyWithSegment), one Send/Reply exchange total.
+// (ReplyWithSegment), one Send/Reply exchange total. The cache block is
+// lent for the reply encode — the page is copied exactly once, from
+// cache memory into the pooled wire frame.
 func (s *Server) pageRead(req *request, file, block, count uint32) {
 	s.stats.pageReads.Add(1)
 	if count > uint32(s.cfg.BlockSize) {
 		s.replyStatus(req.src, StatusBadRequest, 0)
 		return
 	}
-	data, err := s.getBlock(file, block)
+	b, err := s.getBlock(file, block)
 	if err != nil {
 		s.replyStatus(req.src, statusFor(err), 0)
 		return
@@ -315,7 +353,9 @@ func (s *Server) pageRead(req *request, file, block, count uint32) {
 	}
 	s.stats.bytesRead.Add(int64(count))
 	reply := buildReply(StatusOK, count)
-	if err := s.proc.ReplyWithSegment(&reply, req.src, 0, data[:count]); err != nil {
+	err = s.proc.ReplyWithSegment(&reply, req.src, 0, b.Data[:count])
+	b.Release()
+	if err != nil {
 		// The client's grant was missing or too small: answer without data.
 		s.replyStatus(req.src, StatusBadRequest, 0)
 	}
@@ -351,7 +391,13 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 
 // largeRead serves OpReadLarge: count bytes from byte offset off, moved
 // into the client's granted buffer in TransferUnit chunks (§6.3 program
-// loading). The reply reports how many bytes the file actually held.
+// loading). Each chunk is streamed directly from cache memory: the
+// cached blocks covering it are lent to a gather MoveTo (MoveToVec), so
+// the bytes are copied exactly once — from the cache into the wire
+// frames — with no staging buffer. The blocks stay referenced until the
+// transfer completes; a concurrent write invalidates the cache entry but
+// cannot recycle a lent block. The reply reports how many bytes the file
+// actually held.
 func (s *Server) largeRead(req *request, file, off, count uint32) {
 	s.stats.largeReads.Add(1)
 	size, err := s.store.Size(file)
@@ -367,13 +413,21 @@ func (s *Server) largeRead(req *request, file, off, count uint32) {
 	}
 	bs := uint32(s.cfg.BlockSize)
 	unit := uint32(s.cfg.TransferUnit)
-	staging := make([]byte, unit)
+	blocks := make([]*bufpool.Buf, 0, unit/bs+2)
+	parts := make([][]byte, 0, unit/bs+2)
+	release := func() {
+		for _, b := range blocks {
+			b.Release()
+		}
+		blocks = blocks[:0]
+		parts = parts[:0]
+	}
 	for done := uint32(0); done < n; {
 		m := n - done
 		if m > unit {
 			m = unit
 		}
-		// Assemble the chunk from cached blocks.
+		// Gather the chunk as views into cached blocks.
 		for fill := uint32(0); fill < m; {
 			pos := off + done + fill
 			blk := pos / bs
@@ -382,18 +436,22 @@ func (s *Server) largeRead(req *request, file, off, count uint32) {
 			if c > m-fill {
 				c = m - fill
 			}
-			data, err := s.getBlock(file, blk)
+			b, err := s.getBlock(file, blk)
 			if err != nil {
+				release()
 				s.replyStatus(req.src, statusFor(err), done)
 				return
 			}
-			copy(staging[fill:fill+c], data[in:in+c])
+			blocks = append(blocks, b)
+			parts = append(parts, b.Data[in:in+c])
 			fill += c
 		}
 		if s.cfg.ReadAhead {
 			s.readAhead(file, (off+done+m)/bs)
 		}
-		if err := s.proc.MoveTo(req.src, done, staging[:m]); err != nil {
+		err := s.proc.MoveToVec(req.src, done, parts...)
+		release() // MoveToVec borrows only for the duration of the call
+		if err != nil {
 			s.replyStatus(req.src, StatusBadRequest, done)
 			return
 		}
@@ -421,17 +479,18 @@ func (s *Server) largeWrite(req *request, file, off, count uint32) {
 		}
 	}
 	unit := uint32(s.cfg.TransferUnit)
-	staging := make([]byte, unit)
+	staging := bufpool.Get(int(unit))
+	defer staging.Release()
 	for done := pre; done < count; {
 		m := count - done
 		if m > unit {
 			m = unit
 		}
-		if err := s.proc.MoveFrom(req.src, done, staging[:m]); err != nil {
+		if err := s.proc.MoveFrom(req.src, done, staging.Data[:m]); err != nil {
 			s.replyStatus(req.src, StatusBadRequest, done)
 			return
 		}
-		if err := s.store.WriteAt(file, staging[:m], int64(off)+int64(done)); err != nil {
+		if err := s.store.WriteAt(file, staging.Data[:m], int64(off)+int64(done)); err != nil {
 			s.replyStatus(req.src, StatusIOError, done)
 			return
 		}

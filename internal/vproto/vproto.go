@@ -128,6 +128,7 @@ const (
 	FlagRetransmit  = 1 << 1 // kernel-level retransmission
 	FlagScopeLocal  = 1 << 2 // name-service scope bits (GetPid/SetPid)
 	FlagScopeRemote = 1 << 3
+	FlagOverload    = 1 << 4 // on a Nack: receiver shed the message (retryable)
 )
 
 // HeaderSize is the wire size of the fixed interkernel header. Every packet
@@ -173,12 +174,18 @@ func (p *Packet) WireSize() int { return HeaderSize + MessageSize + len(p.Data) 
 // 3 Mb Ethernet's datagram limit).
 const MaxData = 1024
 
+// MaxWireSize is the size of a maximally-sized packet on the wire; every
+// valid frame fits in this many bytes, so it is the natural receive-buffer
+// size for transports.
+const MaxWireSize = HeaderSize + MessageSize + MaxData
+
 // Encoding errors.
 var (
 	ErrShortPacket = errors.New("vproto: packet too short")
 	ErrBadVersion  = errors.New("vproto: bad protocol version")
 	ErrBadChecksum = errors.New("vproto: checksum mismatch")
 	ErrDataTooBig  = errors.New("vproto: data exceeds MaxData")
+	ErrShortBuffer = errors.New("vproto: destination buffer too small")
 )
 
 // Encode serializes the packet. Layout (big-endian):
@@ -197,7 +204,43 @@ func (p *Packet) Encode() ([]byte, error) {
 	if len(p.Data) > MaxData {
 		return nil, ErrDataTooBig
 	}
-	buf := make([]byte, HeaderSize+MessageSize+len(p.Data))
+	buf := make([]byte, p.WireSize())
+	if _, err := p.EncodeInto(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// EncodeInto serializes the packet into dst, which must hold at least
+// WireSize bytes, and returns the number of bytes written. It performs no
+// allocation, so the hot path can encode straight into pooled frames.
+func (p *Packet) EncodeInto(dst []byte) (int, error) {
+	if len(p.Data) > MaxData {
+		return 0, ErrDataTooBig
+	}
+	if len(dst) < p.WireSize() {
+		return 0, ErrShortBuffer
+	}
+	copy(dst[HeaderSize+MessageSize:], p.Data)
+	return p.EncodePrefilled(dst, len(p.Data))
+}
+
+// EncodePrefilled finalizes a frame whose payload bytes are already in
+// place at dst[HeaderSize+MessageSize : HeaderSize+MessageSize+dataLen]:
+// it writes the header and message around them and computes the checksum
+// over the whole frame. p.Data is ignored. This lets gather paths (bulk
+// transfers assembling a packet from several cached blocks) copy source
+// bytes exactly once — into the wire frame — with no intermediate
+// staging buffer.
+func (p *Packet) EncodePrefilled(dst []byte, dataLen int) (int, error) {
+	if dataLen > MaxData {
+		return 0, ErrDataTooBig
+	}
+	size := HeaderSize + MessageSize + dataLen
+	if len(dst) < size {
+		return 0, ErrShortBuffer
+	}
+	buf := dst[:size]
 	buf[0] = byte(p.Kind)
 	buf[1] = Version
 	binary.BigEndian.PutUint16(buf[2:4], p.Flags)
@@ -206,44 +249,63 @@ func (p *Packet) Encode() ([]byte, error) {
 	binary.BigEndian.PutUint32(buf[12:16], uint32(p.Dst))
 	binary.BigEndian.PutUint32(buf[16:20], p.Offset)
 	binary.BigEndian.PutUint32(buf[20:24], p.Count)
-	binary.BigEndian.PutUint16(buf[24:26], uint16(len(p.Data)))
+	binary.BigEndian.PutUint16(buf[24:26], uint16(dataLen))
+	binary.BigEndian.PutUint16(buf[26:28], 0)
 	copy(buf[HeaderSize:], p.Msg[:])
-	copy(buf[HeaderSize+MessageSize:], p.Data)
 	binary.BigEndian.PutUint32(buf[28:32], checksum(buf))
-	return buf, nil
+	return size, nil
 }
 
-// Decode parses a packet, verifying version, length and checksum.
+// Decode parses a packet, verifying version, length and checksum. The
+// returned packet owns a private copy of the bulk data; use DecodeInto on
+// the hot path to avoid the copy.
 func Decode(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodeInto(p, buf); err != nil {
+		return nil, err
+	}
+	if len(p.Data) > 0 {
+		p.Data = append([]byte(nil), p.Data...)
+	}
+	return p, nil
+}
+
+// DecodeInto parses buf into p without copying bulk data: p.Data aliases
+// buf's payload region. The caller must keep buf alive and unmodified for
+// as long as p.Data is referenced — for pooled receive frames that means
+// holding a reference (bufpool.Retain) until the last use.
+func DecodeInto(p *Packet, buf []byte) error {
 	if len(buf) < HeaderSize+MessageSize {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	if buf[1] != Version {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	want := binary.BigEndian.Uint32(buf[28:32])
 	if checksum(buf) != want {
-		return nil, ErrBadChecksum
-	}
-	p := &Packet{
-		Kind:   Kind(buf[0]),
-		Flags:  binary.BigEndian.Uint16(buf[2:4]),
-		Seq:    binary.BigEndian.Uint32(buf[4:8]),
-		Src:    Pid(binary.BigEndian.Uint32(buf[8:12])),
-		Dst:    Pid(binary.BigEndian.Uint32(buf[12:16])),
-		Offset: binary.BigEndian.Uint32(buf[16:20]),
-		Count:  binary.BigEndian.Uint32(buf[20:24]),
+		return ErrBadChecksum
 	}
 	dataLen := int(binary.BigEndian.Uint16(buf[24:26]))
-	if len(buf) < HeaderSize+MessageSize+dataLen {
-		return nil, ErrShortPacket
+	if dataLen > MaxData {
+		return ErrDataTooBig
 	}
+	if len(buf) < HeaderSize+MessageSize+dataLen {
+		return ErrShortPacket
+	}
+	p.Kind = Kind(buf[0])
+	p.Flags = binary.BigEndian.Uint16(buf[2:4])
+	p.Seq = binary.BigEndian.Uint32(buf[4:8])
+	p.Src = Pid(binary.BigEndian.Uint32(buf[8:12]))
+	p.Dst = Pid(binary.BigEndian.Uint32(buf[12:16]))
+	p.Offset = binary.BigEndian.Uint32(buf[16:20])
+	p.Count = binary.BigEndian.Uint32(buf[20:24])
 	copy(p.Msg[:], buf[HeaderSize:HeaderSize+MessageSize])
 	if dataLen > 0 {
-		p.Data = make([]byte, dataLen)
-		copy(p.Data, buf[HeaderSize+MessageSize:HeaderSize+MessageSize+dataLen])
+		p.Data = buf[HeaderSize+MessageSize : HeaderSize+MessageSize+dataLen]
+	} else {
+		p.Data = nil
 	}
-	return p, nil
+	return nil
 }
 
 // checksum is a simple 32-bit ones'-complement-style sum over the packet
