@@ -34,11 +34,12 @@ bench-ipc:
 bench-rfs:
 	$(GO) test -run 'TestNothing' -bench=. -benchmem ./internal/rfs/
 
-# Allocation pressure on the zero-copy data path: page reads, streamed
-# 64 KB reads and the parallel IPC transactions report allocs/op and
-# B/op at 1/4/16 clients so pooling regressions are visible at a glance.
+# Allocation pressure on the zero-copy data path: page reads and writes,
+# streamed 64 KB reads and writes (write-behind and write-through modes)
+# and the parallel IPC transactions report allocs/op and B/op at 1/4/16
+# clients so pooling regressions are visible at a glance.
 bench-alloc:
-	$(GO) test -run=- -bench='BenchmarkPageRead|BenchmarkReadLarge64K|BenchmarkParallel' \
+	$(GO) test -run=- -bench='BenchmarkPageRead|BenchmarkPageWrite|BenchmarkReadLarge64K|BenchmarkWriteLarge64K|BenchmarkParallel' \
 		-benchmem -benchtime=$(BENCHTIME) ./internal/ipc/ ./internal/rfs/
 
 check: build vet test race

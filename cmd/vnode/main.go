@@ -35,13 +35,17 @@ func main() {
 		host      = flag.Int("host", 1, "logical host id of this node")
 		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
 		peers     = flag.String("peer", "", "comma-separated host=addr peer list")
-		serve     = flag.Bool("serve", false, "run the file server")
-		storeDir  = flag.String("store", "", "server: directory for the file-backed store (empty = in-memory)")
-		cacheBlks = flag.Int("cache", 1024, "server: block-cache capacity in blocks")
-		readahead = flag.Bool("readahead", false, "server: prefetch the next block after each page read")
-		fileID    = flag.Uint("file", 1, "client: file id to exercise")
-		reads     = flag.Int("reads", 100, "client: number of page reads")
-		large     = flag.Int("large", 0, "client: also stream a large read of this many bytes")
+		serve        = flag.Bool("serve", false, "run the file server")
+		storeDir     = flag.String("store", "", "server: directory for the file-backed store (empty = in-memory)")
+		cacheBlks    = flag.Int("cache", 1024, "server: block-cache capacity in blocks")
+		readahead    = flag.Bool("readahead", false, "server: prefetch the next block after each page read")
+		writeThrough = flag.Bool("writethrough", false, "server: synchronous write-through instead of write-behind")
+		dirtyBudget  = flag.Int("dirtybudget", 0, "server: max staged-but-unflushed blocks (0 = default)")
+		flushers     = flag.Int("flushers", 0, "server: write-behind flusher goroutines (0 = default)")
+		fileID       = flag.Uint("file", 1, "client: file id to exercise")
+		reads        = flag.Int("reads", 100, "client: number of page reads")
+		writes       = flag.Int("writes", 0, "client: also time this many page writes (ends with a sync)")
+		large        = flag.Int("large", 0, "client: also stream a large read of this many bytes")
 	)
 	flag.Parse()
 
@@ -66,13 +70,19 @@ func main() {
 	fmt.Printf("vnode: host %d listening on %v\n", *host, tr.Addr())
 
 	if *serve {
-		runServer(node, *storeDir, *cacheBlks, *readahead)
+		runServer(node, *storeDir, rfs.Config{
+			CacheBlocks:  *cacheBlks,
+			ReadAhead:    *readahead,
+			WriteThrough: *writeThrough,
+			DirtyBudget:  *dirtyBudget,
+			Flushers:     *flushers,
+		})
 		return
 	}
-	runClient(node, uint32(*fileID), *reads, *large)
+	runClient(node, uint32(*fileID), *reads, *writes, *large)
 }
 
-func runServer(node *ipc.Node, storeDir string, cacheBlocks int, readAhead bool) {
+func runServer(node *ipc.Node, storeDir string, cfg rfs.Config) {
 	var store rfs.Store
 	if storeDir == "" {
 		store = rfs.NewMemStore()
@@ -85,13 +95,15 @@ func runServer(node *ipc.Node, storeDir string, cacheBlocks int, readAhead bool)
 	}
 	defer store.Close()
 
-	srv, err := rfs.Start(node, store, rfs.Config{
-		CacheBlocks: cacheBlocks,
-		ReadAhead:   readAhead,
-	})
+	srv, err := rfs.Start(node, store, cfg)
 	fatalIf(err)
 	defer srv.Close()
-	fmt.Printf("vnode: file server %v registered as logical id %d\n", srv.Pid(), rfs.LogicalFileServer)
+	mode := "write-behind"
+	if cfg.WriteThrough {
+		mode = "write-through"
+	}
+	fmt.Printf("vnode: file server %v registered as logical id %d (%s)\n",
+		srv.Pid(), rfs.LogicalFileServer, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -99,7 +111,7 @@ func runServer(node *ipc.Node, storeDir string, cacheBlocks int, readAhead bool)
 	fmt.Printf("vnode: shutting down; stats: %+v\n", srv.Stats())
 }
 
-func runClient(node *ipc.Node, file uint32, reads, large int) {
+func runClient(node *ipc.Node, file uint32, reads, writes, large int) {
 	proc, err := node.Attach("client")
 	fatalIf(err)
 	defer node.Detach(proc)
@@ -124,6 +136,17 @@ func runClient(node *ipc.Node, file uint32, reads, large int) {
 	}
 	per := time.Since(start) / time.Duration(max(reads, 1))
 	fmt.Printf("vnode: %d page reads, %v/page\n", reads, per)
+
+	if writes > 0 {
+		start = time.Now()
+		for i := 0; i < writes; i++ {
+			fatalIf(client.WriteBlock(file, uint32(i%256), out))
+		}
+		acked := time.Since(start)
+		fatalIf(client.Sync())
+		fmt.Printf("vnode: %d page writes acked in %v (%v/page), synced after %v\n",
+			writes, acked, acked/time.Duration(writes), time.Since(start))
+	}
 
 	if large > 0 {
 		image := make([]byte, large)

@@ -25,14 +25,16 @@ const (
 )
 
 type moveOp struct {
-	kind  moveKind
-	seq   uint32
-	proc  *Proc
-	peer  Pid
-	data  []byte   // moveFrom: destination buffer
-	vec   [][]byte // moveTo: gather list of source slices, streamed in order
-	size  uint32   // total transfer size in bytes
-	base  uint32   // offset within the peer's granted segment
+	kind moveKind
+	seq  uint32
+	proc *Proc
+	peer Pid
+	// vec is the transfer's slice list: for moveTo the gather list of
+	// source slices streamed in order, for moveFrom the scatter list of
+	// destination slices filled in order.
+	vec   [][]byte
+	size  uint32 // total transfer size in bytes
+	base  uint32 // offset within the peer's granted segment
 	ackCh chan moveResult
 	timer *time.Timer
 
@@ -44,10 +46,10 @@ type moveOp struct {
 	// pendingSend.io does for Send exchanges: handlers pin the buffer
 	// with io.RLock while holding the table lock (after checking the op
 	// is live), and completers barrier() after removing the op, so no
-	// handler can touch data once the owner has resumed.
+	// handler can touch the slices once the owner has resumed.
 	io sync.RWMutex
 
-	// mu guards got and, for moveFrom, writes into data.
+	// mu guards got and, for moveFrom, writes into vec.
 	mu  sync.Mutex
 	got uint32 // moveFrom: contiguously received bytes
 }
@@ -68,10 +70,6 @@ type moveResult struct {
 type moveRxState struct {
 	mu       sync.Mutex
 	expected uint32
-}
-
-func newRetransmitTimer(n *Node, ps *pendingSend) *time.Timer {
-	return time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.retransmit(ps) })
 }
 
 // MoveTo copies data into the granted segment of dst at destOff. dst must
@@ -138,6 +136,22 @@ func (p *Proc) MoveToVec(dst Pid, destOff uint32, srcs ...[]byte) error {
 // srcOff into buf. src must be awaiting a reply from this process and must
 // have granted read access (§2.1).
 func (p *Proc) MoveFrom(src Pid, srcOff uint32, buf []byte) error {
+	return p.MoveFromVec(src, srcOff, buf)
+}
+
+// MoveFromVec is MoveFrom over a scatter list: the pulled bytes land in
+// the destination slices in order, directly off the wire — a bulk write
+// landing in several block-aligned cache buffers needs no intermediate
+// staging copy. The slices are borrowed for the duration of the call
+// only (MoveFromVec blocks until the transfer completes or fails), and
+// the §3.3 resume semantics are unchanged: after packet loss the puller
+// re-requests from the last contiguously received byte, so every slice
+// is filled exactly once, in order.
+func (p *Proc) MoveFromVec(src Pid, srcOff uint32, dsts ...[]byte) error {
+	total := 0
+	for _, d := range dsts {
+		total += len(d)
+	}
 	p.mu.Lock()
 	env, ok := p.received[src]
 	p.mu.Unlock()
@@ -149,23 +163,27 @@ func (p *Proc) MoveFrom(src Pid, srcOff uint32, buf []byte) error {
 		if seg == nil || seg.Access&SegRead == 0 {
 			return ErrNoAccess
 		}
-		if int(srcOff)+len(buf) > len(seg.Data) {
+		if int(srcOff)+total > len(seg.Data) {
 			return ErrBadAddress
 		}
-		copy(buf, seg.Data[srcOff:int(srcOff)+len(buf)])
+		at := srcOff
+		for _, d := range dsts {
+			copy(d, seg.Data[at:int(at)+len(d)])
+			at += uint32(len(d))
+		}
 		return nil
 	}
 	if _, size, access, ok := env.alien.msg.Segment(); !ok || access&SegRead == 0 {
 		return ErrNoAccess
-	} else if uint64(srcOff)+uint64(len(buf)) > uint64(size) {
+	} else if uint64(srcOff)+uint64(total) > uint64(size) {
 		return ErrBadAddress
 	}
 	op := &moveOp{
 		kind:  moveFrom,
 		proc:  p,
 		peer:  src,
-		data:  buf,
-		size:  uint32(len(buf)),
+		vec:   dsts,
+		size:  uint32(total),
 		base:  srcOff,
 		ackCh: make(chan moveResult, 1),
 	}
@@ -209,6 +227,24 @@ func gatherCopy(dst []byte, vec [][]byte, off uint32) {
 		dst = dst[n:]
 		skip = 0
 		if len(dst) == 0 {
+			return
+		}
+	}
+}
+
+// scatterCopy is gatherCopy's inverse: it spreads src across the scatter
+// list starting at byte offset off within the list's concatenation.
+func scatterCopy(vec [][]byte, off uint32, src []byte) {
+	skip := int(off)
+	for _, d := range vec {
+		if skip >= len(d) {
+			skip -= len(d)
+			continue
+		}
+		n := copy(d[skip:], src)
+		src = src[n:]
+		skip = 0
+		if len(src) == 0 {
 			return
 		}
 	}
@@ -461,9 +497,9 @@ func (n *Node) handleMoveFromReq(pkt *vproto.Packet) {
 }
 
 // handleMoveFromData accumulates streamed bytes into the requester's
-// buffer. The copy runs under the per-op lock, so chunks of different
-// transfers land concurrently; completion is single-shot under the table
-// lock.
+// scatter list. The copy runs under the per-op lock, so chunks of
+// different transfers land concurrently; completion is single-shot under
+// the table lock.
 func (n *Node) handleMoveFromData(pkt *vproto.Packet) {
 	t := &n.moves
 	t.mu.Lock()
@@ -472,21 +508,21 @@ func (n *Node) handleMoveFromData(pkt *vproto.Packet) {
 		t.mu.Unlock()
 		return
 	}
-	// Pin the destination buffer before the op can complete (see
+	// Pin the destination slices before the op can complete (see
 	// moveOp.barrier).
 	op.io.RLock()
 	t.mu.Unlock()
 
 	op.mu.Lock()
-	if pkt.Offset == op.got && int(pkt.Offset)+len(pkt.Data) <= len(op.data) {
-		copy(op.data[pkt.Offset:], pkt.Data)
+	if pkt.Offset == op.got && uint64(pkt.Offset)+uint64(len(pkt.Data)) <= uint64(op.size) {
+		scatterCopy(op.vec, pkt.Offset, pkt.Data)
 		op.got += uint32(len(pkt.Data))
 	}
 	got := op.got
 	op.mu.Unlock()
 	op.io.RUnlock()
 
-	if got >= uint32(len(op.data)) {
+	if got >= op.size {
 		if n.moves.complete(op) {
 			op.timer.Stop()
 			op.barrier()

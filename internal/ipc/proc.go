@@ -64,6 +64,20 @@ type Proc struct {
 	// around pendingSend (take/drain/timeout mark done exactly once)
 	// guarantees no stale result can linger into the next Send.
 	sendRes chan sendResult
+
+	// resendTimer is the per-process retransmit timer, reused across
+	// Sends for the same at-most-one-outstanding reason as sendRes: a
+	// fresh time.AfterFunc per Send costs a runtime timer plus a closure
+	// allocation on every remote exchange. resendPS names the Send the
+	// next fire should drive; both are guarded by resendMu. A stale fire
+	// — the callback racing a Stop/re-arm and reading the next Send's
+	// pendingSend — at worst retransmits that Send early, which the
+	// duplicate filter on the receiver absorbs; retransmit itself
+	// re-checks liveness under the pending-table lock, so a fire for a
+	// completed exchange is a no-op.
+	resendMu    sync.Mutex
+	resendTimer *time.Timer
+	resendPS    *pendingSend
 }
 
 func newProc(n *Node, pid Pid, name string) *Proc {
@@ -87,6 +101,31 @@ func (p *Proc) SetQueueLimit(n int) {
 	p.mu.Unlock()
 }
 
+// armResend points the process's reusable retransmit timer at ps and
+// arms it, creating the timer on the first remote Send. It returns the
+// timer so completion paths can Stop it through ps.timer as before.
+func (p *Proc) armResend(ps *pendingSend) *time.Timer {
+	p.resendMu.Lock()
+	p.resendPS = ps
+	if p.resendTimer == nil {
+		p.resendTimer = time.AfterFunc(p.node.cfg.RetransmitTimeout, p.resendFire)
+	} else {
+		p.resendTimer.Reset(p.node.cfg.RetransmitTimeout)
+	}
+	t := p.resendTimer
+	p.resendMu.Unlock()
+	return t
+}
+
+func (p *Proc) resendFire() {
+	p.resendMu.Lock()
+	ps := p.resendPS
+	p.resendMu.Unlock()
+	if ps != nil {
+		p.node.retransmit(ps)
+	}
+}
+
 // Pid returns the process identifier.
 func (p *Proc) Pid() Pid { return p.pid }
 
@@ -101,6 +140,12 @@ func (p *Proc) Node() *Node { return p.node }
 // Nacked (§3.2 process-death semantics). Pinned receive frames of
 // undelivered and unreplied exchanges go back to the pool.
 func (p *Proc) close() {
+	p.resendMu.Lock()
+	if p.resendTimer != nil {
+		p.resendTimer.Stop()
+	}
+	p.resendPS = nil
+	p.resendMu.Unlock()
 	p.mu.Lock()
 	p.closed = true
 	wasWaiting := p.waiting
@@ -221,7 +266,7 @@ func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 		seg:     seg,
 		replyCh: p.sendRes,
 	}
-	if err := n.pending.add(ps, func() *time.Timer { return newRetransmitTimer(n, ps) }); err != nil {
+	if err := n.pending.add(ps, func() *time.Timer { return p.armResend(ps) }); err != nil {
 		f.Release()
 		return err
 	}

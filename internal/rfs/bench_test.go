@@ -21,16 +21,33 @@ import (
 
 const benchFile = 1
 
+// benchStoreDelay is the simulated device-write latency behind the
+// write benchmarks: §6.2's write path exists to keep the client from
+// waiting on the server's disk, so the store the two write modes are
+// compared against must actually cost something to write. One
+// millisecond models a disk-class device (generous by the paper's
+// standards, and safely above this kernel's sleep granularity, so the
+// modeled latency is the real one). Reads stay instant — the read
+// benches measure the RPC path against pure memory.
+const benchStoreDelay = time.Millisecond
+
 // benchEnv builds a warmed server/client pair on the given transport
 // flavor with a file large enough for the access patterns below.
 func benchEnv(b *testing.B, flavor string) *env {
+	return benchEnvCfg(b, flavor, Config{}, nil)
+}
+
+func benchEnvCfg(b *testing.B, flavor string, cfg Config, store Store) *env {
 	b.Helper()
+	if store == nil {
+		store = NewMemStore()
+	}
 	var e *env
 	switch flavor {
 	case "mem":
-		e = memEnv(b, ipc.FaultConfig{}, ipc.NodeConfig{}, Config{})
+		e = memEnvStore(b, store, ipc.FaultConfig{}, ipc.NodeConfig{}, cfg)
 	case "udp":
-		e = udpEnv(b, Config{})
+		e = udpEnvStore(b, store, cfg)
 	default:
 		b.Fatalf("unknown flavor %q", flavor)
 	}
@@ -50,7 +67,7 @@ func benchEnv(b *testing.B, flavor string) *env {
 // so that ReportAllocs measures the data path itself — client stubs, both
 // nodes, transport, server, cache — as allocs/op and B/op, the figure of
 // merit for the pooled zero-copy path.
-func run(b *testing.B, e *env, clients int, bytesPer int, op func(c *Client, scratch []byte, i int) error) {
+func run(b *testing.B, e *env, clients int, bytesPer int, op func(c *Client, g int, scratch []byte, i int) error) {
 	per := b.N/clients + 1
 	if bytesPer > 0 {
 		b.SetBytes(int64(bytesPer))
@@ -66,7 +83,7 @@ func run(b *testing.B, e *env, clients int, bytesPer int, op func(c *Client, scr
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if err := op(c, scratch, i); err != nil {
+				if err := op(c, g, scratch, i); err != nil {
 					b.Error(err)
 					return
 				}
@@ -82,6 +99,17 @@ func run(b *testing.B, e *env, clients int, bytesPer int, op func(c *Client, scr
 	}
 }
 
+// writeModes names the two write-path configurations the §6.2
+// comparison measures: wb = write-behind (dirty staging + async flush,
+// the default), wt = write-through (the synchronous baseline).
+var writeModes = []struct {
+	name string
+	cfg  Config
+}{
+	{"wb", Config{}},
+	{"wt", Config{WriteThrough: true}},
+}
+
 // BenchmarkPageRead measures §3.4 page-read throughput (512 B in the
 // reply packet) versus client concurrency.
 func BenchmarkPageRead(b *testing.B) {
@@ -89,7 +117,7 @@ func BenchmarkPageRead(b *testing.B) {
 		for _, clients := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
 				e := benchEnv(b, flavor)
-				run(b, e, clients, 512, func(c *Client, scratch []byte, i int) error {
+				run(b, e, clients, 512, func(c *Client, _ int, scratch []byte, i int) error {
 					_, err := c.ReadBlock(benchFile, uint32(i%256), scratch)
 					return err
 				})
@@ -99,17 +127,20 @@ func BenchmarkPageRead(b *testing.B) {
 }
 
 // BenchmarkPageWrite measures §3.4 page-write throughput (data inline
-// with the Send packet) versus client concurrency.
+// with the Send packet) versus client concurrency, in both write-behind
+// and write-through modes.
 func BenchmarkPageWrite(b *testing.B) {
 	for _, flavor := range []string{"mem", "udp"} {
-		for _, clients := range []int{1, 4, 16} {
-			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
-				e := benchEnv(b, flavor)
-				page := pattern(3, 512)
-				run(b, e, clients, 512, func(c *Client, _ []byte, i int) error {
-					return c.WriteBlock(benchFile, uint32(i%256), page)
+		for _, mode := range writeModes {
+			for _, clients := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("%s/%s/clients=%d", flavor, mode.name, clients), func(b *testing.B) {
+					e := benchEnvCfg(b, flavor, mode.cfg, &slowStore{Store: NewMemStore(), delay: benchStoreDelay})
+					page := pattern(3, 512)
+					run(b, e, clients, 512, func(c *Client, _ int, _ []byte, i int) error {
+						return c.WriteBlock(benchFile, uint32(i%256), page)
+					})
 				})
-			})
+			}
 		}
 	}
 }
@@ -122,7 +153,7 @@ func BenchmarkReadLarge64K(b *testing.B) {
 		for _, clients := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/clients=%d", flavor, clients), func(b *testing.B) {
 				e := benchEnv(b, flavor)
-				run(b, e, clients, size, func(c *Client, scratch []byte, i int) error {
+				run(b, e, clients, size, func(c *Client, _ int, scratch []byte, i int) error {
 					n, err := c.ReadLarge(benchFile, 0, scratch)
 					if err == nil && n != size {
 						return fmt.Errorf("short read: %d", n)
@@ -130,6 +161,29 @@ func BenchmarkReadLarge64K(b *testing.B) {
 					return err
 				})
 			})
+		}
+	}
+}
+
+// BenchmarkWriteLarge64K measures streamed 64 KB writes (pulled by the
+// server in transfer-unit chunks) versus client concurrency, in both
+// modes: write-behind scatters each chunk straight into cache blocks
+// with MoveFromVec and overlaps the pull of chunk N+1 with absorbing
+// chunk N; write-through is the serial pull-then-store baseline. Each
+// client writes its own file, the program-installation shape of §6.3.
+func BenchmarkWriteLarge64K(b *testing.B) {
+	const size = 64 * 1024
+	for _, flavor := range []string{"mem", "udp"} {
+		for _, mode := range writeModes {
+			for _, clients := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("%s/%s/clients=%d", flavor, mode.name, clients), func(b *testing.B) {
+					e := benchEnvCfg(b, flavor, mode.cfg, &slowStore{Store: NewMemStore(), delay: benchStoreDelay})
+					image := pattern(9, size)
+					run(b, e, clients, size, func(c *Client, g int, _ []byte, i int) error {
+						return c.WriteLarge(uint32(1000+g), 0, image)
+					})
+				})
+			}
 		}
 	}
 }

@@ -1,11 +1,34 @@
 package rfs
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"vkernel/internal/ipc"
 	"vkernel/internal/vproto"
 )
+
+// RetryPolicy tunes the client stubs' reaction to ipc.ErrOverloaded —
+// the kernel's receive-queue backpressure Nack, which promises the
+// exchange never executed and is safe to retry. Retries back off
+// exponentially (deterministically, no jitter: Delay, 2·Delay, 4·Delay …
+// capped at MaxDelay) so a herd of shedding clients thins out instead of
+// hammering the queue in lockstep.
+type RetryPolicy struct {
+	// Retries bounds the retry attempts after the first Send; 0 turns
+	// the policy off (ErrOverloaded surfaces to the caller immediately).
+	Retries int
+	// Delay is the first backoff sleep.
+	Delay time.Duration
+	// MaxDelay caps the doubling.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the stubs' out-of-the-box overload behavior:
+// enough patience to ride out transient queue spikes without hiding a
+// persistently saturated server.
+var DefaultRetryPolicy = RetryPolicy{Retries: 8, Delay: 200 * time.Microsecond, MaxDelay: 10 * time.Millisecond}
 
 // Client provides the stub routines a diskless workstation's programs use
 // for remote file access (§3.4): each call is one V message exchange with
@@ -15,11 +38,15 @@ import (
 type Client struct {
 	p      *ipc.Proc
 	server ipc.Pid
+	retry  RetryPolicy
+	// sleep is the backoff hook; tests substitute a recording no-op so
+	// retry schedules stay deterministic and instantaneous.
+	sleep func(time.Duration)
 }
 
 // NewClient binds stubs for the calling process to the given server pid.
 func NewClient(p *ipc.Proc, server ipc.Pid) *Client {
-	return &Client{p: p, server: server}
+	return &Client{p: p, server: server, retry: DefaultRetryPolicy, sleep: time.Sleep}
 }
 
 // Discover resolves the file server via the broadcast name service and
@@ -32,15 +59,41 @@ func Discover(p *ipc.Proc) (*Client, error) {
 	return NewClient(p, pid), nil
 }
 
+// SetRetry replaces the overload retry policy (and, when sleep is
+// non-nil, the backoff sleep hook — the deterministic test entry point).
+func (c *Client) SetRetry(p RetryPolicy, sleep func(time.Duration)) {
+	c.retry = p
+	if sleep != nil {
+		c.sleep = sleep
+	}
+}
+
 // Server returns the bound server pid.
 func (c *Client) Server() ipc.Pid { return c.server }
+
+// exchange runs one Send with the overload retry policy: ErrOverloaded
+// means the kernel shed the message before delivery, so the identical
+// exchange is re-sent after a capped exponential backoff.
+func (c *Client) exchange(m *ipc.Message, seg *ipc.Segment) error {
+	delay := c.retry.Delay
+	for attempt := 0; ; attempt++ {
+		err := c.p.Send(m, c.server, seg)
+		if !errors.Is(err, ipc.ErrOverloaded) || attempt >= c.retry.Retries {
+			return err
+		}
+		c.sleep(delay)
+		if delay *= 2; delay > c.retry.MaxDelay {
+			delay = c.retry.MaxDelay
+		}
+	}
+}
 
 // ReadBlock reads up to len(dst) bytes of the given file block into dst:
 // one Send granting write access to dst, one reply packet carrying the
 // page (§3.4). It returns the byte count the server sent.
 func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 	m := buildRequest(OpReadBlock, file, block, uint32(len(dst)))
-	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+	if err := c.exchange(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
 		return 0, err
 	}
 	status, n := parseReply(&m)
@@ -51,10 +104,12 @@ func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 }
 
 // WriteBlock writes data as the given file block: one Send carrying the
-// data inline (§3.4), one reply.
+// data inline (§3.4), one reply. With a write-behind server the reply
+// acknowledges the staged block, not the store write; Sync forces the
+// write-back.
 func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 	m := buildRequest(OpWriteBlock, file, block, uint32(len(data)))
-	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
+	if err := c.exchange(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
 		return err
 	}
 	if status, _ := parseReply(&m); status != StatusOK {
@@ -68,7 +123,7 @@ func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 // (§6.3); the count returned is how many bytes the file held.
 func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 	m := buildRequest(OpReadLarge, file, off, uint32(len(dst)))
-	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+	if err := c.exchange(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
 		return 0, err
 	}
 	status, n := parseReply(&m)
@@ -79,10 +134,10 @@ func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 }
 
 // WriteLarge writes data to the file at byte offset off; the server pulls
-// it with MoveFrom in transfer-unit chunks.
+// it with scatter MoveFrom in transfer-unit chunks.
 func (c *Client) WriteLarge(file, off uint32, data []byte) error {
 	m := buildRequest(OpWriteLarge, file, off, uint32(len(data)))
-	if err := c.p.Send(&m, c.server, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
+	if err := c.exchange(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
 		return err
 	}
 	if status, _ := parseReply(&m); status != StatusOK {
@@ -91,10 +146,11 @@ func (c *Client) WriteLarge(file, off uint32, data []byte) error {
 	return nil
 }
 
-// QueryFile returns a file's size in bytes.
+// QueryFile returns a file's size in bytes (staged write-behind
+// extensions included).
 func (c *Client) QueryFile(file uint32) (int, error) {
 	m := buildRequest(OpQueryFile, file, 0, 0)
-	if err := c.p.Send(&m, c.server, nil); err != nil {
+	if err := c.exchange(&m, nil); err != nil {
 		return 0, err
 	}
 	status, n := parseReply(&m)
@@ -107,7 +163,20 @@ func (c *Client) QueryFile(file uint32) (int, error) {
 // CreateFile creates (or truncates) a file of the given size.
 func (c *Client) CreateFile(file uint32, size uint32) error {
 	m := buildRequest(OpCreateFile, file, size, 0)
-	if err := c.p.Send(&m, c.server, nil); err != nil {
+	if err := c.exchange(&m, nil); err != nil {
+		return err
+	}
+	if status, _ := parseReply(&m); status != StatusOK {
+		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return nil
+}
+
+// Sync asks the server to drain its write-behind blocks to the backing
+// store (OpSync) — the durability point for acknowledged writes.
+func (c *Client) Sync() error {
+	m := buildRequest(OpSync, 0, 0, 0)
+	if err := c.exchange(&m, nil); err != nil {
 		return err
 	}
 	if status, _ := parseReply(&m); status != StatusOK {

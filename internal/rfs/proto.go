@@ -40,6 +40,7 @@ const (
 	OpWriteLarge uint32 = 4 // multi-block write pulled via MoveFrom
 	OpQueryFile  uint32 = 5 // file size lookup
 	OpCreateFile uint32 = 6 // create (or truncate) a file
+	OpSync       uint32 = 7 // drain the server's write-behind blocks to the store
 )
 
 // Reply status codes (reply word 1).

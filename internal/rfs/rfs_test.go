@@ -44,12 +44,17 @@ func leakCheck(t testing.TB) {
 
 // memEnv builds the pair on an in-memory mesh.
 func memEnv(t testing.TB, faults ipc.FaultConfig, nodeCfg ipc.NodeConfig, cfg Config) *env {
+	return memEnvStore(t, NewMemStore(), faults, nodeCfg, cfg)
+}
+
+// memEnvStore is memEnv over a caller-provided store (fault-injecting
+// store wrappers, write-gating, …).
+func memEnvStore(t testing.TB, store Store, faults ipc.FaultConfig, nodeCfg ipc.NodeConfig, cfg Config) *env {
 	t.Helper()
 	leakCheck(t)
 	mesh := ipc.NewMemNetwork(7, faults)
 	serverNode := ipc.NewNode(1, mesh.Transport(1), nodeCfg)
 	clientNode := ipc.NewNode(2, mesh.Transport(2), nodeCfg)
-	store := NewMemStore()
 	srv, err := Start(serverNode, store, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +70,11 @@ func memEnv(t testing.TB, faults ipc.FaultConfig, nodeCfg ipc.NodeConfig, cfg Co
 
 // udpEnv builds the pair on loopback UDP sockets.
 func udpEnv(t testing.TB, cfg Config) *env {
+	return udpEnvStore(t, NewMemStore(), cfg)
+}
+
+// udpEnvStore is udpEnv over a caller-provided store.
+func udpEnvStore(t testing.TB, store Store, cfg Config) *env {
 	t.Helper()
 	leakCheck(t)
 	trS, err := ipc.NewUDPTransport("127.0.0.1:0")
@@ -79,7 +89,6 @@ func udpEnv(t testing.TB, cfg Config) *env {
 	trC.AddPeer(1, trS.Addr())
 	serverNode := ipc.NewNode(1, trS, ipc.NodeConfig{})
 	clientNode := ipc.NewNode(2, trC, ipc.NodeConfig{})
-	store := NewMemStore()
 	srv, err := Start(serverNode, store, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -535,7 +544,9 @@ func TestReadAheadWarmsCache(t *testing.T) {
 	e := memEnv(t, ipc.FaultConfig{}, ipc.NodeConfig{}, Config{ReadAhead: true})
 	c := e.client(t, "app")
 	data := pattern(2, 64*512)
-	if err := c.WriteLarge(2, 0, data); err != nil {
+	// Seed the store directly: a client write would stage the blocks in
+	// the write-behind cache and leave the reads below nothing to miss.
+	if err := e.store.WriteAt(2, data, 0); err != nil {
 		t.Fatal(err)
 	}
 	page := make([]byte, 512)

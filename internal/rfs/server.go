@@ -35,6 +35,22 @@ type Config struct {
 	// growing memory without limit. 0 → a generous 1024; negative
 	// disables the bound.
 	ReceiveQueueDepth int
+	// WriteThrough disables write-behind: page and large writes go
+	// synchronously to the Store and invalidate cached blocks before the
+	// reply, the pre-overhaul baseline the §6.2 comparison measures
+	// against. Default off: writes are staged as dirty cache blocks,
+	// acknowledged immediately, and flushed asynchronously (OpSync /
+	// Server.Flush force the write-back).
+	WriteThrough bool
+	// DirtyBudget bounds the staged-but-unflushed blocks a write-behind
+	// server will hold; writers past the bound block until the flushers
+	// catch up (backpressure). 0 → 256, capped at CacheBlocks; negative
+	// → 1 (effectively synchronous, but still off the request path).
+	DirtyBudget int
+	// Flushers sizes the write-behind flusher pool (0 → 2). Each flusher
+	// claims runs of consecutive dirty blocks of one file and writes a
+	// run back with a single store write.
+	Flushers int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +84,18 @@ func (c Config) withDefaults() Config {
 	case c.ReceiveQueueDepth == 0:
 		c.ReceiveQueueDepth = 1024
 	}
+	switch {
+	case c.DirtyBudget < 0:
+		c.DirtyBudget = 1
+	case c.DirtyBudget == 0:
+		c.DirtyBudget = 256
+	}
+	if c.DirtyBudget > c.CacheBlocks {
+		c.DirtyBudget = c.CacheBlocks
+	}
+	if c.Flushers <= 0 {
+		c.Flushers = 2
+	}
 	return c
 }
 
@@ -80,12 +108,20 @@ type Stats struct {
 	LargeWrites  int64
 	Queries      int64
 	Creates      int64
+	Syncs        int64
 	BadRequests  int64
 	BytesRead    int64
 	BytesWritten int64
 	CacheHits    int64
 	CacheMisses  int64
 	Prefetches   int64
+	// Write-behind activity: blocks currently staged, flush writes
+	// issued (each covering a coalesced run), blocks those runs covered,
+	// and store errors the flushers absorbed.
+	DirtyBlocks   int64
+	FlushRuns     int64
+	FlushedBlocks int64
+	FlushErrors   int64
 }
 
 type serverCounters struct {
@@ -96,6 +132,7 @@ type serverCounters struct {
 	largeWrites atomic.Int64
 	queries     atomic.Int64
 	creates     atomic.Int64
+	syncs       atomic.Int64
 	badRequests atomic.Int64
 	bytesRead   atomic.Int64
 	bytesWrite  atomic.Int64
@@ -151,7 +188,12 @@ func Start(node *ipc.Node, store Store, cfg Config) (*Server, error) {
 		cfg:        cfg.withDefaults(),
 		raInflight: make(map[blockID]bool),
 	}
-	s.cache = newBlockCache(s.cfg.CacheBlocks)
+	flushers := s.cfg.Flushers
+	if s.cfg.WriteThrough {
+		flushers = 0 // write-behind machinery idle; writes invalidate instead
+	}
+	s.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.BlockSize, s.cfg.DirtyBudget, flushers,
+		func(file uint32, off int64, p []byte) error { return s.store.WriteAt(file, p, off) })
 	s.queue = make(chan *request, s.cfg.QueueDepth)
 	proc, err := node.Spawn("fileserver", s.serve)
 	if err != nil {
@@ -173,31 +215,42 @@ func (s *Server) Pid() ipc.Pid { return s.proc.Pid() }
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:     s.stats.requests.Load(),
-		PageReads:    s.stats.pageReads.Load(),
-		PageWrites:   s.stats.pageWrites.Load(),
-		LargeReads:   s.stats.largeReads.Load(),
-		LargeWrites:  s.stats.largeWrites.Load(),
-		Queries:      s.stats.queries.Load(),
-		Creates:      s.stats.creates.Load(),
-		BadRequests:  s.stats.badRequests.Load(),
-		BytesRead:    s.stats.bytesRead.Load(),
-		BytesWritten: s.stats.bytesWrite.Load(),
-		CacheHits:    s.cache.hits.Load(),
-		CacheMisses:  s.cache.misses.Load(),
-		Prefetches:   s.stats.prefetches.Load(),
+		Requests:      s.stats.requests.Load(),
+		PageReads:     s.stats.pageReads.Load(),
+		PageWrites:    s.stats.pageWrites.Load(),
+		LargeReads:    s.stats.largeReads.Load(),
+		LargeWrites:   s.stats.largeWrites.Load(),
+		Queries:       s.stats.queries.Load(),
+		Creates:       s.stats.creates.Load(),
+		Syncs:         s.stats.syncs.Load(),
+		BadRequests:   s.stats.badRequests.Load(),
+		BytesRead:     s.stats.bytesRead.Load(),
+		BytesWritten:  s.stats.bytesWrite.Load(),
+		CacheHits:     s.cache.hits.Load(),
+		CacheMisses:   s.cache.misses.Load(),
+		Prefetches:    s.stats.prefetches.Load(),
+		DirtyBlocks:   int64(s.cache.dirtyBlocks()),
+		FlushRuns:     s.cache.flushRuns.Load(),
+		FlushedBlocks: s.cache.flushedBlocks.Load(),
+		FlushErrors:   s.cache.flushErrs.Load(),
 	}
 }
 
+// Flush drains every staged write to the store (write-behind's sync
+// point; OpSync is the protocol's way to request it). It returns the
+// first store error the flushers hit since the previous drain.
+func (s *Server) Flush() error { return s.cache.flushAll() }
+
 // Close stops the server: the receive loop unblocks, queued requests
-// drain, the workers exit, in-flight read-aheads land, and the block
-// cache returns its buffers to the pool. The backing store is not closed.
+// drain, the workers exit, in-flight read-aheads land, staged writes
+// flush to the store, and the block cache returns its buffers to the
+// pool. The backing store is not closed.
 func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.node.Detach(s.proc)
 		s.workers.Wait()
 		s.raWG.Wait()
-		s.cache.clear()
+		s.cache.close()
 	})
 }
 
@@ -244,7 +297,7 @@ func (s *Server) handle(req *request) {
 		s.largeWrite(req, file, arg, count)
 	case OpQueryFile:
 		s.stats.queries.Add(1)
-		size, err := s.store.Size(file)
+		size, err := s.sizeOf(file)
 		if err != nil {
 			s.replyStatus(req.src, statusFor(err), 0)
 			return
@@ -252,11 +305,20 @@ func (s *Server) handle(req *request) {
 		s.replyStatus(req.src, StatusOK, uint32(size))
 	case OpCreateFile:
 		s.stats.creates.Add(1)
-		if err := s.store.Create(file, int64(arg)); err != nil {
+		err := s.cache.truncate(file, func() error {
+			return s.store.Create(file, int64(arg))
+		})
+		if err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		s.cache.invalidateFile(file)
+		s.replyStatus(req.src, StatusOK, 0)
+	case OpSync:
+		s.stats.syncs.Add(1)
+		if err := s.Flush(); err != nil {
+			s.replyStatus(req.src, StatusIOError, 0)
+			return
+		}
 		s.replyStatus(req.src, StatusOK, 0)
 	default:
 		s.replyStatus(req.src, StatusBadRequest, 0)
@@ -280,23 +342,58 @@ func statusFor(err error) uint32 {
 }
 
 // getBlock returns the block through the cache, zero-padded to a full
-// block, with a reference for the caller (Release when done). The block's
-// bytes are shared and must not be written. The miss fill is
-// generation-stamped so a write-through racing the store read cannot
-// leave stale bytes cached (see blockCache).
-func (s *Server) getBlock(file, block uint32) (*bufpool.Buf, error) {
+// block, with a reference for the caller (Release when done) and the
+// block's valid-byte extent. The block's bytes are shared and must not be
+// written. The miss fill is generation-stamped so a concurrent write
+// racing the store read cannot leave stale (pre-write, pre-flush) bytes
+// cached (see blockCache). A file that exists only as staged,
+// still-unflushed blocks reads as zeros outside them — those blocks are
+// holes the flusher has not yet materialized.
+func (s *Server) getBlock(file, block uint32) (*bufpool.Buf, int, error) {
 	id := blockID{file: file, block: block}
-	if b, ok := s.cache.get(id); ok {
-		return b, nil
+	if b, end, ok := s.cache.getEnd(id); ok {
+		return b, end, nil
 	}
 	gen := s.cache.snapshot(id)
+	// Snapshot the staged size BEFORE the store read: if the file exists
+	// only as staged blocks and its first flush creates the store file
+	// mid-read, checking afterwards would see ErrNoFile from the store
+	// and no staged bytes either — a spurious no-such-file for a file
+	// that existed throughout.
+	staged := s.cache.stagedSize(file)
 	b := bufpool.Get(s.cfg.BlockSize)
-	if _, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize)); err != nil {
-		b.Release()
-		return nil, err
+	n, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize))
+	if err != nil {
+		if err == ErrNoFile && staged > 0 {
+			for i := range b.Data {
+				b.Data[i] = 0
+			}
+			n = 0
+		} else {
+			b.Release()
+			return nil, 0, err
+		}
 	}
-	s.cache.put(id, b, gen)
-	return b, nil
+	s.cache.put(id, b, gen, n)
+	return b, n, nil
+}
+
+// sizeOf is the file size as clients must observe it: the store size
+// raised to the staged write high-water mark, so unflushed write-behind
+// extensions are visible to queries and reads immediately.
+func (s *Server) sizeOf(file uint32) (int64, error) {
+	staged := s.cache.stagedSize(file)
+	size, err := s.store.Size(file)
+	if err != nil {
+		if err == ErrNoFile && staged > 0 {
+			return staged, nil
+		}
+		return 0, err
+	}
+	if staged > size {
+		size = staged
+	}
+	return size, nil
 }
 
 // readAhead prefetches a block asynchronously (§6.2's read-ahead).
@@ -305,7 +402,7 @@ func (s *Server) readAhead(file, block uint32) {
 	if s.cache.contains(id) {
 		return
 	}
-	if size, err := s.store.Size(file); err != nil || int64(block)*int64(s.cfg.BlockSize) >= size {
+	if size, err := s.sizeOf(file); err != nil || int64(block)*int64(s.cfg.BlockSize) >= size {
 		return // past EOF
 	}
 	s.raMu.Lock()
@@ -326,8 +423,8 @@ func (s *Server) readAhead(file, block uint32) {
 		gen := s.cache.snapshot(id)
 		b := bufpool.Get(s.cfg.BlockSize)
 		defer b.Release()
-		if _, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize)); err == nil {
-			s.cache.put(id, b, gen)
+		if n, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize)); err == nil {
+			s.cache.put(id, b, gen, n)
 			s.stats.prefetches.Add(1)
 		}
 	}()
@@ -343,7 +440,7 @@ func (s *Server) pageRead(req *request, file, block, count uint32) {
 		s.replyStatus(req.src, StatusBadRequest, 0)
 		return
 	}
-	b, err := s.getBlock(file, block)
+	b, _, err := s.getBlock(file, block)
 	if err != nil {
 		s.replyStatus(req.src, statusFor(err), 0)
 		return
@@ -363,10 +460,16 @@ func (s *Server) pageRead(req *request, file, block, count uint32) {
 
 // pageWrite serves OpWriteBlock: the data arrived inline with the Send
 // (§3.4); any remainder beyond the inline allowance is pulled with
-// MoveFrom before the write goes through to the store.
+// MoveFrom. Write-behind (the default) lands the page in a fresh block
+// buffer — the pull scatters straight into it, no staging — stages it
+// dirty in the cache and acknowledges immediately; the flushers write it
+// back asynchronously (§6.2's server-side write buffering). With
+// Config.WriteThrough the write goes synchronously to the store and
+// invalidates the cached block before the reply, as before.
 func (s *Server) pageWrite(req *request, file, block, count uint32) {
 	s.stats.pageWrites.Add(1)
-	if count > uint32(s.cfg.BlockSize) || int(count) > len(req.buf) {
+	bs := uint32(s.cfg.BlockSize)
+	if count > bs || int(count) > len(req.buf) {
 		s.replyStatus(req.src, StatusBadRequest, 0)
 		return
 	}
@@ -374,19 +477,88 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 	if got > count {
 		got = count
 	}
+	if s.cfg.WriteThrough {
+		if got < count {
+			if err := s.proc.MoveFrom(req.src, got, req.buf[got:count]); err != nil {
+				s.replyStatus(req.src, StatusBadRequest, 0)
+				return
+			}
+		}
+		if err := s.store.WriteAt(file, req.buf[:count], int64(block)*int64(s.cfg.BlockSize)); err != nil {
+			s.replyStatus(req.src, StatusIOError, 0)
+			return
+		}
+		s.cache.invalidate(blockID{file: file, block: block})
+		s.stats.bytesWrite.Add(int64(count))
+		s.replyStatus(req.src, StatusOK, count)
+		return
+	}
+
+	if count == 0 {
+		// Degenerate zero-length write: nothing to defer. Write through
+		// so the file is created/extended exactly as the write-through
+		// path would — staging an empty dirty block would raise the
+		// staged size only until its (empty) flush pruned it again.
+		if err := s.store.WriteAt(file, nil, int64(block)*int64(s.cfg.BlockSize)); err != nil {
+			s.replyStatus(req.src, StatusIOError, 0)
+			return
+		}
+		s.replyStatus(req.src, StatusOK, 0)
+		return
+	}
+	buf := bufpool.Get(s.cfg.BlockSize)
+	copy(buf.Data, req.buf[:got])
 	if got < count {
-		if err := s.proc.MoveFrom(req.src, got, req.buf[got:count]); err != nil {
+		if err := s.proc.MoveFrom(req.src, got, buf.Data[got:count]); err != nil {
+			buf.Release()
 			s.replyStatus(req.src, StatusBadRequest, 0)
 			return
 		}
 	}
-	if err := s.store.WriteAt(file, req.buf[:count], int64(block)*int64(s.cfg.BlockSize)); err != nil {
+	err := s.stageBlock(blockID{file: file, block: block}, buf, 0, int(count))
+	buf.Release()
+	if err != nil {
 		s.replyStatus(req.src, StatusIOError, 0)
 		return
 	}
-	s.cache.invalidate(blockID{file: file, block: block})
 	s.stats.bytesWrite.Add(int64(count))
 	s.replyStatus(req.src, StatusOK, count)
+}
+
+// stageBlock stages buf as block id's newest contents. When the payload
+// does not cover the whole block, the old image is fetched so the staged
+// block preserves the rest: its generation is snapshotted before the
+// fetch and stage retries if a concurrent write invalidated the image
+// (errStaleSpare). A store read failure other than ErrNoFile fails the
+// write — zero-filling over unknown-but-existing bytes would let a
+// transient read error destroy store data on the next flush. Plain
+// ErrNoFile means the block genuinely has no prior contents and zeros
+// are correct.
+func (s *Server) stageBlock(id blockID, buf *bufpool.Buf, payStart, payEnd int) error {
+	bs := s.cfg.BlockSize
+	for {
+		var spareBuf *bufpool.Buf
+		var spare []byte
+		spareEnd := 0
+		var gen uint64
+		if payStart > 0 || payEnd < bs {
+			gen = s.cache.snapshot(id)
+			b, end, err := s.getBlock(id.file, id.block)
+			switch {
+			case err == nil:
+				spareBuf, spare, spareEnd = b, b.Data, end
+			case err == ErrNoFile:
+				// no prior contents; the gaps are zeros
+			default:
+				return err
+			}
+		}
+		err := s.cache.stage(id, buf, payStart, payEnd, spare, spareEnd, gen)
+		spareBuf.Release()
+		if err != errStaleSpare {
+			return err
+		}
+	}
 }
 
 // largeRead serves OpReadLarge: count bytes from byte offset off, moved
@@ -400,7 +572,7 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 // actually held.
 func (s *Server) largeRead(req *request, file, off, count uint32) {
 	s.stats.largeReads.Add(1)
-	size, err := s.store.Size(file)
+	size, err := s.sizeOf(file)
 	if err != nil {
 		s.replyStatus(req.src, statusFor(err), 0)
 		return
@@ -436,7 +608,7 @@ func (s *Server) largeRead(req *request, file, off, count uint32) {
 			if c > m-fill {
 				c = m - fill
 			}
-			b, err := s.getBlock(file, blk)
+			b, _, err := s.getBlock(file, blk)
 			if err != nil {
 				release()
 				s.replyStatus(req.src, statusFor(err), done)
@@ -461,12 +633,156 @@ func (s *Server) largeRead(req *request, file, off, count uint32) {
 	s.replyStatus(req.src, StatusOK, n)
 }
 
+// span is one block-aligned landing slot of a large-write chunk: a fresh
+// pooled block buffer whose window [payStart:payEnd) receives payload
+// bytes (scattered off the wire or copied from the inline prefix) before
+// the buffer is staged dirty in the cache.
+type span struct {
+	id       blockID
+	buf      *bufpool.Buf
+	payStart int
+	payEnd   int
+}
+
+// buildSpans appends fresh spans covering the m bytes at absolute file
+// position pos to spans, and the scatter slices aliasing their payload
+// windows to slices (both reset to length zero first, so callers can
+// recycle backing arrays chunk over chunk).
+func (s *Server) buildSpans(file, pos, m uint32, spans []span, slices [][]byte) ([]span, [][]byte) {
+	bs := uint32(s.cfg.BlockSize)
+	spans, slices = spans[:0], slices[:0]
+	for fill := uint32(0); fill < m; {
+		p := pos + fill
+		in := p % bs
+		c := bs - in
+		if c > m-fill {
+			c = m - fill
+		}
+		b := bufpool.Get(s.cfg.BlockSize)
+		spans = append(spans, span{
+			id:       blockID{file: file, block: p / bs},
+			buf:      b,
+			payStart: int(in),
+			payEnd:   int(in + c),
+		})
+		slices = append(slices, b.Data[in:in+c])
+		fill += c
+	}
+	return spans, slices
+}
+
+// absorbSpans stages one chunk's filled block buffers into the cache as
+// dirty blocks (completing partial head/tail blocks from the old image)
+// and releases them. It runs on its own goroutine so the next chunk's
+// MoveFromVec overlaps it — the WriteLarge pipeline.
+func (s *Server) absorbSpans(file uint32, spans []span) error {
+	var err error
+	for _, sp := range spans {
+		if err == nil {
+			err = s.stageBlock(sp.id, sp.buf, sp.payStart, sp.payEnd)
+		}
+		sp.buf.Release()
+	}
+	return err
+}
+
+func releaseSpans(spans []span) {
+	for _, sp := range spans {
+		sp.buf.Release()
+	}
+}
+
 // largeWrite serves OpWriteLarge: count bytes pulled from the client's
-// granted buffer in TransferUnit chunks and written through to the store.
-// The first bytes arrived inline with the Send (§3.4) and are not pulled
-// again.
+// granted buffer in TransferUnit chunks. The first bytes arrived inline
+// with the Send (§3.4) and are not pulled again.
+//
+// Write-behind (the default) scatters each chunk straight into
+// block-aligned cache buffers with MoveFromVec — zero staging copies —
+// and pipelines: while one chunk's blocks are absorbed into the cache
+// (which may block on the dirty budget or, transitively, the store), the
+// next chunk's pull is already on the wire. With Config.WriteThrough the
+// old serial pull-then-write-through loop runs instead, as the baseline.
 func (s *Server) largeWrite(req *request, file, off, count uint32) {
 	s.stats.largeWrites.Add(1)
+	if s.cfg.WriteThrough {
+		s.largeWriteThrough(req, file, off, count)
+		return
+	}
+	pre := uint32(req.inline)
+	if pre > count {
+		pre = count
+	}
+	unit := uint32(s.cfg.TransferUnit)
+
+	// At most one absorb is in flight, so two span/slice buffers
+	// alternate between the chunk being pulled and the chunk being
+	// absorbed, and one reusable channel carries the handoff.
+	var spanBuf [2][]span
+	var sliceBuf [2][][]byte
+	which := 0
+	ch := make(chan error, 1)
+	inflight := false
+	wait := func() error {
+		if !inflight {
+			return nil
+		}
+		inflight = false
+		return <-ch
+	}
+	launch := func(spans []span) {
+		inflight = true
+		go func() { ch <- s.absorbSpans(file, spans) }()
+	}
+
+	done := uint32(0)
+	if pre > 0 {
+		spans, slices := s.buildSpans(file, off, pre, spanBuf[which], sliceBuf[which])
+		spanBuf[which], sliceBuf[which] = spans, slices
+		rest := req.buf[:pre]
+		for _, sl := range slices {
+			n := copy(sl, rest)
+			rest = rest[n:]
+		}
+		launch(spans)
+		which ^= 1
+		done = pre
+	}
+	for done < count {
+		m := count - done
+		if m > unit {
+			m = unit
+		}
+		spans, slices := s.buildSpans(file, off+done, m, spanBuf[which], sliceBuf[which])
+		spanBuf[which], sliceBuf[which] = spans, slices
+		if err := s.proc.MoveFromVec(req.src, done, slices...); err != nil {
+			releaseSpans(spans)
+			_ = wait()
+			s.replyStatus(req.src, StatusBadRequest, done)
+			return
+		}
+		if err := wait(); err != nil {
+			releaseSpans(spans)
+			s.replyStatus(req.src, StatusIOError, done)
+			return
+		}
+		launch(spans)
+		which ^= 1
+		done += m
+	}
+	if err := wait(); err != nil {
+		s.replyStatus(req.src, StatusIOError, done)
+		return
+	}
+	s.stats.bytesWrite.Add(int64(count))
+	s.replyStatus(req.src, StatusOK, count)
+}
+
+// largeWriteThrough is the pre-overhaul §6.2 baseline: chunks pulled
+// serially into one staging buffer with MoveFrom, each written through
+// to the store before the next pull, cached blocks invalidated at the
+// end. Kept runnable (Config.WriteThrough) so the write-behind win stays
+// measurable.
+func (s *Server) largeWriteThrough(req *request, file, off, count uint32) {
 	bs := uint32(s.cfg.BlockSize)
 	pre := uint32(req.inline)
 	if pre > count {
