@@ -9,7 +9,7 @@ GO ?= go
 # stable local numbers.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet bench bench-ipc bench-rfs bench-alloc check
+.PHONY: all build test race vet bench bench-ipc bench-rfs bench-alloc bench-ccache check
 
 all: build test
 
@@ -41,5 +41,10 @@ bench-rfs:
 bench-alloc:
 	$(GO) test -run=- -bench='BenchmarkPageRead|BenchmarkPageWrite|BenchmarkReadLarge64K|BenchmarkWriteLarge64K|BenchmarkParallel' \
 		-benchmem -benchtime=$(BENCHTIME) ./internal/ipc/ ./internal/rfs/
+
+# The §6.2 client-cache comparison: warm page reads and the write-heavy
+# shared-file mix, client cache on vs. off, 1/4/16 clients, mem + udp.
+bench-ccache:
+	$(GO) test -run=- -bench='BenchmarkCCache' -benchmem -benchtime=$(BENCHTIME) ./internal/rfs/
 
 check: build vet test race

@@ -42,10 +42,14 @@ func main() {
 		writeThrough = flag.Bool("writethrough", false, "server: synchronous write-through instead of write-behind")
 		dirtyBudget  = flag.Int("dirtybudget", 0, "server: max staged-but-unflushed blocks (0 = default)")
 		flushers     = flag.Int("flushers", 0, "server: write-behind flusher goroutines (0 = default)")
+		maxDirtyAge  = flag.Duration("maxdirtyage", 0, "server: scheduled flushing — flush blocks dirty longer than this (0 = eager flushers)")
+		lease        = flag.Duration("lease", 0, "server: client-cache registration lease (0 = default 2s)")
 		fileID       = flag.Uint("file", 1, "client: file id to exercise")
 		reads        = flag.Int("reads", 100, "client: number of page reads")
 		writes       = flag.Int("writes", 0, "client: also time this many page writes (ends with a sync)")
 		large        = flag.Int("large", 0, "client: also stream a large read of this many bytes")
+		clientCache  = flag.Bool("clientcache", false, "client: enable the local block cache with server-driven invalidation")
+		ccBlocks     = flag.Int("ccblocks", 0, "client: local cache capacity in blocks (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -76,10 +80,12 @@ func main() {
 			WriteThrough: *writeThrough,
 			DirtyBudget:  *dirtyBudget,
 			Flushers:     *flushers,
+			MaxDirtyAge:  *maxDirtyAge,
+			CacheLease:   *lease,
 		})
 		return
 	}
-	runClient(node, uint32(*fileID), *reads, *writes, *large)
+	runClient(node, uint32(*fileID), *reads, *writes, *large, *clientCache, *ccBlocks)
 }
 
 func runServer(node *ipc.Node, storeDir string, cfg rfs.Config) {
@@ -111,7 +117,7 @@ func runServer(node *ipc.Node, storeDir string, cfg rfs.Config) {
 	fmt.Printf("vnode: shutting down; stats: %+v\n", srv.Stats())
 }
 
-func runClient(node *ipc.Node, file uint32, reads, writes, large int) {
+func runClient(node *ipc.Node, file uint32, reads, writes, large int, clientCache bool, ccBlocks int) {
 	proc, err := node.Attach("client")
 	fatalIf(err)
 	defer node.Detach(proc)
@@ -119,18 +125,31 @@ func runClient(node *ipc.Node, file uint32, reads, writes, large int) {
 	fatalIf(err)
 	fmt.Printf("vnode: resolved file server -> %v\n", client.Server())
 
+	// The page-op entry points: the plain stubs, or the caching client's
+	// (local cache + invalidation callback process) with -clientcache.
+	readPage, writePage := client.ReadBlock, client.WriteBlock
+	var cc *rfs.CachingClient
+	if clientCache {
+		cc, err = rfs.NewCachingClient(proc, client.Server(), rfs.CacheClientConfig{Blocks: ccBlocks})
+		fatalIf(err)
+		defer cc.Close()
+		readPage, writePage = cc.ReadBlock, cc.WriteBlock
+		fmt.Println("vnode: client block cache enabled (server-driven invalidation)")
+	}
+
 	// Seed one page so reads have something to hit, then time the page
-	// fast path: one Send/Reply exchange per read, page in the reply.
+	// fast path: one Send/Reply exchange per read (or a local cache hit
+	// after the first miss with -clientcache).
 	out := make([]byte, 512)
 	for i := range out {
 		out[i] = byte(i)
 	}
-	fatalIf(client.WriteBlock(file, 0, out))
+	fatalIf(writePage(file, 0, out))
 
 	in := make([]byte, 512)
 	start := time.Now()
 	for i := 0; i < reads; i++ {
-		if _, err := client.ReadBlock(file, 0, in); err != nil {
+		if _, err := readPage(file, 0, in); err != nil {
 			fatalIf(err)
 		}
 	}
@@ -140,10 +159,10 @@ func runClient(node *ipc.Node, file uint32, reads, writes, large int) {
 	if writes > 0 {
 		start = time.Now()
 		for i := 0; i < writes; i++ {
-			fatalIf(client.WriteBlock(file, uint32(i%256), out))
+			fatalIf(writePage(file, uint32(i%256), out))
 		}
 		acked := time.Since(start)
-		fatalIf(client.Sync())
+		fatalIf(client.Sync(0))
 		fmt.Printf("vnode: %d page writes acked in %v (%v/page), synced after %v\n",
 			writes, acked, acked/time.Duration(writes), time.Since(start))
 	}
@@ -161,6 +180,9 @@ func runClient(node *ipc.Node, file uint32, reads, writes, large int) {
 		elapsed := time.Since(start)
 		fmt.Printf("vnode: streamed %d-byte read in %v (%.1f MB/s)\n",
 			n, elapsed, float64(n)/(1<<20)/elapsed.Seconds())
+	}
+	if cc != nil {
+		fmt.Printf("vnode: client cache stats: %+v\n", cc.Stats())
 	}
 	fmt.Printf("vnode: node stats: %+v\n", node.Stats())
 }

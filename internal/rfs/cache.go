@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vkernel/internal/bufpool"
 )
@@ -85,9 +86,28 @@ type blockCache struct {
 	fileDirty  map[uint32]int
 	staged     map[uint32]int64
 	closed     bool
-	flushErr   error
-	write      func(file uint32, off int64, p []byte) error
-	flushWG    sync.WaitGroup
+	// flushErrByFile holds the first write-back error per file since that
+	// file's last drain. Per-file, not a single sticky error: a per-file
+	// sync must report — and clear — only its own file's failures, or a
+	// sync of a healthy file would steal (and erase) the failing file's
+	// error and the failing file's next sync would report success for
+	// lost bytes.
+	flushErrByFile map[uint32]error
+	write          func(file uint32, off int64, p []byte) error
+	flushWG        sync.WaitGroup
+
+	// Flush scheduling. With maxDirtyAge == 0 flushers are eager: they
+	// claim dirty blocks the moment they appear. A positive maxDirtyAge
+	// holds dirty blocks back for coalescing until (a) the dirty count
+	// reaches half the budget, (b) a drain (sync/close) is waiting —
+	// drainWaiters counts those — or (c) the trickler finds blocks dirty
+	// longer than maxDirtyAge, which bounds the data-loss window under
+	// light load. now is the trickle's clock (tests fake it to age blocks
+	// without sleeping).
+	maxDirtyAge  time.Duration
+	drainWaiters int
+	now          func() time.Time
+	trickleDone  chan struct{}
 
 	gens [256]atomic.Uint64 // invalidation stamps, sharded by block id
 
@@ -105,6 +125,9 @@ type cacheEntry struct {
 	state   int
 	redirty bool // staged again while its flush was in flight
 	flushes int  // completed write-backs; lets a drain spot "flushed since"
+	// dirtiedAt is when the entry's current unflushed bytes entered the
+	// cache (maintained only under scheduled flushing, maxDirtyAge > 0).
+	dirtiedAt time.Time
 }
 
 // flushItem is one claimed block of a flush run: the entry plus a
@@ -119,25 +142,44 @@ type flushItem struct {
 // newBlockCache builds the cache. write is the store write-back hook for
 // the flushers; flushers == 0 disables write-behind entirely (stage must
 // not be called) — the write-through server runs the cache that way.
-func newBlockCache(capacity, blockSize, budget, flushers int, write func(file uint32, off int64, p []byte) error) *blockCache {
+func newBlockCache(capacity, blockSize, budget, flushers int, maxDirtyAge time.Duration, write func(file uint32, off int64, p []byte) error) *blockCache {
 	c := &blockCache{
-		capacity:  capacity,
-		blockSize: blockSize,
-		budget:    budget,
-		maxRun:    64 * 1024 / blockSize, // one flush write covers ≤ 64 KB (a pooled staging class)
-		entries:   make(map[blockID]*list.Element),
-		lru:       list.New(),
-		dirty:     make(map[blockID]*cacheEntry),
-		fileDirty: make(map[uint32]int),
-		staged:    make(map[uint32]int64),
-		write:     write,
+		capacity:       capacity,
+		blockSize:      blockSize,
+		budget:         budget,
+		maxRun:         64 * 1024 / blockSize, // one flush write covers ≤ 64 KB (a pooled staging class)
+		entries:        make(map[blockID]*list.Element),
+		lru:            list.New(),
+		dirty:          make(map[blockID]*cacheEntry),
+		fileDirty:      make(map[uint32]int),
+		staged:         make(map[uint32]int64),
+		flushErrByFile: make(map[uint32]error),
+		write:          write,
+		maxDirtyAge:    maxDirtyAge,
+		now:            time.Now,
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if flushers == 0 {
+		c.maxDirtyAge = 0 // write-through: nothing is ever dirty
+	}
 	for i := 0; i < flushers; i++ {
 		c.flushWG.Add(1)
 		go c.flusher()
 	}
+	if c.maxDirtyAge > 0 {
+		c.trickleDone = make(chan struct{})
+		c.flushWG.Add(1)
+		go c.trickler()
+	}
 	return c
+}
+
+// setNow substitutes the scheduling clock (tests age blocks without
+// sleeping).
+func (c *blockCache) setNow(f func() time.Time) {
+	c.mu.Lock()
+	c.now = f
+	c.mu.Unlock()
 }
 
 // get returns the cached block with a reference for the caller (Release
@@ -295,14 +337,18 @@ func (c *blockCache) stage(id blockID, buf *bufpool.Buf, payStart, payEnd int, s
 			e.state = stateDirty
 			c.dirty[id] = e
 			c.addNonCleanLocked(id.file)
+			c.stampDirtiedLocked(e)
 		case stateDirty:
-			// already queued; the flusher will pick up the newer buffer
+			// already queued (the flusher will pick up the newer buffer);
+			// dirtiedAt keeps the age of the oldest unflushed write
 		case stateFlushing:
 			e.redirty = true
+			c.stampDirtiedLocked(e) // the superseding bytes' age starts now
 		}
 		c.lru.MoveToFront(el)
 	} else {
 		e := &cacheEntry{id: id, buf: buf.Retain(), end: end, state: stateDirty}
+		c.stampDirtiedLocked(e)
 		c.entries[id] = c.lru.PushFront(e)
 		c.dirty[id] = e
 		c.addNonCleanLocked(id.file)
@@ -453,16 +499,40 @@ func (c *blockCache) truncate(file uint32, create func() error) error {
 	return create()
 }
 
+// stampDirtiedLocked records when an entry's current unflushed bytes
+// arrived; only scheduled flushing reads the stamp, so eager mode skips
+// the clock call on the write hot path. Caller holds c.mu.
+func (c *blockCache) stampDirtiedLocked(e *cacheEntry) {
+	if c.maxDirtyAge > 0 {
+		e.dirtiedAt = c.now()
+	}
+}
+
+// claimableLocked reports whether a flusher should claim work now. Eager
+// mode (maxDirtyAge == 0) claims any dirty block immediately; scheduled
+// mode holds blocks for coalescing until a drain waits, the dirty count
+// reaches half the budget, or the cache is closing. Caller holds c.mu.
+func (c *blockCache) claimableLocked() bool {
+	if len(c.dirty) == 0 {
+		return false
+	}
+	if c.maxDirtyAge == 0 || c.closed || c.drainWaiters > 0 {
+		return true
+	}
+	return 2*c.dirtyCount >= c.budget
+}
+
 // flusher is one write-behind worker: it claims runs of consecutive dirty
 // blocks of one file and writes each run back with a single store write.
 func (c *blockCache) flusher() {
 	defer c.flushWG.Done()
 	for {
 		c.mu.Lock()
-		for len(c.dirty) == 0 && !c.closed {
+		for !c.closed && !c.claimableLocked() {
 			c.cond.Wait()
 		}
-		if len(c.dirty) == 0 && c.closed {
+		if !c.claimableLocked() {
+			// Closed with nothing left to drain.
 			c.mu.Unlock()
 			return
 		}
@@ -472,17 +542,74 @@ func (c *blockCache) flusher() {
 	}
 }
 
-// claimRunLocked picks any dirty block and extends it into the maximal
-// run of consecutive dirty blocks of the same file (capped at maxRun, and
-// a partially valid block can only end a run). Every claimed entry moves
-// to stateFlushing with its buffer retained, so the run's bytes stay
-// alive and no other flusher can claim them. Caller holds c.mu.
+// trickler is the age pass of scheduled flushing: on a timer it forces
+// out blocks dirty longer than maxDirtyAge, so light write loads that
+// never build budget pressure still reach the store within a bounded
+// window.
+func (c *blockCache) trickler() {
+	defer c.flushWG.Done()
+	interval := c.maxDirtyAge / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.trickleDone:
+			return
+		case <-t.C:
+			c.tricklePass()
+		}
+	}
+}
+
+// tricklePass flushes every block that has been dirty longer than
+// maxDirtyAge (runs extend to adjacent dirty blocks — coalescing is
+// preserved). Exposed to tests as the deterministic trickle entry point,
+// driven by the fake clock installed with setNow.
+func (c *blockCache) tricklePass() {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		cutoff := c.now().Add(-c.maxDirtyAge)
+		var seed *cacheEntry
+		for _, e := range c.dirty {
+			if !e.dirtiedAt.After(cutoff) {
+				seed = e
+				break
+			}
+		}
+		if seed == nil {
+			c.mu.Unlock()
+			return
+		}
+		file, start, items := c.claimRunFromLocked(seed)
+		c.mu.Unlock()
+		c.flushRun(file, start, items)
+	}
+}
+
+// claimRunLocked picks any dirty block and claims its run. Caller holds
+// c.mu.
 func (c *blockCache) claimRunLocked() (file uint32, start uint32, items []flushItem) {
 	var seed *cacheEntry
 	for _, e := range c.dirty {
 		seed = e
 		break
 	}
+	return c.claimRunFromLocked(seed)
+}
+
+// claimRunFromLocked extends seed into the maximal run of consecutive
+// dirty blocks of the same file (capped at maxRun, and a partially valid
+// block can only end a run). Every claimed entry moves to stateFlushing
+// with its buffer retained, so the run's bytes stay alive and no other
+// flusher can claim them. Caller holds c.mu.
+func (c *blockCache) claimRunFromLocked(seed *cacheEntry) (file uint32, start uint32, items []flushItem) {
 	file = seed.id.file
 	// Walk back to the run's start: every block before the seed becomes
 	// an interior block of the run, so it must be fully valid.
@@ -554,8 +681,8 @@ func (c *blockCache) flushRun(file uint32, start uint32, items []flushItem) {
 		}
 		it.buf.Release()
 	}
-	if err != nil && c.flushErr == nil {
-		c.flushErr = err
+	if err != nil && c.flushErrByFile[file] == nil {
+		c.flushErrByFile[file] = err
 	}
 	c.evictExcessLocked()
 	c.cond.Broadcast()
@@ -573,24 +700,10 @@ func (c *blockCache) flushRun(file uint32, start uint32, items []flushItem) {
 func (c *blockCache) flushAll() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	type snap struct {
-		e    *cacheEntry
-		need int // flush count at which the snapshot-time bytes are on the store
-	}
-	snaps := make([]snap, 0, c.dirtyCount)
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		if e := el.Value.(*cacheEntry); e.state != stateClean {
-			need := e.flushes + 1
-			if e.state == stateFlushing && e.redirty {
-				// The in-flight flush carries a superseded buffer; the
-				// bytes acknowledged before this drain are in the entry's
-				// current buffer, which only the NEXT flush writes.
-				need++
-			}
-			snaps = append(snaps, snap{e, need})
-		}
-	}
-	for _, sn := range snaps {
+	c.drainWaiters++
+	c.cond.Broadcast() // scheduled flushers claim while a drain waits
+	defer func() { c.drainWaiters-- }()
+	for _, sn := range c.drainSnapshotLocked(0) {
 		for {
 			el, ok := c.entries[sn.e.id]
 			gone := !ok || el.Value.(*cacheEntry) != sn.e
@@ -600,8 +713,79 @@ func (c *blockCache) flushAll() error {
 			c.cond.Wait()
 		}
 	}
-	err := c.flushErr
-	c.flushErr = nil
+	var err error
+	for _, e := range c.flushErrByFile {
+		err = e
+		break
+	}
+	c.flushErrByFile = make(map[uint32]error)
+	return err
+}
+
+// drainSnap is one entry a drain waits on: need is the flush count at
+// which the snapshot-time bytes are on the store.
+type drainSnap struct {
+	e    *cacheEntry
+	need int
+}
+
+// drainSnapshotLocked collects the non-clean entries a drain must wait
+// for — all of them, or only one file's (file != 0). Blocks staged after
+// the snapshot never extend the drain: a sync promises durability for
+// the writes acknowledged before it, so it terminates even under
+// sustained writes from other clients. Caller holds c.mu.
+func (c *blockCache) drainSnapshotLocked(file uint32) []drainSnap {
+	snaps := make([]drainSnap, 0, c.dirtyCount)
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.state == stateClean || (file != 0 && e.id.file != file) {
+			continue
+		}
+		need := e.flushes + 1
+		if e.state == stateFlushing && e.redirty {
+			// The in-flight flush carries a superseded buffer; the bytes
+			// acknowledged before this drain are in the entry's current
+			// buffer, which only the NEXT flush writes.
+			need++
+		}
+		snaps = append(snaps, drainSnap{e, need})
+	}
+	return snaps
+}
+
+// flushFile drains one file's staged blocks (OpSync with a file id): the
+// per-file sync of a multi-tenant server. It is self-servicing — while a
+// snapshot block is still unclaimed it claims and flushes the run
+// itself, so a per-file sync never queues behind flushers parked inside
+// another file's slow store writes; only blocks already claimed by a
+// concurrent flush are waited out. It returns — and clears — only this
+// file's sticky flush error; other files' failures stay recorded for
+// their own syncs.
+func (c *blockCache) flushFile(file uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drainWaiters++
+	c.cond.Broadcast()
+	defer func() { c.drainWaiters-- }()
+	for _, sn := range c.drainSnapshotLocked(file) {
+		for {
+			el, ok := c.entries[sn.e.id]
+			gone := !ok || el.Value.(*cacheEntry) != sn.e
+			if gone || sn.e.state == stateClean || sn.e.flushes >= sn.need {
+				break
+			}
+			if sn.e.state == stateDirty {
+				f, start, items := c.claimRunFromLocked(sn.e)
+				c.mu.Unlock()
+				c.flushRun(f, start, items)
+				c.mu.Lock()
+				continue
+			}
+			c.cond.Wait()
+		}
+	}
+	err := c.flushErrByFile[file]
+	delete(c.flushErrByFile, file)
 	return err
 }
 
@@ -613,6 +797,9 @@ func (c *blockCache) close() {
 	c.closed = true
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if c.trickleDone != nil {
+		close(c.trickleDone)
+	}
 	c.flushWG.Wait()
 	c.mu.Lock()
 	for el := c.lru.Front(); el != nil; el = el.Next() {

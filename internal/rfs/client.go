@@ -88,18 +88,28 @@ func (c *Client) exchange(m *ipc.Message, seg *ipc.Segment) error {
 	}
 }
 
+// exchangeOp is exchange plus the common status check: a non-OK reply
+// becomes an ErrBadStatus error. The reply message stays in *m for
+// callers that read its extra words (counts, versions, lease).
+func (c *Client) exchangeOp(m *ipc.Message, seg *ipc.Segment) error {
+	if err := c.exchange(m, seg); err != nil {
+		return err
+	}
+	if status, _ := parseReply(m); status != StatusOK {
+		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+	}
+	return nil
+}
+
 // ReadBlock reads up to len(dst) bytes of the given file block into dst:
 // one Send granting write access to dst, one reply packet carrying the
 // page (§3.4). It returns the byte count the server sent.
 func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 	m := buildRequest(OpReadBlock, file, block, uint32(len(dst)))
-	if err := c.exchange(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+	if err := c.exchangeOp(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
 		return 0, err
 	}
-	status, n := parseReply(&m)
-	if status != StatusOK {
-		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
+	_, n := parseReply(&m)
 	return int(n), nil
 }
 
@@ -109,13 +119,7 @@ func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 // write-back.
 func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 	m := buildRequest(OpWriteBlock, file, block, uint32(len(data)))
-	if err := c.exchange(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
-		return err
-	}
-	if status, _ := parseReply(&m); status != StatusOK {
-		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
-	return nil
+	return c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead})
 }
 
 // ReadLarge reads up to len(dst) bytes starting at byte offset off into
@@ -123,13 +127,10 @@ func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 // (§6.3); the count returned is how many bytes the file held.
 func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 	m := buildRequest(OpReadLarge, file, off, uint32(len(dst)))
-	if err := c.exchange(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+	if err := c.exchangeOp(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
 		return 0, err
 	}
-	status, n := parseReply(&m)
-	if status != StatusOK {
-		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
+	_, n := parseReply(&m)
 	return int(n), nil
 }
 
@@ -137,52 +138,34 @@ func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 // it with scatter MoveFrom in transfer-unit chunks.
 func (c *Client) WriteLarge(file, off uint32, data []byte) error {
 	m := buildRequest(OpWriteLarge, file, off, uint32(len(data)))
-	if err := c.exchange(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
-		return err
-	}
-	if status, _ := parseReply(&m); status != StatusOK {
-		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
-	return nil
+	return c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead})
 }
 
 // QueryFile returns a file's size in bytes (staged write-behind
 // extensions included).
 func (c *Client) QueryFile(file uint32) (int, error) {
 	m := buildRequest(OpQueryFile, file, 0, 0)
-	if err := c.exchange(&m, nil); err != nil {
+	if err := c.exchangeOp(&m, nil); err != nil {
 		return 0, err
 	}
-	status, n := parseReply(&m)
-	if status != StatusOK {
-		return 0, fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
+	_, n := parseReply(&m)
 	return int(n), nil
 }
 
 // CreateFile creates (or truncates) a file of the given size.
 func (c *Client) CreateFile(file uint32, size uint32) error {
 	m := buildRequest(OpCreateFile, file, size, 0)
-	if err := c.exchange(&m, nil); err != nil {
-		return err
-	}
-	if status, _ := parseReply(&m); status != StatusOK {
-		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
-	return nil
+	return c.exchangeOp(&m, nil)
 }
 
 // Sync asks the server to drain its write-behind blocks to the backing
-// store (OpSync) — the durability point for acknowledged writes.
-func (c *Client) Sync() error {
-	m := buildRequest(OpSync, 0, 0, 0)
-	if err := c.exchange(&m, nil); err != nil {
-		return err
-	}
-	if status, _ := parseReply(&m); status != StatusOK {
-		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
-	return nil
+// store (OpSync) — the durability point for acknowledged writes. A
+// nonzero file id drains only that file's staged blocks (per-file sync:
+// it does not wait on other files' backlogs); zero drains the whole
+// cache.
+func (c *Client) Sync(file uint32) error {
+	m := buildRequest(OpSync, file, 0, 0)
+	return c.exchangeOp(&m, nil)
 }
 
 // LoadProgram performs the §6.3 command-interpreter load sequence: one

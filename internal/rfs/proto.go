@@ -40,8 +40,27 @@ const (
 	OpWriteLarge uint32 = 4 // multi-block write pulled via MoveFrom
 	OpQueryFile  uint32 = 5 // file size lookup
 	OpCreateFile uint32 = 6 // create (or truncate) a file
-	OpSync       uint32 = 7 // drain the server's write-behind blocks to the store
+	OpSync       uint32 = 7 // drain write-behind blocks to the store (word 2: file id, 0 = whole cache)
+
+	// Client-cache consistency protocol (§6.2 experiment). A caching
+	// client registers per file, naming the callback process its node
+	// runs for invalidations; on any write to the file the server Sends
+	// OpInvalidate to every other registered client's callback process
+	// BEFORE acknowledging the write, so a post-ack read on any client
+	// never observes the cache's pre-write bytes. Registrations carry a
+	// bounded lease and every file a version counter, so a client whose
+	// callbacks are lost (dead callback process, dropped registration)
+	// serves stale bytes for at most one lease: a cache hit past the
+	// lease forces a re-registration, and a version mismatch on the
+	// renewal purges the file's cached blocks.
+	OpRegisterCache uint32 = 8  // word 2: file id, word 3: callback pid → reply word 2: version, word 3: lease ms
+	OpReleaseCache  uint32 = 9  // word 2: file id, word 3: callback pid
+	OpInvalidate    uint32 = 10 // server→client callback: word 2: file, word 3: first block, word 4: count, word 5: version
 )
+
+// InvalidateAll as an OpInvalidate block count names the whole file
+// (create/truncate, or a registration being revoked).
+const InvalidateAll = ^uint32(0)
 
 // Reply status codes (reply word 1).
 const (
@@ -67,7 +86,10 @@ var (
 //
 // The data buffer itself is granted through the message's segment
 // descriptor. Replies use word 1 = status, word 2 = count (bytes
-// read/written, or the file size for query).
+// read/written, or the file size for query). Write replies additionally
+// carry the file's post-write cache version in word 3 with word 4 = 1
+// (see proto: OpRegisterCache) when the file is version-tracked, so a
+// caching writer can keep its own version current without a callback.
 
 // buildRequest assembles a request message.
 func buildRequest(op, file, blockOrOff, count uint32) ipc.Message {

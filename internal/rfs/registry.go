@@ -1,0 +1,330 @@
+package rfs
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vkernel/internal/ipc"
+)
+
+// cacheRegistry is the server half of the client-cache consistency
+// protocol: per-file registrations of caching clients plus a per-file
+// version counter.
+//
+// Invariant the protocol rests on: a write to a file is acknowledged only
+// after every other registered (and unexpired) client has acknowledged an
+// OpInvalidate callback for the written blocks — so once a writer sees
+// its ack, no client cache anywhere can serve the pre-write bytes. The
+// callbacks are still best-effort: a client whose callback process is
+// unreachable has its registration dropped (never retried forever), and
+// the bounded lease plus the version check on re-registration cap how
+// long such a client can serve stale bytes from cache (one lease).
+//
+// Registrations are keyed by callback pid; the owner pid (the client
+// process issuing reads and writes) is recorded so a writer is never
+// called back about its own write.
+type cacheRegistry struct {
+	mu      sync.Mutex
+	files   map[uint32]*fileReg
+	lease   time.Duration
+	timeout time.Duration    // bound on one write's whole callback fan-out
+	now     func() time.Time // test hook (fake clocks for lease expiry)
+
+	node     *ipc.Node
+	jobs     chan invJob
+	poolSize int
+	workers  sync.WaitGroup
+
+	registrations    atomic.Int64
+	callbacks        atomic.Int64
+	callbackErrs     atomic.Int64
+	callbackTimeouts atomic.Int64
+	leaseExpiries    atomic.Int64
+	abandoned        atomic.Int64 // callback exchanges left parked past their deadline
+}
+
+// fileReg is one file's version counter and watcher set. The version
+// survives the watchers: it keeps counting writes after every
+// registration is dropped, which is what lets a re-registering client
+// detect the writes it missed.
+type fileReg struct {
+	version  uint32
+	watchers map[ipc.Pid]*watcher // keyed by callback pid
+}
+
+type watcher struct {
+	cb      ipc.Pid // callback process on the client's node
+	owner   ipc.Pid // client process whose writes must NOT call back
+	expires time.Time
+}
+
+// invJob is one invalidation callback for the pool: Send OpInvalidate to
+// cb and deliver the outcome on done.
+type invJob struct {
+	cb                           ipc.Pid
+	file, first, count, version uint32
+	done                        chan<- invResult
+}
+
+type invResult struct {
+	cb  ipc.Pid
+	err error
+}
+
+// errCallbackTimeout reports a callback exchange abandoned at its
+// deadline (the registration is revoked like any other failure).
+var errCallbackTimeout = errors.New("rfs: invalidation callback timed out")
+
+// newCacheRegistry starts the registry with a pool of invalidator
+// workers. Each callback exchange runs on a throwaway process attached
+// for the job and is abandoned — never waited on — past its deadline,
+// so a callback pid that is alive but never in Receive (whose Send the
+// reply-pending machinery parks indefinitely) wedges one disposable
+// goroutine, not a pool worker, and close never deadlocks behind it.
+// Abandoned exchanges self-clean when the Send finally fails (at the
+// latest when the node closes).
+func newCacheRegistry(node *ipc.Node, lease, timeout time.Duration, workers int) (*cacheRegistry, error) {
+	r := &cacheRegistry{
+		files:    make(map[uint32]*fileReg),
+		lease:    lease,
+		timeout:  timeout,
+		now:      time.Now,
+		node:     node,
+		jobs:     make(chan invJob),
+		poolSize: workers,
+	}
+	for i := 0; i < workers; i++ {
+		r.workers.Add(1)
+		go r.invalidator()
+	}
+	return r, nil
+}
+
+// close stops the invalidator pool. Abandoned callback exchanges are
+// deliberately not waited for.
+func (r *cacheRegistry) close() {
+	close(r.jobs)
+	r.workers.Wait()
+}
+
+// invalidator is one pool worker: it dispatches each job's exchange on
+// its own goroutine + throwaway process and waits at most the deadline,
+// so the worker itself always returns to the pool.
+func (r *cacheRegistry) invalidator() {
+	defer r.workers.Done()
+	timer := time.NewTimer(r.timeout)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for job := range r.jobs {
+		resCh := make(chan invResult, 1)
+		go r.callbackExchange(job, resCh)
+		timer.Reset(r.timeout)
+		var res invResult
+		select {
+		case res = <-resCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+			r.abandoned.Add(1)
+			r.callbackTimeouts.Add(1)
+			res = invResult{cb: job.cb, err: errCallbackTimeout}
+		}
+		r.callbacks.Add(1)
+		if res.err != nil {
+			r.callbackErrs.Add(1)
+		}
+		job.done <- res
+	}
+}
+
+// callbackExchange runs one OpInvalidate Send/Reply on a process
+// attached for the job. An overload shed (the callback process's
+// receive queue was momentarily full) is retried with the same capped
+// backoff the client stubs use — shedding is the kernel's normal burst
+// behavior and must not cost a healthy client its registration; any
+// other error is final.
+func (r *cacheRegistry) callbackExchange(job invJob, resCh chan<- invResult) {
+	p, err := r.node.Attach("inval")
+	if err != nil {
+		resCh <- invResult{cb: job.cb, err: err}
+		return
+	}
+	defer r.node.Detach(p)
+	delay := 200 * time.Microsecond
+	for attempt := 0; ; attempt++ {
+		m := buildRequest(OpInvalidate, job.file, job.first, job.count)
+		m.SetWord(5, job.version)
+		err = p.Send(&m, job.cb, nil)
+		if err == nil {
+			if status, _ := parseReply(&m); status != StatusOK {
+				err = ErrBadStatus
+			}
+			break
+		}
+		if !errors.Is(err, ipc.ErrOverloaded) || attempt >= 8 {
+			break
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 10*time.Millisecond {
+			delay = 10 * time.Millisecond
+		}
+	}
+	resCh <- invResult{cb: job.cb, err: err}
+}
+
+// register adds (or renews) a registration and returns the file's current
+// version. Renewal by the same callback pid refreshes the lease in place.
+func (r *cacheRegistry) register(file uint32, owner, cb ipc.Pid) (version uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fr := r.files[file]
+	if fr == nil {
+		fr = &fileReg{watchers: make(map[ipc.Pid]*watcher)}
+		r.files[file] = fr
+	}
+	fr.watchers[cb] = &watcher{cb: cb, owner: owner, expires: r.now().Add(r.lease)}
+	r.registrations.Add(1)
+	return fr.version
+}
+
+// release drops a registration (client shutdown or cache disable).
+func (r *cacheRegistry) release(file uint32, cb ipc.Pid) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fr := r.files[file]; fr != nil {
+		delete(fr.watchers, cb)
+	}
+}
+
+// dropInstance revokes a registration after a failed or abandoned
+// callback — but only the exact watcher instance the fan-out snapshotted.
+// A client that re-registered (renewed) while the fan-out ran installed a
+// fresh instance; deleting by pid alone would silently revoke that
+// renewal even though its register() reply already carried the post-write
+// version (the bump precedes the fan-out), i.e. the renewed client is
+// fully consistent and must stay registered.
+func (r *cacheRegistry) dropInstance(file uint32, w *watcher) {
+	if w == nil {
+		return
+	}
+	r.mu.Lock()
+	if fr := r.files[file]; fr != nil && fr.watchers[w.cb] == w {
+		delete(fr.watchers, w.cb)
+	}
+	r.mu.Unlock()
+}
+
+// watchers returns the current live registration count (diagnostics).
+func (r *cacheRegistry) watcherCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, fr := range r.files {
+		n += len(fr.watchers)
+	}
+	return n
+}
+
+// invalidate records a write of [first, first+count) by owner: it bumps
+// the file's version and calls back every other registered client,
+// blocking until each callback is acknowledged or fails (failed
+// registrations are dropped). It returns the post-write version and
+// whether the file is version-tracked at all — untracked files (no
+// registration ever) skip the counter so the registry stays empty for
+// cache-less workloads and the write path costs one mutex acquisition.
+func (r *cacheRegistry) invalidate(file, first, count uint32, owner ipc.Pid) (version uint32, tracked bool) {
+	r.mu.Lock()
+	fr := r.files[file]
+	if fr == nil {
+		r.mu.Unlock()
+		return 0, false
+	}
+	fr.version++
+	version = fr.version
+	var targets []*watcher
+	if len(fr.watchers) > 0 {
+		now := r.now()
+		for cb, w := range fr.watchers {
+			if !now.Before(w.expires) {
+				// Lease ran out without a renewal: the client already
+				// refuses cache hits for this file, so no callback is owed.
+				delete(fr.watchers, cb)
+				r.leaseExpiries.Add(1)
+				continue
+			}
+			if w.owner == owner {
+				continue
+			}
+			targets = append(targets, w)
+		}
+	}
+	r.mu.Unlock()
+	if len(targets) == 0 {
+		return version, true
+	}
+	// The whole fan-out runs under a deadline: liveness of the write
+	// path must not hinge on every callback process behaving. Each
+	// worker already bounds its job by timeout, so the fan-out as a
+	// whole needs at most ceil(targets/pool) worker rounds (plus slack);
+	// a callback that neither acks nor fails by then — a pid that is
+	// alive but never in Receive keeps the Send parked in reply-pending
+	// forever — gets its registration revoked and the write proceeds;
+	// the revoked client's staleness is bounded by the lease + version
+	// machinery. done is buffered so a late worker never blocks on it.
+	done := make(chan invResult, len(targets))
+	rounds := (len(targets) + r.poolSize - 1) / r.poolSize
+	timer := time.NewTimer(time.Duration(rounds)*r.timeout + r.timeout/4)
+	defer timer.Stop()
+	byCb := make(map[ipc.Pid]*watcher, len(targets))
+	for _, w := range targets {
+		byCb[w.cb] = w
+	}
+	answered := make(map[ipc.Pid]bool, len(targets))
+	settle := func(res invResult) {
+		answered[res.cb] = true
+		if res.err != nil {
+			// Unreachable callback process: revoke the registration
+			// rather than retry forever; the lease/version fallback
+			// bounds the staleness this client can now observe.
+			r.dropInstance(file, byCb[res.cb])
+		}
+	}
+	sent, timedOut := 0, false
+feed:
+	for _, w := range targets {
+		job := invJob{cb: w.cb, file: file, first: first, count: count, version: version, done: done}
+		for {
+			select {
+			case r.jobs <- job:
+				sent++
+				continue feed
+			case res := <-done:
+				settle(res)
+			case <-timer.C:
+				timedOut = true
+				break feed
+			}
+		}
+	}
+	for len(answered) < sent && !timedOut {
+		select {
+		case res := <-done:
+			settle(res)
+		case <-timer.C:
+			timedOut = true
+		}
+	}
+	if timedOut {
+		r.callbackTimeouts.Add(1)
+		for _, w := range targets {
+			if !answered[w.cb] {
+				r.dropInstance(file, w)
+			}
+		}
+	}
+	return version, true
+}

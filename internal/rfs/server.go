@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vkernel/internal/bufpool"
 	"vkernel/internal/ipc"
@@ -51,6 +52,30 @@ type Config struct {
 	// claims runs of consecutive dirty blocks of one file and writes a
 	// run back with a single store write.
 	Flushers int
+	// MaxDirtyAge, when positive, switches the flushers from eager to
+	// scheduled: dirty blocks are held for coalescing until half the
+	// dirty budget fills, a sync drains them, or they have been dirty
+	// longer than MaxDirtyAge — the age trickle that bounds the
+	// data-loss window under light load. 0 (the default) keeps the
+	// flushers eager: every staged block is claimed as soon as a flusher
+	// is free.
+	MaxDirtyAge time.Duration
+	// CacheLease bounds a client-cache registration (0 → 2s). It is also
+	// the staleness bound of the consistency protocol: a client whose
+	// invalidation callbacks are lost can serve stale cached bytes for at
+	// most one lease before the forced re-registration's version check
+	// purges them.
+	CacheLease time.Duration
+	// Invalidators sizes the invalidation-callback worker pool (0 → 4):
+	// the processes that Send OpInvalidate to registered caching clients
+	// while a write waits for their acknowledgements.
+	Invalidators int
+	// CallbackTimeout bounds one write's whole invalidation fan-out
+	// (0 → 1s). Registrations that have not acknowledged by then are
+	// revoked and the write acknowledged anyway — a misbehaving callback
+	// process must not stall the write path; the revoked client falls
+	// back to the lease/version staleness bound.
+	CallbackTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +121,15 @@ func (c Config) withDefaults() Config {
 	if c.Flushers <= 0 {
 		c.Flushers = 2
 	}
+	if c.CacheLease <= 0 {
+		c.CacheLease = 2 * time.Second
+	}
+	if c.Invalidators <= 0 {
+		c.Invalidators = 4
+	}
+	if c.CallbackTimeout <= 0 {
+		c.CallbackTimeout = time.Second
+	}
 	return c
 }
 
@@ -122,6 +156,17 @@ type Stats struct {
 	FlushRuns     int64
 	FlushedBlocks int64
 	FlushErrors   int64
+	// Client-cache consistency protocol activity: registrations
+	// processed (including renewals), live registrations, invalidation
+	// callbacks sent, callbacks that failed (registration revoked),
+	// fan-outs cut short by CallbackTimeout, and registrations reaped at
+	// lease expiry.
+	CacheRegistrations    int64
+	CacheWatchers         int64
+	CacheCallbacks        int64
+	CacheCallbackErrs     int64
+	CacheCallbackTimeouts int64
+	CacheLeaseExpiries    int64
 }
 
 type serverCounters struct {
@@ -161,11 +206,12 @@ var requestPool = sync.Pool{New: func() any { return new(request) }}
 // MoveTo or MoveFrom on that client's behalf while the loop blocks in the
 // next Receive — requests from independent clients proceed in parallel.
 type Server struct {
-	node  *ipc.Node
-	store Store
-	cfg   Config
-	cache *blockCache
-	proc  *ipc.Proc
+	node     *ipc.Node
+	store    Store
+	cfg      Config
+	cache    *blockCache
+	registry *cacheRegistry
+	proc     *ipc.Proc
 
 	queue   chan *request
 	workers sync.WaitGroup
@@ -193,10 +239,19 @@ func Start(node *ipc.Node, store Store, cfg Config) (*Server, error) {
 		flushers = 0 // write-behind machinery idle; writes invalidate instead
 	}
 	s.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.BlockSize, s.cfg.DirtyBudget, flushers,
+		s.cfg.MaxDirtyAge,
 		func(file uint32, off int64, p []byte) error { return s.store.WriteAt(file, p, off) })
+	registry, err := newCacheRegistry(node, s.cfg.CacheLease, s.cfg.CallbackTimeout, s.cfg.Invalidators)
+	if err != nil {
+		s.cache.close()
+		return nil, err
+	}
+	s.registry = registry
 	s.queue = make(chan *request, s.cfg.QueueDepth)
 	proc, err := node.Spawn("fileserver", s.serve)
 	if err != nil {
+		s.registry.close()
+		s.cache.close()
 		return nil, err
 	}
 	s.proc = proc
@@ -233,6 +288,13 @@ func (s *Server) Stats() Stats {
 		FlushRuns:     s.cache.flushRuns.Load(),
 		FlushedBlocks: s.cache.flushedBlocks.Load(),
 		FlushErrors:   s.cache.flushErrs.Load(),
+
+		CacheRegistrations:    s.registry.registrations.Load(),
+		CacheWatchers:         int64(s.registry.watcherCount()),
+		CacheCallbacks:        s.registry.callbacks.Load(),
+		CacheCallbackErrs:     s.registry.callbackErrs.Load(),
+		CacheCallbackTimeouts: s.registry.callbackTimeouts.Load(),
+		CacheLeaseExpiries:    s.registry.leaseExpiries.Load(),
 	}
 }
 
@@ -249,6 +311,9 @@ func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.node.Detach(s.proc)
 		s.workers.Wait()
+		// Workers are quiesced, so no write can fan out callbacks anymore;
+		// the invalidator pool can go.
+		s.registry.close()
 		s.raWG.Wait()
 		s.cache.close()
 	})
@@ -312,13 +377,31 @@ func (s *Server) handle(req *request) {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		s.replyStatus(req.src, StatusOK, 0)
+		ver, tracked := s.registry.invalidate(file, 0, InvalidateAll, req.src)
+		s.replyWritten(req.src, 0, ver, tracked)
 	case OpSync:
+		// Word 2 selects the file to drain; zero drains the whole cache.
 		s.stats.syncs.Add(1)
-		if err := s.Flush(); err != nil {
+		var err error
+		if file == 0 {
+			err = s.Flush()
+		} else {
+			err = s.cache.flushFile(file)
+		}
+		if err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
+		s.replyStatus(req.src, StatusOK, 0)
+	case OpRegisterCache:
+		// arg is the client's callback pid; the reply carries the file's
+		// current version and the registration lease in milliseconds.
+		version := s.registry.register(file, req.src, ipc.Pid(arg))
+		m := buildReply(StatusOK, version)
+		m.SetWord(3, uint32(s.cfg.CacheLease/time.Millisecond))
+		_ = s.proc.Reply(&m, req.src)
+	case OpReleaseCache:
+		s.registry.release(file, ipc.Pid(arg))
 		s.replyStatus(req.src, StatusOK, 0)
 	default:
 		s.replyStatus(req.src, StatusBadRequest, 0)
@@ -331,6 +414,18 @@ func (s *Server) replyStatus(src ipc.Pid, status, count uint32) {
 		s.stats.badRequests.Add(1)
 	}
 	m := buildReply(status, count)
+	_ = s.proc.Reply(&m, src)
+}
+
+// replyWritten acknowledges a successful write, carrying the post-write
+// cache version when the file is version-tracked so a caching writer
+// keeps its own view current (see proto.go).
+func (s *Server) replyWritten(src ipc.Pid, count, version uint32, tracked bool) {
+	m := buildReply(StatusOK, count)
+	if tracked {
+		m.SetWord(3, version)
+		m.SetWord(4, 1)
+	}
 	_ = s.proc.Reply(&m, src)
 }
 
@@ -490,7 +585,8 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 		}
 		s.cache.invalidate(blockID{file: file, block: block})
 		s.stats.bytesWrite.Add(int64(count))
-		s.replyStatus(req.src, StatusOK, count)
+		ver, tracked := s.registry.invalidate(file, block, 1, req.src)
+		s.replyWritten(req.src, count, ver, tracked)
 		return
 	}
 
@@ -503,7 +599,8 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		s.replyStatus(req.src, StatusOK, 0)
+		ver, tracked := s.registry.invalidate(file, block, 0, req.src)
+		s.replyWritten(req.src, 0, ver, tracked)
 		return
 	}
 	buf := bufpool.Get(s.cfg.BlockSize)
@@ -522,7 +619,11 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 		return
 	}
 	s.stats.bytesWrite.Add(int64(count))
-	s.replyStatus(req.src, StatusOK, count)
+	// The page is staged (readable by everyone through this server), so
+	// other clients' cached copies go stale NOW: call them back before
+	// the writer learns its write completed.
+	ver, tracked := s.registry.invalidate(file, block, 1, req.src)
+	s.replyWritten(req.src, count, ver, tracked)
 }
 
 // stageBlock stages buf as block id's newest contents. When the payload
@@ -774,7 +875,21 @@ func (s *Server) largeWrite(req *request, file, off, count uint32) {
 		return
 	}
 	s.stats.bytesWrite.Add(int64(count))
-	s.replyStatus(req.src, StatusOK, count)
+	ver, tracked := s.invalidateRange(req.src, file, off, count)
+	s.replyWritten(req.src, count, ver, tracked)
+}
+
+// invalidateRange runs the client-cache fan-out for a byte-range write;
+// both large-write modes share its block-range arithmetic. The returned
+// version/tracked pair feeds replyWritten.
+func (s *Server) invalidateRange(src ipc.Pid, file, off, count uint32) (uint32, bool) {
+	bs := uint32(s.cfg.BlockSize)
+	first := off / bs
+	nblocks := uint32(0)
+	if count > 0 {
+		nblocks = (off+count-1)/bs - first + 1
+	}
+	return s.registry.invalidate(file, first, nblocks, src)
 }
 
 // largeWriteThrough is the pre-overhaul §6.2 baseline: chunks pulled
@@ -818,5 +933,6 @@ func (s *Server) largeWriteThrough(req *request, file, off, count uint32) {
 		}
 	}
 	s.stats.bytesWrite.Add(int64(count))
-	s.replyStatus(req.src, StatusOK, count)
+	ver, tracked := s.invalidateRange(req.src, file, off, count)
+	s.replyWritten(req.src, count, ver, tracked)
 }
