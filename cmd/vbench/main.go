@@ -7,6 +7,7 @@
 //	vbench -list      # list experiment ids
 //	vbench table51    # run selected experiments
 //	vbench -max-dev   # also print each table's max deviation from the paper
+//	vbench -shard     # volume-sharding scaling benchmark (BENCH_shard.json)
 package main
 
 import (
@@ -21,7 +22,27 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	maxDev := flag.Bool("max-dev", false, "print each table's maximum deviation from the paper")
+	shard := flag.Bool("shard", false, "run the volume-sharding scaling benchmark instead of the paper tables")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "artifact path for -shard (empty: stdout only)")
+	shardDur := flag.Duration("shard-duration", 1500*time.Millisecond, "per-phase window for -shard")
+	shardClients := flag.Int("shard-clients", 16, "concurrent clients for -shard")
+	shardDelay := flag.Duration("shard-delay", time.Millisecond, "per-op device service time for -shard")
 	flag.Parse()
+
+	if *shard {
+		err := runShard(shardConfig{
+			shards:   []int{1, 2, 4},
+			clients:  *shardClients,
+			duration: *shardDur,
+			delay:    *shardDelay,
+			out:      *shardOut,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vbench: shard benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vkernel/internal/rfs"
+)
+
+// shardConfig parameterizes the volume-sharding scaling benchmark.
+type shardConfig struct {
+	shards   []int         // shard counts to sweep
+	clients  int           // concurrent clients, split round-robin over volumes
+	duration time.Duration // per-phase measurement window
+	delay    time.Duration // per-operation device service time
+	out      string        // JSON artifact path ("" → stdout only)
+}
+
+// shardResult is one shard count's aggregate throughput.
+type shardResult struct {
+	Shards           int     `json:"shards"`
+	ReadOpsPerSec    float64 `json:"read_ops_per_s"`
+	WriteOpsPerSec   float64 `json:"write_ops_per_s"`
+	ReadAllocsPerOp  float64 `json:"read_allocs_per_op"`
+	WriteAllocsPerOp float64 `json:"write_allocs_per_op"`
+}
+
+// shardArtifact is the committed BENCH_shard.json shape.
+type shardArtifact struct {
+	Bench         string        `json:"bench"`
+	Clients       int           `json:"clients"`
+	DeviceDelayMS float64       `json:"device_delay_ms"`
+	DurationS     float64       `json:"duration_s"`
+	Results       []shardResult `json:"results"`
+}
+
+const (
+	shardFile   = 1    // the one file every volume serves
+	shardBlocks = 4096 // blocks per file: large vs. the server cache, so reads miss
+)
+
+// runShard sweeps the shard counts and writes the artifact. The workload
+// is deliberately device-bound: every volume's store is a DelayStore —
+// one operation in service at a time, like one disk — so a single-CPU
+// host still shows the capacity story (each extra shard adds a device,
+// and aggregate ops/s should scale with the shard count until the
+// clients, not the devices, are the bottleneck).
+func runShard(cfg shardConfig) error {
+	art := shardArtifact{
+		Bench:         "rfs-volume-shard-scaling",
+		Clients:       cfg.clients,
+		DeviceDelayMS: float64(cfg.delay) / float64(time.Millisecond),
+		DurationS:     cfg.duration.Seconds(),
+	}
+	for _, k := range cfg.shards {
+		res, err := runShardOnce(k, cfg)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", k, err)
+		}
+		art.Results = append(art.Results, res)
+		fmt.Printf("shards=%d  reads %8.0f ops/s (%5.1f allocs/op)   writes %8.0f ops/s (%5.1f allocs/op)\n",
+			k, res.ReadOpsPerSec, res.ReadAllocsPerOp, res.WriteOpsPerSec, res.WriteAllocsPerOp)
+	}
+	if len(art.Results) >= 2 {
+		first, last := art.Results[0], art.Results[len(art.Results)-1]
+		fmt.Printf("read scaling %dx->%dx shards: %.2fx  write scaling: %.2fx\n",
+			first.Shards, last.Shards,
+			last.ReadOpsPerSec/first.ReadOpsPerSec, last.WriteOpsPerSec/first.WriteOpsPerSec)
+	}
+	if cfg.out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.out, append(data, '\n'), 0o644)
+}
+
+// runShardOnce measures one cluster size: a read phase then a write
+// phase, each cfg.duration long, 16 (cfg.clients) concurrent clients
+// spread round-robin over the volumes.
+func runShardOnce(k int, cfg shardConfig) (shardResult, error) {
+	cluster, err := rfs.StartCluster(rfs.ClusterConfig{
+		Shards: k,
+		Server: rfs.Config{CacheBlocks: 16}, // tiny server cache: reads go to the device
+		NewStore: func(vol uint32) rfs.Store {
+			// Seed the file before wrapping in the device model, so setup
+			// does not pay (or skew) the per-op delay.
+			ms := rfs.NewMemStore()
+			if err := ms.Create(shardFile, shardBlocks*512); err != nil {
+				panic(err)
+			}
+			return rfs.NewDelayStore(ms, cfg.delay)
+		},
+	})
+	if err != nil {
+		return shardResult{}, err
+	}
+	defer cluster.Close()
+
+	node, err := cluster.ClientNode()
+	if err != nil {
+		return shardResult{}, err
+	}
+	router, err := rfs.NewRouter(node)
+	if err != nil {
+		return shardResult{}, err
+	}
+	defer router.Close()
+
+	clients := make([]*rfs.Client, cfg.clients)
+	for i := range clients {
+		p, err := node.Attach(fmt.Sprintf("bench%d", i))
+		if err != nil {
+			return shardResult{}, err
+		}
+		defer node.Detach(p)
+		vol := cluster.Volumes[i%len(cluster.Volumes)]
+		clients[i] = rfs.NewVolumeClient(p, router, vol)
+	}
+
+	readOps, readAllocs, err := shardPhase(clients, cfg.duration, func(c *rfs.Client, rng *rand.Rand, page []byte) error {
+		_, err := c.ReadBlock(shardFile, uint32(rng.Intn(shardBlocks)), page)
+		return err
+	})
+	if err != nil {
+		return shardResult{}, err
+	}
+	writeOps, writeAllocs, err := shardPhase(clients, cfg.duration, func(c *rfs.Client, rng *rand.Rand, page []byte) error {
+		return c.WriteBlock(shardFile, uint32(rng.Intn(shardBlocks)), page)
+	})
+	if err != nil {
+		return shardResult{}, err
+	}
+	// Drain the write-behind caches so teardown is clean.
+	for _, c := range clients[:min(len(clients), len(cluster.Volumes))] {
+		_ = c.Sync(0)
+	}
+
+	secs := cfg.duration.Seconds()
+	return shardResult{
+		Shards:           k,
+		ReadOpsPerSec:    float64(readOps) / secs,
+		WriteOpsPerSec:   float64(writeOps) / secs,
+		ReadAllocsPerOp:  float64(readAllocs) / float64(max(readOps, 1)),
+		WriteAllocsPerOp: float64(writeAllocs) / float64(max(writeOps, 1)),
+	}, nil
+}
+
+// shardPhase drives every client in a goroutine for the window and
+// returns total completed ops plus the process-wide allocation delta.
+func shardPhase(clients []*rfs.Client, window time.Duration, op func(*rfs.Client, *rand.Rand, []byte) error) (int64, uint64, error) {
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *rfs.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			page := make([]byte, 512)
+			for !stop.Load() {
+				if err := op(c, rng, page); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				total.Add(1)
+			}
+		}(i, c)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	runtime.ReadMemStats(&after)
+	return total.Load(), after.Mallocs - before.Mallocs, first
+}

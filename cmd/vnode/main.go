@@ -11,9 +11,17 @@
 //
 //	vnode -host 2 -listen 127.0.0.1:4040 -serve -store /var/lib/vnode -readahead
 //
+// Server hosting two volumes of a sharded cluster:
+//
+//	vnode -host 2 -listen 127.0.0.1:4040 -serve -volumes 1,3
+//
 // Client:
 //
 //	vnode -host 1 -listen 127.0.0.1:0 -peer 2=127.0.0.1:4040 -reads 1000 -large 65536
+//
+// Client addressing a specific volume through the name-service router:
+//
+//	vnode -host 1 -listen 127.0.0.1:0 -peer 2=127.0.0.1:4040 -peer 3=127.0.0.1:4041 -volume 3
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -32,10 +41,11 @@ import (
 
 func main() {
 	var (
-		host      = flag.Int("host", 1, "logical host id of this node")
-		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		peers     = flag.String("peer", "", "comma-separated host=addr peer list")
+		host         = flag.Int("host", 1, "logical host id of this node")
+		listen       = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers        = flag.String("peer", "", "comma-separated host=addr peer list")
 		serve        = flag.Bool("serve", false, "run the file server")
+		volumes      = flag.String("volumes", "", "server: comma-separated volume ids to host (empty = the single default volume)")
 		storeDir     = flag.String("store", "", "server: directory for the file-backed store (empty = in-memory)")
 		cacheBlks    = flag.Int("cache", 1024, "server: block-cache capacity in blocks")
 		readahead    = flag.Bool("readahead", false, "server: prefetch the next block after each page read")
@@ -50,6 +60,7 @@ func main() {
 		large        = flag.Int("large", 0, "client: also stream a large read of this many bytes")
 		clientCache  = flag.Bool("clientcache", false, "client: enable the local block cache with server-driven invalidation")
 		ccBlocks     = flag.Int("ccblocks", 0, "client: local cache capacity in blocks (0 = default 256)")
+		volumeID     = flag.Int("volume", -1, "client: route to this volume id via the name service (-1 = legacy single-server discovery)")
 	)
 	flag.Parse()
 
@@ -74,7 +85,7 @@ func main() {
 	fmt.Printf("vnode: host %d listening on %v\n", *host, tr.Addr())
 
 	if *serve {
-		runServer(node, *storeDir, rfs.Config{
+		runServer(node, *volumes, *storeDir, rfs.Config{
 			CacheBlocks:  *cacheBlks,
 			ReadAhead:    *readahead,
 			WriteThrough: *writeThrough,
@@ -85,31 +96,59 @@ func main() {
 		})
 		return
 	}
-	runClient(node, uint32(*fileID), *reads, *writes, *large, *clientCache, *ccBlocks)
+	runClient(node, uint32(*fileID), *reads, *writes, *large, *clientCache, *ccBlocks, *volumeID)
 }
 
-func runServer(node *ipc.Node, storeDir string, cfg rfs.Config) {
-	var store rfs.Store
-	if storeDir == "" {
-		store = rfs.NewMemStore()
-		fmt.Println("vnode: serving from an in-memory store")
-	} else {
-		fs, err := rfs.NewFileStore(storeDir)
-		fatalIf(err)
-		store = fs
-		fmt.Printf("vnode: serving from file-backed store %s\n", storeDir)
+// parseVolumes turns the -volumes flag into volume ids. An empty flag
+// means the pre-sharding shape: one server, one DefaultVolume.
+func parseVolumes(spec string) []uint32 {
+	if spec == "" {
+		return []uint32{rfs.DefaultVolume}
 	}
-	defer store.Close()
+	var ids []uint32
+	for _, f := range strings.Split(spec, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+		if err != nil {
+			fatalIf(fmt.Errorf("bad -volumes entry %q: %w", f, err))
+		}
+		ids = append(ids, uint32(id))
+	}
+	return ids
+}
 
-	srv, err := rfs.Start(node, store, cfg)
+func runServer(node *ipc.Node, volumeSpec, storeDir string, cfg rfs.Config) {
+	ids := parseVolumes(volumeSpec)
+	vols := make([]rfs.VolumeSpec, 0, len(ids))
+	for _, id := range ids {
+		var store rfs.Store
+		if storeDir == "" {
+			store = rfs.NewMemStore()
+		} else {
+			// Each volume is its own "disk": a subdirectory so two volumes
+			// never alias the same backing files.
+			dir := filepath.Join(storeDir, fmt.Sprintf("vol%d", id))
+			fs, err := rfs.NewFileStore(dir)
+			fatalIf(err)
+			store = fs
+		}
+		defer store.Close()
+		vols = append(vols, rfs.VolumeSpec{ID: id, Store: store})
+	}
+	if storeDir == "" {
+		fmt.Printf("vnode: serving volumes %v from in-memory stores\n", ids)
+	} else {
+		fmt.Printf("vnode: serving volumes %v from per-volume stores under %s\n", ids, storeDir)
+	}
+
+	srv, err := rfs.StartVolumes(node, vols, cfg)
 	fatalIf(err)
 	defer srv.Close()
 	mode := "write-behind"
 	if cfg.WriteThrough {
 		mode = "write-through"
 	}
-	fmt.Printf("vnode: file server %v registered as logical id %d (%s)\n",
-		srv.Pid(), rfs.LogicalFileServer, mode)
+	fmt.Printf("vnode: file server %v registered as logical id %d, volumes at %d+id (%s)\n",
+		srv.Pid(), rfs.LogicalFileServer, rfs.LogicalVolumeBase, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -117,20 +156,41 @@ func runServer(node *ipc.Node, storeDir string, cfg rfs.Config) {
 	fmt.Printf("vnode: shutting down; stats: %+v\n", srv.Stats())
 }
 
-func runClient(node *ipc.Node, file uint32, reads, writes, large int, clientCache bool, ccBlocks int) {
+func runClient(node *ipc.Node, file uint32, reads, writes, large int, clientCache bool, ccBlocks, volumeID int) {
 	proc, err := node.Attach("client")
 	fatalIf(err)
 	defer node.Detach(proc)
-	client, err := rfs.Discover(proc)
-	fatalIf(err)
-	fmt.Printf("vnode: resolved file server -> %v\n", client.Server())
+
+	// -volume routes through the name service (GetPid on the volume's
+	// logical id, cached, re-resolved on failure); without it the client
+	// binds to whichever single server Discover finds, as before.
+	var client *rfs.Client
+	var router *rfs.Router
+	if volumeID >= 0 {
+		router, err = rfs.NewRouter(node)
+		fatalIf(err)
+		defer router.Close()
+		server, err := router.Resolve(uint32(volumeID))
+		fatalIf(err)
+		client = rfs.NewVolumeClient(proc, router, uint32(volumeID))
+		fmt.Printf("vnode: routed volume %d -> %v\n", volumeID, server)
+	} else {
+		client, err = rfs.Discover(proc)
+		fatalIf(err)
+		fmt.Printf("vnode: resolved file server -> %v\n", client.Server())
+	}
 
 	// The page-op entry points: the plain stubs, or the caching client's
 	// (local cache + invalidation callback process) with -clientcache.
 	readPage, writePage := client.ReadBlock, client.WriteBlock
 	var cc *rfs.CachingClient
 	if clientCache {
-		cc, err = rfs.NewCachingClient(proc, client.Server(), rfs.CacheClientConfig{Blocks: ccBlocks})
+		ccCfg := rfs.CacheClientConfig{Blocks: ccBlocks}
+		if router != nil {
+			cc, err = rfs.NewVolumeCachingClient(proc, router, uint32(volumeID), ccCfg)
+		} else {
+			cc, err = rfs.NewCachingClient(proc, client.Server(), ccCfg)
+		}
 		fatalIf(err)
 		defer cc.Close()
 		readPage, writePage = cc.ReadBlock, cc.WriteBlock

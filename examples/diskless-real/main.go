@@ -1,9 +1,13 @@
-// The paper's diskless-workstation story on the real runtime: one file
-// server node and four diskless client nodes, each a separate V "kernel"
-// with its own loopback UDP socket. The server owns the only storage; the
-// clients page and load programs over the wire using nothing but V IPC —
-// page reads as one Send/Reply exchange, program loading as a MoveTo
-// stream in transfer-unit chunks (§6.3).
+// The paper's diskless-workstation story on the real runtime, now over a
+// volume-sharded cluster: two file-server nodes and four diskless client
+// nodes, each a separate V "kernel" with its own loopback UDP socket.
+// Server A owns the shared root volume every workstation boots from;
+// server B owns one private scratch volume per workstation. The clients
+// have no configuration beyond the peer table — they locate each volume
+// through the name service (GetPid on LogicalVolumeBase+volume) via an
+// rfs.Router, so moving a volume to another server would need no client
+// changes at all. Program loading is a MoveTo stream in transfer-unit
+// chunks (§6.3); page reads are one Send/Reply exchange each.
 package main
 
 import (
@@ -17,51 +21,83 @@ import (
 )
 
 const (
-	serverHost  = ipc.LogicalHost(1)
-	numClients  = 4
-	programFile = 7
-	programSize = 128 * 1024
+	rootServerHost    = ipc.LogicalHost(1)
+	scratchServerHost = ipc.LogicalHost(2)
+	numClients        = 4
+	rootVolume        = 1  // shared, read-mostly: program images
+	scratchVolumeBase = 10 // workstation i writes volume scratchVolumeBase+i
+	programFile       = 7
+	programSize       = 128 * 1024
+	scratchFile       = 3
+	scratchSize       = 16 * 1024
 )
 
 func main() {
-	// The server workstation: the only node with storage.
-	trServer, err := ipc.NewUDPTransport("127.0.0.1:0")
+	// Server A: the shared root volume — the only copy of every program.
+	trRoot, err := ipc.NewUDPTransport("127.0.0.1:0")
 	must(err)
-	serverNode := ipc.NewNode(serverHost, trServer, ipc.NodeConfig{})
-	defer serverNode.Close()
-
-	store := rfs.NewMemStore()
-	srv, err := rfs.Start(serverNode, store, rfs.Config{ReadAhead: true})
+	rootNode := ipc.NewNode(rootServerHost, trRoot, ipc.NodeConfig{})
+	defer rootNode.Close()
+	rootStore := rfs.NewMemStore()
+	rootSrv, err := rfs.StartVolumes(rootNode,
+		[]rfs.VolumeSpec{{ID: rootVolume, Store: rootStore}},
+		rfs.Config{ReadAhead: true})
 	must(err)
-	defer srv.Close()
-	fmt.Printf("file server %v on %v\n", srv.Pid(), trServer.Addr())
+	defer rootSrv.Close()
+	fmt.Printf("root server %v on %v (volume %d)\n", rootSrv.Pid(), trRoot.Addr(), rootVolume)
 
-	// Four diskless workstations, each its own node and socket.
+	// Server B: one private scratch volume per workstation, all behind a
+	// single server process but each with its own cache and flushers.
+	trScratch, err := ipc.NewUDPTransport("127.0.0.1:0")
+	must(err)
+	scratchNode := ipc.NewNode(scratchServerHost, trScratch, ipc.NodeConfig{})
+	defer scratchNode.Close()
+	var scratchVols []rfs.VolumeSpec
+	for i := 0; i < numClients; i++ {
+		scratchVols = append(scratchVols, rfs.VolumeSpec{
+			ID: scratchVolumeBase + uint32(i), Store: rfs.NewMemStore(),
+		})
+	}
+	scratchSrv, err := rfs.StartVolumes(scratchNode, scratchVols, rfs.Config{})
+	must(err)
+	defer scratchSrv.Close()
+	fmt.Printf("scratch server %v on %v (volumes %d..%d)\n",
+		scratchSrv.Pid(), trScratch.Addr(), scratchVolumeBase, scratchVolumeBase+numClients-1)
+
+	// Four diskless workstations, each its own node and socket. The peer
+	// table is transport wiring only; which server owns which volume is
+	// discovered, not configured.
 	nodes := make([]*ipc.Node, numClients)
+	routers := make([]*rfs.Router, numClients)
 	for i := range nodes {
 		tr, err := ipc.NewUDPTransport("127.0.0.1:0")
 		must(err)
-		tr.AddPeer(serverHost, trServer.Addr())
+		tr.AddPeer(rootServerHost, trRoot.Addr())
+		tr.AddPeer(scratchServerHost, trScratch.Addr())
 		nodes[i] = ipc.NewNode(ipc.LogicalHost(10+i), tr, ipc.NodeConfig{})
 		defer nodes[i].Close()
+		routers[i], err = rfs.NewRouter(nodes[i])
+		must(err)
+		defer routers[i].Close()
 	}
 
-	// One workstation installs a "program" on the server.
+	// One workstation installs a "program" on the shared root volume.
 	image := make([]byte, programSize)
 	for i := range image {
 		image[i] = byte(i*7 + i/512)
 	}
 	installer, err := nodes[0].Attach("installer")
 	must(err)
-	cl, err := rfs.Discover(installer)
-	must(err)
+	cl := rfs.NewVolumeClient(installer, routers[0], rootVolume)
 	must(cl.WriteLarge(programFile, 0, image))
+	must(cl.Sync(0))
 	nodes[0].Detach(installer)
-	fmt.Printf("installed %d KB program as file %d (server is the only disk)\n",
+	fmt.Printf("installed %d KB program as file %d on the root volume\n",
 		programSize/1024, programFile)
 
-	// Every workstation boots the program concurrently: §6.3's load
-	// sequence — header page read, size query, streamed large read.
+	// Every workstation boots the program concurrently from the shared
+	// root volume — §6.3's load sequence — then writes its own scratch
+	// data to its private volume on the other server and reads it back.
 	var wg sync.WaitGroup
 	for i, node := range nodes {
 		wg.Add(1)
@@ -70,30 +106,49 @@ func main() {
 			proc, err := node.Attach(fmt.Sprintf("shell%d", i))
 			must(err)
 			defer node.Detach(proc)
-			c, err := rfs.Discover(proc)
-			must(err)
+
+			root := rfs.NewVolumeClient(proc, routers[i], rootVolume)
 			start := time.Now()
-			got, err := c.LoadProgram(programFile, 512)
+			got, err := root.LoadProgram(programFile, 512)
 			must(err)
 			if !bytes.Equal(got, image) {
 				panic(fmt.Sprintf("workstation %d loaded a corrupted image", i))
 			}
 			elapsed := time.Since(start)
-			fmt.Printf("workstation %d loaded %d KB in %v (%.1f MB/s)\n",
-				i, len(got)/1024, elapsed,
+			fmt.Printf("workstation %d loaded %d KB from volume %d in %v (%.1f MB/s)\n",
+				i, len(got)/1024, rootVolume, elapsed,
 				float64(len(got))/(1<<20)/elapsed.Seconds())
+
+			// Private writes land on this workstation's own volume: no
+			// sharing, so no invalidation traffic and no cross-client
+			// interference at the server cache.
+			scratch := rfs.NewVolumeClient(proc, routers[i], scratchVolumeBase+uint32(i))
+			note := make([]byte, scratchSize)
+			for j := range note {
+				note[j] = byte(j ^ i)
+			}
+			must(scratch.WriteLarge(scratchFile, 0, note))
+			must(scratch.Sync(0))
+			back := make([]byte, scratchSize)
+			n, err := scratch.ReadLarge(scratchFile, 0, back)
+			must(err)
+			if n != scratchSize || !bytes.Equal(back, note) {
+				panic(fmt.Sprintf("workstation %d read back wrong scratch data", i))
+			}
+			fmt.Printf("workstation %d round-tripped %d KB of scratch on volume %d\n",
+				i, scratchSize/1024, scratchVolumeBase+uint32(i))
 		}(i, node)
 	}
 	wg.Wait()
 
-	// Demand paging: each workstation reads scattered pages.
+	// Demand paging: each workstation reads scattered pages of the shared
+	// program from the root volume.
 	var pages int
 	start := time.Now()
 	for i, node := range nodes {
 		proc, err := node.Attach(fmt.Sprintf("pager%d", i))
 		must(err)
-		c, err := rfs.Discover(proc)
-		must(err)
+		c := rfs.NewVolumeClient(proc, routers[i], rootVolume)
 		buf := make([]byte, 512)
 		for b := uint32(0); b < 64; b++ {
 			_, err := c.ReadBlock(programFile, (b*17+uint32(i))%256, buf)
@@ -104,7 +159,8 @@ func main() {
 	}
 	per := time.Since(start) / time.Duration(pages)
 	fmt.Printf("%d demand page-ins across %d workstations, %v/page\n", pages, numClients, per)
-	fmt.Printf("server stats: %+v\n", srv.Stats())
+	fmt.Printf("root server stats: %+v\n", rootSrv.Stats())
+	fmt.Printf("scratch server stats: %+v\n", scratchSrv.Stats())
 }
 
 func must(err error) {

@@ -40,7 +40,7 @@ func TestExactlyOnceUnderFaults(t *testing.T) {
 	const n = 60
 	var mu sync.Mutex
 	seen := make(map[uint32]int)
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		for {
 			msg, src, err := p.Receive()
 			if err != nil {
@@ -61,7 +61,7 @@ func TestExactlyOnceUnderFaults(t *testing.T) {
 	for i := uint32(1); i <= n; i++ {
 		var m Message
 		m.SetWord(1, i)
-		if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), nil); err != nil {
+		if err := client.Send(&m, srv.Pid(), nil); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 		if m.Word(1) != i+1000 {
@@ -89,7 +89,7 @@ func TestMoveToUnderFaults(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i % 233)
 	}
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -104,7 +104,7 @@ func TestMoveToUnderFaults(t *testing.T) {
 	defer na.Detach(client)
 	buf := make([]byte, size)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: buf, Access: SegWrite}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -121,7 +121,7 @@ func TestMoveFromUnderFaults(t *testing.T) {
 		data[i] = byte(i % 51)
 	}
 	got := make(chan []byte, 1)
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -137,7 +137,7 @@ func TestMoveFromUnderFaults(t *testing.T) {
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: data, Access: SegRead}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: data, Access: SegRead}); err != nil {
 		t.Fatal(err)
 	}
 	if g := <-got; !bytes.Equal(g, data) {
@@ -156,7 +156,7 @@ func TestReplyCacheAnswersDuplicates(t *testing.T) {
 
 	execs := 0
 	var mu sync.Mutex
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		for {
 			_, src, err := p.Receive()
 			if err != nil {
@@ -172,7 +172,7 @@ func TestReplyCacheAnswersDuplicates(t *testing.T) {
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), nil); err != nil {
+	if err := client.Send(&m, srv.Pid(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Hand-craft a duplicate of the Send the client just completed
@@ -181,7 +181,7 @@ func TestReplyCacheAnswersDuplicates(t *testing.T) {
 		Kind: vproto.KindSend,
 		Seq:  1, // first seq issued by node a
 		Src:  client.Pid(),
-		Dst:  vproto.MakePid(nb.Host(), 1),
+		Dst:  srv.Pid(),
 	}
 	buf, err := dup.Encode()
 	if err != nil {
@@ -211,7 +211,7 @@ func TestReplyPendingSuppressesFailure(t *testing.T) {
 	nb := NewNode(2, mesh.Transport(2), cfg)
 	defer func() { _ = na.Close(); _ = nb.Close(); mesh.Close() }()
 
-	mustSpawn(nb, "slow", func(p *Proc) {
+	srv := mustSpawn(nb, "slow", func(p *Proc) {
 		msg, src, err := p.Receive()
 		if err != nil {
 			return
@@ -225,7 +225,7 @@ func TestReplyPendingSuppressesFailure(t *testing.T) {
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), nil); err != nil {
+	if err := client.Send(&m, srv.Pid(), nil); err != nil {
 		t.Fatalf("slow exchange failed: %v", err)
 	}
 	if m.Word(1) != 1 {

@@ -176,7 +176,7 @@ func TestPageReadViaReplyWithSegment(t *testing.T) {
 	for i := range page {
 		page[i] = byte(i * 3)
 	}
-	mustSpawn(nb, "fs", func(p *Proc) {
+	srv := mustSpawn(nb, "fs", func(p *Proc) {
 		msg, src, err := p.Receive()
 		if err != nil {
 			return
@@ -193,7 +193,7 @@ func TestPageReadViaReplyWithSegment(t *testing.T) {
 	defer na.Detach(client)
 	buf := make([]byte, 512)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: buf, Access: SegWrite}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, page) {
@@ -208,7 +208,7 @@ func TestPageWriteViaInlineSegment(t *testing.T) {
 		page[i] = byte(200 - i)
 	}
 	got := make(chan []byte, 1)
-	mustSpawn(nb, "fs", func(p *Proc) {
+	srv := mustSpawn(nb, "fs", func(p *Proc) {
 		buf := make([]byte, 1024)
 		_, src, n, err := p.ReceiveWithSegment(buf)
 		if err != nil {
@@ -221,7 +221,7 @@ func TestPageWriteViaInlineSegment(t *testing.T) {
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: page, Access: SegRead}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: page, Access: SegRead}); err != nil {
 		t.Fatal(err)
 	}
 	if g := <-got; !bytes.Equal(g, page) {
@@ -236,7 +236,7 @@ func TestMoveToRemote(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i % 119)
 	}
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -251,7 +251,7 @@ func TestMoveToRemote(t *testing.T) {
 	defer na.Detach(client)
 	buf := make([]byte, size)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: buf, Access: SegWrite}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -267,7 +267,7 @@ func TestMoveFromRemote(t *testing.T) {
 		data[i] = byte(i % 101)
 	}
 	got := make(chan []byte, 1)
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -283,7 +283,7 @@ func TestMoveFromRemote(t *testing.T) {
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: data, Access: SegRead}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: data, Access: SegRead}); err != nil {
 		t.Fatal(err)
 	}
 	if g := <-got; !bytes.Equal(g, data) {
@@ -294,7 +294,7 @@ func TestMoveFromRemote(t *testing.T) {
 func TestMoveWithoutGrantFails(t *testing.T) {
 	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
 	errs := make(chan error, 2)
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -307,7 +307,7 @@ func TestMoveWithoutGrantFails(t *testing.T) {
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), nil); err != nil {
+	if err := client.Send(&m, srv.Pid(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if e := <-errs; e != ErrNoAccess {
@@ -437,7 +437,7 @@ func TestNodeCloseReleasesBlockedOps(t *testing.T) {
 // stranded in reply-pending limbo with its alien descriptor pinned.
 func TestFailedReplyLeavesSenderAwaiting(t *testing.T) {
 	na, nb, _ := pairOnMesh(t, FaultConfig{}, NodeConfig{})
-	mustSpawn(nb, "server", func(p *Proc) {
+	srv := mustSpawn(nb, "server", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -456,7 +456,7 @@ func TestFailedReplyLeavesSenderAwaiting(t *testing.T) {
 	defer na.Detach(client)
 	buf := make([]byte, 64)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: buf, Access: SegWrite}); err != nil {
 		t.Fatalf("sender stranded by failed reply: %v", err)
 	}
 	if m.Word(1) != 9 {

@@ -4,16 +4,14 @@ import (
 	"bytes"
 	"testing"
 	"time"
-
-	"vkernel/internal/vproto"
 )
 
 // pullServer spawns a process on n that, for each received message,
 // pulls the sender's granted segment into the given scatter list and
-// replies. Returns nothing; the process is resolved by pid (2.1).
-func pullServer(t *testing.T, n *Node, vec [][]byte) {
+// replies. Returns the puller's pid.
+func pullServer(t *testing.T, n *Node, vec [][]byte) Pid {
 	t.Helper()
-	mustSpawn(n, "puller", func(p *Proc) {
+	return mustSpawn(n, "puller", func(p *Proc) {
 		for {
 			_, src, err := p.Receive()
 			if err != nil {
@@ -25,7 +23,7 @@ func pullServer(t *testing.T, n *Node, vec [][]byte) {
 			var reply Message
 			_ = p.Reply(&reply, src)
 		}
-	})
+	}).Pid()
 }
 
 // TestMoveFromVecScatter: a scatter MoveFrom must land the pulled bytes
@@ -52,8 +50,7 @@ func TestMoveFromVecScatter(t *testing.T) {
 		src[i] = byte(i*13 + 7)
 	}
 
-	pullServer(t, nb, vec)
-	puller := vproto.MakePid(2, 1)
+	puller := pullServer(t, nb, vec)
 
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
@@ -99,7 +96,7 @@ func TestMoveFromVecOffset(t *testing.T) {
 	defer func() { _ = na.Close(); _ = nb.Close(); mesh.Close() }()
 
 	a, b := make([]byte, 200), make([]byte, 300)
-	mustSpawn(nb, "puller", func(p *Proc) {
+	puller := mustSpawn(nb, "puller", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -118,7 +115,7 @@ func TestMoveFromVecOffset(t *testing.T) {
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(2, 1), &Segment{Data: src, Access: SegRead}); err != nil {
+	if err := client.Send(&m, puller.Pid(), &Segment{Data: src, Access: SegRead}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a, src[1000:1200]) || !bytes.Equal(b, src[1200:1500]) {
@@ -144,12 +141,12 @@ func TestMoveFromVecLossy(t *testing.T) {
 	for i := range src {
 		src[i] = byte(i ^ (i >> 7))
 	}
-	pullServer(t, nb, vec)
+	puller := pullServer(t, nb, vec)
 
 	client := mustAttach(na, "client")
 	defer na.Detach(client)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(2, 1), &Segment{Data: src, Access: SegRead}); err != nil {
+	if err := client.Send(&m, puller, &Segment{Data: src, Access: SegRead}); err != nil {
 		t.Fatal(err)
 	}
 	var got []byte

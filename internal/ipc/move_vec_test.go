@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"testing"
 	"time"
-
-	"vkernel/internal/vproto"
 )
 
 // TestMoveToVecGather: a gather MoveTo must deliver the concatenation of
@@ -32,7 +30,7 @@ func TestMoveToVecGather(t *testing.T) {
 		want = append(want, s...)
 	}
 
-	mustSpawn(nb, "gatherer", func(p *Proc) {
+	srv := mustSpawn(nb, "gatherer", func(p *Proc) {
 		for {
 			_, src, err := p.Receive()
 			if err != nil {
@@ -48,7 +46,7 @@ func TestMoveToVecGather(t *testing.T) {
 	gatherer := Pid(0)
 	// Resolve the spawned process's pid via the name service.
 	reg := mustAttach(nb, "registrar")
-	reg.SetPid(99, vproto.MakePid(2, 1), ScopeBoth)
+	reg.SetPid(99, srv.Pid(), ScopeBoth)
 	nb.Detach(reg)
 
 	client := mustAttach(na, "client")
@@ -99,7 +97,7 @@ func TestMoveToVecLossy(t *testing.T) {
 		vec[si] = s
 		want = append(want, s...)
 	}
-	mustSpawn(nb, "gatherer", func(p *Proc) {
+	srv := mustSpawn(nb, "gatherer", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -114,7 +112,7 @@ func TestMoveToVecLossy(t *testing.T) {
 	defer na.Detach(client)
 	buf := make([]byte, len(want))
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(2, 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+	if err := client.Send(&m, srv.Pid(), &Segment{Data: buf, Access: SegWrite}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, want) {

@@ -96,14 +96,100 @@ func (n *Node) handleGetPid(pkt *vproto.Packet) {
 	n.send(out, pkt.Src.Host())
 }
 
-// handleGetPidReply wakes outstanding lookups.
+// GetPidAll resolves every holder of a logical id reachable within a
+// bounded window — the enumeration primitive behind rfs.DiscoverAll. Where
+// GetPid returns on the first responder, GetPidAll keeps broadcasting one
+// lookup round per GetPidTimeout until the window closes and collects
+// every distinct pid that answered (a locally registered mapping is
+// included without a broadcast). A window of zero selects the same
+// patience GetPid has: (GetPidRetries+1) rounds. Lossy networks are the
+// point of the repeated rounds — each round re-solicits the responders
+// whose earlier replies (or our earlier requests) were dropped.
+func (p *Proc) GetPidAll(logicalID uint32, scope Scope, window time.Duration) []Pid {
+	n := p.node
+	t := &n.names
+	var pids []Pid
+	seen := make(map[Pid]bool)
+	t.mu.Lock()
+	if e, ok := t.names[logicalID]; ok && e.scope&scope != 0 {
+		seen[e.pid] = true
+		pids = append(pids, e.pid)
+	}
+	if scope&ScopeRemote == 0 || n.closed.Load() {
+		t.mu.Unlock()
+		return pids
+	}
+	// Buffered generously: replies beyond the buffer are dropped by the
+	// non-blocking send in handleGetPidReply, and the next round
+	// re-solicits them.
+	ch := make(chan Pid, 128)
+	t.lookups[logicalID] = append(t.lookups[logicalID], ch)
+	t.mu.Unlock()
+
+	pkt := &vproto.Packet{
+		Kind:  vproto.KindGetPid,
+		Seq:   n.nextSeq(),
+		Src:   p.pid,
+		Flags: vproto.FlagScopeRemote,
+	}
+	pkt.Msg.SetWord(1, logicalID)
+	f := bufpool.Get(pkt.WireSize())
+	if _, err := pkt.EncodeInto(f.Data); err != nil {
+		f.Release()
+		return pids
+	}
+	defer f.Release()
+
+	defer func() {
+		t.mu.Lock()
+		ws := t.lookups[logicalID]
+		for i, w := range ws {
+			if w == ch {
+				t.lookups[logicalID] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(t.lookups[logicalID]) == 0 {
+			delete(t.lookups, logicalID)
+		}
+		t.mu.Unlock()
+	}()
+
+	if window <= 0 {
+		window = time.Duration(n.cfg.GetPidRetries+1) * n.cfg.GetPidTimeout
+	}
+	deadline := time.Now().Add(window)
+	for {
+		_ = n.transport.Broadcast(f.Data)
+		round := time.NewTimer(n.cfg.GetPidTimeout)
+	collect:
+		for {
+			select {
+			case pid := <-ch:
+				if !seen[pid] {
+					seen[pid] = true
+					pids = append(pids, pid)
+				}
+			case <-round.C:
+				break collect
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return pids
+		}
+	}
+}
+
+// handleGetPidReply wakes outstanding lookups. Waiters stay registered —
+// each removes itself when it is done — so an all-responders collection
+// (GetPidAll) keeps receiving after the first reply; GetPid waiters
+// simply return on the first pid delivered and deregister themselves.
 func (n *Node) handleGetPidReply(pkt *vproto.Packet) {
 	id := pkt.Msg.Word(1)
 	pid := Pid(pkt.Msg.Word(2))
 	t := &n.names
 	t.mu.Lock()
-	ws := t.lookups[id]
-	delete(t.lookups, id)
+	ws := append([]chan Pid(nil), t.lookups[id]...)
 	t.mu.Unlock()
 	for _, ch := range ws {
 		select {

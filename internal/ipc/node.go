@@ -2,6 +2,7 @@ package ipc
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -148,6 +149,14 @@ func NewNode(host LogicalHost, tr Transport, cfg NodeConfig) *Node {
 	n.pending.init()
 	n.moves.init()
 	n.names.init()
+	// Local ids start at a random point in the 16-bit space, so a node
+	// rebooted on the same logical host is unlikely to mint the pids its
+	// previous incarnation held (§3.1's "unlikely to be reused soon").
+	// Without this, a Send addressed to a dead incarnation's process
+	// would silently reach an unrelated process on the new one; with it,
+	// the stale pid draws a Nack (ErrNoProcess) and the sender — the
+	// volume router in particular — knows to re-resolve.
+	n.nextLocal.Store(rand.Uint32())
 	tr.SetHandler(n.handlePacket)
 	return n
 }

@@ -17,6 +17,8 @@ func TestPidWrapSkipsLiveProcesses(t *testing.T) {
 		mesh.Close()
 	}()
 
+	// Pin the randomized boot offset so the wrap probes known ids.
+	n.nextLocal.Store(0)
 	long := mustAttach(n, "long-lived")
 	if long.Pid().Local() != 1 {
 		t.Fatalf("first local id = %d, want 1", long.Pid().Local())

@@ -53,7 +53,7 @@ func TestUDPExchange(t *testing.T) {
 func TestUDPPageReadAndWrite(t *testing.T) {
 	na, nb := udpPair(t)
 	store := make([]byte, 512)
-	mustSpawn(nb, "fs", func(p *Proc) {
+	fs := mustSpawn(nb, "fs", func(p *Proc) {
 		buf := make([]byte, 1024)
 		for {
 			msg, src, n, err := p.ReceiveWithSegment(buf)
@@ -78,13 +78,13 @@ func TestUDPPageReadAndWrite(t *testing.T) {
 	}
 	var wm Message
 	wm.SetWord(1, 2)
-	if err := client.Send(&wm, vproto.MakePid(nb.Host(), 1), &Segment{Data: page, Access: SegRead}); err != nil {
+	if err := client.Send(&wm, fs.Pid(), &Segment{Data: page, Access: SegRead}); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, 512)
 	var rm Message
 	rm.SetWord(1, 1)
-	if err := client.Send(&rm, vproto.MakePid(nb.Host(), 1), &Segment{Data: got, Access: SegWrite}); err != nil {
+	if err := client.Send(&rm, fs.Pid(), &Segment{Data: got, Access: SegWrite}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, page) {
@@ -99,7 +99,7 @@ func TestUDPProgramLoadSizedMoveTo(t *testing.T) {
 	for i := range img {
 		img[i] = byte(i * 31)
 	}
-	mustSpawn(nb, "loader", func(p *Proc) {
+	loader := mustSpawn(nb, "loader", func(p *Proc) {
 		_, src, err := p.Receive()
 		if err != nil {
 			return
@@ -114,7 +114,7 @@ func TestUDPProgramLoadSizedMoveTo(t *testing.T) {
 	defer na.Detach(client)
 	buf := make([]byte, size)
 	var m Message
-	if err := client.Send(&m, vproto.MakePid(nb.Host(), 1), &Segment{Data: buf, Access: SegWrite}); err != nil {
+	if err := client.Send(&m, loader.Pid(), &Segment{Data: buf, Access: SegWrite}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, img) {

@@ -201,6 +201,23 @@ func (c *Cache) Invalidate(file, first, count uint32) {
 	}
 }
 
+// Purge drops every cached block and stamps every generation shard, so
+// in-flight fills cannot resurrect pre-purge bytes. It is the failover
+// reset: when a volume moves to a new server, nothing cached under the
+// old server's consistency protocol may be served again.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.gens {
+		c.gens[i].Add(1)
+	}
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		c.removeLocked(el)
+		el = next
+	}
+}
+
 // InvalidateFile drops every cached block of the file (truncate, lease
 // renewal that found a version mismatch).
 func (c *Cache) InvalidateFile(file uint32) {

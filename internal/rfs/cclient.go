@@ -77,17 +77,34 @@ type cachedFile struct {
 	registered bool
 }
 
-// NewCachingClient binds caching stubs for process p to the server,
-// spawning the invalidation-callback process on p's node. Close releases
-// it.
+// NewCachingClient binds caching stubs for process p to the server (and
+// DefaultVolume), spawning the invalidation-callback process on p's
+// node. Close releases it.
 func NewCachingClient(p *ipc.Proc, server ipc.Pid, cfg CacheClientConfig) (*CachingClient, error) {
+	return newCachingClient(p, NewClient(p, server), cfg)
+}
+
+// NewVolumeCachingClient binds caching stubs for process p to one volume,
+// routing every operation (and registration) to the server the router
+// resolves. If the volume fails over to a different server, the whole
+// local cache and every registration are discarded before the first
+// exchange reaches the new server: its registry knows nothing about this
+// client and its version counters restart, so nothing cached under the
+// old server may survive — within a volume the PR 5 consistency protocol
+// then holds exactly as before.
+func NewVolumeCachingClient(p *ipc.Proc, router *Router, vol uint32, cfg CacheClientConfig) (*CachingClient, error) {
+	return newCachingClient(p, NewVolumeClient(p, router, vol), cfg)
+}
+
+func newCachingClient(p *ipc.Proc, cl *Client, cfg CacheClientConfig) (*CachingClient, error) {
 	c := &CachingClient{
-		Client: NewClient(p, server),
+		Client: cl,
 		node:   p.Node(),
 		cache:  ccache.New(ccache.Config{Blocks: cfg.Blocks, BlockSize: cfg.BlockSize}),
 		files:  make(map[uint32]*cachedFile),
 		now:    time.Now,
 	}
+	cl.onReroute = c.rerouted
 	cb, err := c.node.Spawn(p.Name()+"-ccb", c.callbackLoop)
 	if err != nil {
 		c.cache.Close()
@@ -95,6 +112,20 @@ func NewCachingClient(p *ipc.Proc, server ipc.Pid, cfg CacheClientConfig) (*Cach
 	}
 	c.cb = cb
 	return c, nil
+}
+
+// rerouted runs when the routed client observes the volume on a new
+// server pid: the previous server's registrations and version baselines
+// mean nothing there, so the cache is purged wholesale and every file's
+// consistency state reset (the next access re-registers from scratch).
+// The purge bumps every generation stamp, so fills and write refreshes
+// already in flight against the old server cannot resurrect their bytes.
+func (c *CachingClient) rerouted(ipc.Pid) {
+	c.purges.Add(1)
+	c.mu.Lock()
+	c.files = make(map[uint32]*cachedFile)
+	c.mu.Unlock()
+	c.cache.Purge()
 }
 
 // CallbackPid returns the invalidation-callback process id (tests kill it
@@ -129,7 +160,7 @@ func (c *CachingClient) Close() {
 		}
 		c.mu.Unlock()
 		for _, file := range regs {
-			m := buildRequest(OpReleaseCache, file, uint32(c.cb.Pid()), 0)
+			m := c.request(OpReleaseCache, file, uint32(c.cb.Pid()), 0)
 			_ = c.exchange(&m, nil)
 		}
 		c.node.Detach(c.cb)
@@ -150,6 +181,15 @@ func (c *CachingClient) callbackLoop(p *ipc.Proc) {
 		op, file, first, count := parseRequest(&msg)
 		if op != OpInvalidate {
 			reply := buildReply(StatusBadRequest, 0)
+			_ = p.Reply(&reply, src)
+			continue
+		}
+		if vol := msg.Word(6); vol != c.vol {
+			// Another volume's callback (a registration left behind on a
+			// server this client failed away from): acknowledge so the
+			// writer is not held up, but touch nothing — this client's
+			// cache holds only its own volume's blocks.
+			reply := buildReply(StatusOK, 0)
 			_ = p.Reply(&reply, src)
 			continue
 		}
@@ -205,7 +245,7 @@ func (c *CachingClient) ensure(file uint32) bool {
 	c.mu.Unlock()
 
 	c.renewals.Add(1)
-	m := buildRequest(OpRegisterCache, file, uint32(c.cb.Pid()), 0)
+	m := c.request(OpRegisterCache, file, uint32(c.cb.Pid()), 0)
 	if err := c.exchangeOp(&m, nil); err != nil {
 		return false
 	}
@@ -259,7 +299,7 @@ func (c *CachingClient) WriteBlock(file, block uint32, data []byte) error {
 	// writes and could serve stale bytes forever.
 	registered := c.ensure(file)
 	gen := c.cache.Snapshot(file, block)
-	m := buildRequest(OpWriteBlock, file, block, uint32(len(data)))
+	m := c.request(OpWriteBlock, file, block, uint32(len(data)))
 	if err := c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
 		return err
 	}
@@ -276,7 +316,7 @@ func (c *CachingClient) WriteBlock(file, block uint32, data []byte) error {
 // block.
 func (c *CachingClient) WriteLarge(file, off uint32, data []byte) error {
 	c.ensure(file)
-	m := buildRequest(OpWriteLarge, file, off, uint32(len(data)))
+	m := c.request(OpWriteLarge, file, off, uint32(len(data)))
 	if err := c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
 		return err
 	}
@@ -292,7 +332,7 @@ func (c *CachingClient) WriteLarge(file, off uint32, data []byte) error {
 
 // CreateFile creates or truncates the file and drops every local block.
 func (c *CachingClient) CreateFile(file uint32, size uint32) error {
-	m := buildRequest(OpCreateFile, file, size, 0)
+	m := c.request(OpCreateFile, file, size, 0)
 	if err := c.exchangeOp(&m, nil); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package rfs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -23,40 +24,108 @@ type RetryPolicy struct {
 	Delay time.Duration
 	// MaxDelay caps the doubling.
 	MaxDelay time.Duration
+	// Reroutes bounds failover attempts for a routed client: how many
+	// times one operation may drop its cached route and re-resolve after
+	// ipc.ErrTimeout, ipc.ErrNoProcess or a StatusNoVolume reply (the
+	// volume moved, or its server died and restarted). 0 turns failover
+	// off; unrouted (fixed-pid) clients ignore it.
+	Reroutes int
 }
 
 // DefaultRetryPolicy is the stubs' out-of-the-box overload behavior:
 // enough patience to ride out transient queue spikes without hiding a
 // persistently saturated server.
-var DefaultRetryPolicy = RetryPolicy{Retries: 8, Delay: 200 * time.Microsecond, MaxDelay: 10 * time.Millisecond}
+var DefaultRetryPolicy = RetryPolicy{Retries: 8, Delay: 200 * time.Microsecond, MaxDelay: 10 * time.Millisecond, Reroutes: 2}
 
 // Client provides the stub routines a diskless workstation's programs use
 // for remote file access (§3.4): each call is one V message exchange with
 // the segment grants the I/O protocol prescribes. A Client wraps one V
 // process and is not safe for concurrent use — give each concurrent
 // client its own process and Client (as the kernel does).
+//
+// A client is bound to one volume. The plain constructors fix the server
+// pid (and DefaultVolume, matching the pre-sharding protocol);
+// NewVolumeClient instead resolves the serving pid through a Router per
+// operation, which is what makes a volume's clients survive the volume
+// moving to another server.
 type Client struct {
 	p      *ipc.Proc
 	server ipc.Pid
-	retry  RetryPolicy
+	vol    uint32
+	router *Router
+	// lastPid is the server the previous routed op used; a change means
+	// the volume moved and fires onReroute.
+	lastPid ipc.Pid
+	// onReroute, when set (CachingClient), observes server changes so
+	// layered state bound to the old server (cache contents, cache
+	// registrations, version baselines) can be discarded.
+	onReroute func(ipc.Pid)
+	retry     RetryPolicy
 	// sleep is the backoff hook; tests substitute a recording no-op so
 	// retry schedules stay deterministic and instantaneous.
 	sleep func(time.Duration)
 }
 
-// NewClient binds stubs for the calling process to the given server pid.
+// NewClient binds stubs for the calling process to the given server pid
+// and DefaultVolume.
 func NewClient(p *ipc.Proc, server ipc.Pid) *Client {
-	return &Client{p: p, server: server, retry: DefaultRetryPolicy, sleep: time.Sleep}
+	return &Client{p: p, server: server, vol: DefaultVolume, retry: DefaultRetryPolicy, sleep: time.Sleep}
 }
 
-// Discover resolves the file server via the broadcast name service and
-// returns a client bound to it.
+// NewVolumeClient binds stubs for the calling process to one volume,
+// resolving the server that hosts it through the router. Operations
+// re-resolve and retry (bounded by RetryPolicy.Reroutes) when the route
+// goes stale.
+func NewVolumeClient(p *ipc.Proc, router *Router, vol uint32) *Client {
+	return &Client{p: p, vol: vol, router: router, retry: DefaultRetryPolicy, sleep: time.Sleep}
+}
+
+// Discover resolves a file server via the broadcast name service and
+// returns a client bound to it (first responder wins; in a sharded
+// cluster that is an arbitrary server's DefaultVolume — use DiscoverAll
+// or a Router for volume-aware binding).
 func Discover(p *ipc.Proc) (*Client, error) {
 	pid := p.GetPid(LogicalFileServer, ipc.ScopeBoth)
 	if pid == vproto.Nil {
 		return nil, ErrNoServer
 	}
 	return NewClient(p, pid), nil
+}
+
+// DiscoverAll enumerates every file server answering within the bounded
+// window (0 → the node's default GetPid patience): the cluster's member
+// list, where Discover stops at the first responder. Under loss the
+// window's repeated broadcast rounds re-solicit responders whose replies
+// were dropped.
+func DiscoverAll(p *ipc.Proc, window time.Duration) ([]ipc.Pid, error) {
+	pids := p.GetPidAll(LogicalFileServer, ipc.ScopeBoth, window)
+	if len(pids) == 0 {
+		return nil, ErrNoServer
+	}
+	return pids, nil
+}
+
+// ClusterMap enumerates the cluster (DiscoverAll) and asks each server
+// for the volume set it owns, returning server pid → sorted volume ids.
+func ClusterMap(p *ipc.Proc, window time.Duration) (map[ipc.Pid][]uint32, error) {
+	servers, err := DiscoverAll(p, window)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[ipc.Pid][]uint32, len(servers))
+	for _, pid := range servers {
+		vols, err := NewClient(p, pid).QueryVolumes()
+		if err != nil {
+			// A server that died between discovery and the query is not
+			// part of the map; the survivors still are.
+			continue
+		}
+		m[pid] = vols
+	}
+	if len(m) == 0 {
+		return nil, ErrNoServer
+	}
+	return m, nil
 }
 
 // SetRetry replaces the overload retry policy (and, when sleep is
@@ -68,44 +137,113 @@ func (c *Client) SetRetry(p RetryPolicy, sleep func(time.Duration)) {
 	}
 }
 
-// Server returns the bound server pid.
-func (c *Client) Server() ipc.Pid { return c.server }
+// Server returns the bound (fixed-pid) or last-routed server pid.
+func (c *Client) Server() ipc.Pid {
+	if c.router != nil {
+		return c.lastPid
+	}
+	return c.server
+}
 
-// exchange runs one Send with the overload retry policy: ErrOverloaded
+// Volume returns the volume the client addresses.
+func (c *Client) Volume() uint32 { return c.vol }
+
+// request assembles a request message addressed to the client's volume.
+func (c *Client) request(op, file, blockOrOff, count uint32) ipc.Message {
+	return buildRequest(c.vol, op, file, blockOrOff, count)
+}
+
+// target resolves the pid this operation goes to. For a routed client a
+// change of serving pid (the volume moved) fires the onReroute hook
+// before any exchange reaches the new server.
+func (c *Client) target() (ipc.Pid, error) {
+	if c.router == nil {
+		return c.server, nil
+	}
+	pid, err := c.router.Resolve(c.vol)
+	if err != nil {
+		return vproto.Nil, err
+	}
+	if c.lastPid != vproto.Nil && pid != c.lastPid && c.onReroute != nil {
+		c.onReroute(pid)
+	}
+	c.lastPid = pid
+	return pid, nil
+}
+
+// exchange runs one Send with the overload retry policy — ErrOverloaded
 // means the kernel shed the message before delivery, so the identical
-// exchange is re-sent after a capped exponential backoff.
+// exchange is re-sent after a capped exponential backoff — plus, for
+// routed clients, bounded failover: ErrTimeout (server unreachable,
+// retransmissions exhausted) or ErrNoProcess (server restarted under a
+// new pid) drops the cached route and re-resolves. Failover makes the
+// exchange at-least-once rather than exactly-once: a timed-out write may
+// have executed before the re-sent copy does, which the idempotent page
+// and range writes of this protocol tolerate.
 func (c *Client) exchange(m *ipc.Message, seg *ipc.Segment) error {
+	orig := *m
 	delay := c.retry.Delay
-	for attempt := 0; ; attempt++ {
-		err := c.p.Send(m, c.server, seg)
-		if !errors.Is(err, ipc.ErrOverloaded) || attempt >= c.retry.Retries {
+	attempt, reroutes := 0, 0
+	for {
+		pid, err := c.target()
+		if err != nil {
 			return err
 		}
-		c.sleep(delay)
-		if delay *= 2; delay > c.retry.MaxDelay {
-			delay = c.retry.MaxDelay
+		err = c.p.Send(m, pid, seg)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ipc.ErrOverloaded) && attempt < c.retry.Retries:
+			attempt++
+			c.sleep(delay)
+			if delay *= 2; delay > c.retry.MaxDelay {
+				delay = c.retry.MaxDelay
+			}
+		case c.router != nil && reroutes < c.retry.Reroutes &&
+			(errors.Is(err, ipc.ErrTimeout) || errors.Is(err, ipc.ErrNoProcess)):
+			reroutes++
+			c.router.Invalidate(c.vol)
+		default:
+			return err
 		}
+		*m = orig
 	}
 }
 
 // exchangeOp is exchange plus the common status check: a non-OK reply
-// becomes an ErrBadStatus error. The reply message stays in *m for
-// callers that read its extra words (counts, versions, lease).
+// becomes an ErrBadStatus (or ErrNoVolume) error. A StatusNoVolume reply
+// to a routed client means the cached route pointed at a server that no
+// longer hosts the volume — the route is dropped and the operation
+// re-resolved, bounded like exchange's failover. The reply message stays
+// in *m for callers that read its extra words (counts, versions, lease).
 func (c *Client) exchangeOp(m *ipc.Message, seg *ipc.Segment) error {
-	if err := c.exchange(m, seg); err != nil {
-		return err
+	orig := *m
+	for reroutes := 0; ; reroutes++ {
+		if err := c.exchange(m, seg); err != nil {
+			return err
+		}
+		status, _ := parseReply(m)
+		switch {
+		case status == StatusOK:
+			return nil
+		case status == StatusNoVolume:
+			if c.router != nil && reroutes < c.retry.Reroutes {
+				c.router.Invalidate(c.vol)
+				*m = orig
+				continue
+			}
+			return fmt.Errorf("%w: volume %d", ErrNoVolume, c.vol)
+		default:
+			return fmt.Errorf("%w: status %d", ErrBadStatus, status)
+		}
 	}
-	if status, _ := parseReply(m); status != StatusOK {
-		return fmt.Errorf("%w: status %d", ErrBadStatus, status)
-	}
-	return nil
 }
 
 // ReadBlock reads up to len(dst) bytes of the given file block into dst:
 // one Send granting write access to dst, one reply packet carrying the
 // page (§3.4). It returns the byte count the server sent.
 func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
-	m := buildRequest(OpReadBlock, file, block, uint32(len(dst)))
+	m := c.request(OpReadBlock, file, block, uint32(len(dst)))
 	if err := c.exchangeOp(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
 		return 0, err
 	}
@@ -118,7 +256,7 @@ func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 // acknowledges the staged block, not the store write; Sync forces the
 // write-back.
 func (c *Client) WriteBlock(file, block uint32, data []byte) error {
-	m := buildRequest(OpWriteBlock, file, block, uint32(len(data)))
+	m := c.request(OpWriteBlock, file, block, uint32(len(data)))
 	return c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead})
 }
 
@@ -126,7 +264,7 @@ func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 // dst. The server streams the data with MoveTo in transfer-unit chunks
 // (§6.3); the count returned is how many bytes the file held.
 func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
-	m := buildRequest(OpReadLarge, file, off, uint32(len(dst)))
+	m := c.request(OpReadLarge, file, off, uint32(len(dst)))
 	if err := c.exchangeOp(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
 		return 0, err
 	}
@@ -137,14 +275,14 @@ func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 // WriteLarge writes data to the file at byte offset off; the server pulls
 // it with scatter MoveFrom in transfer-unit chunks.
 func (c *Client) WriteLarge(file, off uint32, data []byte) error {
-	m := buildRequest(OpWriteLarge, file, off, uint32(len(data)))
+	m := c.request(OpWriteLarge, file, off, uint32(len(data)))
 	return c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead})
 }
 
 // QueryFile returns a file's size in bytes (staged write-behind
 // extensions included).
 func (c *Client) QueryFile(file uint32) (int, error) {
-	m := buildRequest(OpQueryFile, file, 0, 0)
+	m := c.request(OpQueryFile, file, 0, 0)
 	if err := c.exchangeOp(&m, nil); err != nil {
 		return 0, err
 	}
@@ -154,8 +292,29 @@ func (c *Client) QueryFile(file uint32) (int, error) {
 
 // CreateFile creates (or truncates) a file of the given size.
 func (c *Client) CreateFile(file uint32, size uint32) error {
-	m := buildRequest(OpCreateFile, file, size, 0)
+	m := c.request(OpCreateFile, file, size, 0)
 	return c.exchangeOp(&m, nil)
+}
+
+// QueryVolumes asks the server for the volume set it hosts (volume-
+// agnostic — any server answers; one reply packet bounds the set). With
+// DiscoverAll this yields the cluster map: which server owns which
+// volumes.
+func (c *Client) QueryVolumes() ([]uint32, error) {
+	buf := make([]byte, vproto.MaxData)
+	m := c.request(OpQueryVolumes, 0, 0, uint32(len(buf)))
+	if err := c.exchangeOp(&m, &ipc.Segment{Data: buf, Access: ipc.SegWrite}); err != nil {
+		return nil, err
+	}
+	_, n := parseReply(&m)
+	if int(n)*4 > len(buf) {
+		return nil, fmt.Errorf("%w: volume count %d", ErrBadStatus, n)
+	}
+	vols := make([]uint32, n)
+	for i := range vols {
+		vols[i] = binary.BigEndian.Uint32(buf[i*4:])
+	}
+	return vols, nil
 }
 
 // Sync asks the server to drain its write-behind blocks to the backing
@@ -164,7 +323,7 @@ func (c *Client) CreateFile(file uint32, size uint32) error {
 // it does not wait on other files' backlogs); zero drains the whole
 // cache.
 func (c *Client) Sync(file uint32) error {
-	m := buildRequest(OpSync, file, 0, 0)
+	m := c.request(OpSync, file, 0, 0)
 	return c.exchangeOp(&m, nil)
 }
 

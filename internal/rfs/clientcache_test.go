@@ -437,7 +437,7 @@ func TestCallbackTimeoutUnblocksWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { e.clientNode.Detach(wedged) })
-	m := buildRequest(OpRegisterCache, 77, uint32(wedged.Pid()), 0)
+	m := buildRequest(DefaultVolume, OpRegisterCache, 77, uint32(wedged.Pid()), 0)
 	if err := c.exchange(&m, nil); err != nil {
 		t.Fatal(err)
 	}

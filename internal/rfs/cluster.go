@@ -1,0 +1,207 @@
+package rfs
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"vkernel/internal/ipc"
+)
+
+// ClusterConfig describes a sharded rfs deployment for tests and
+// benchmarks: K server nodes, each hosting a disjoint slice of the
+// volume set, on either an in-memory mesh or loopback UDP sockets.
+type ClusterConfig struct {
+	// Shards is the server-node count (0 → 1).
+	Shards int
+	// Volumes is the full volume set, assigned round-robin across the
+	// shards (volume i goes to server i mod Shards). Nil → one volume
+	// per shard, ids 1..Shards.
+	Volumes []uint32
+	// UDP selects loopback UDP sockets instead of the in-memory mesh.
+	UDP bool
+	// Seed seeds the in-memory mesh's fault rng (0 → 7); Faults is its
+	// fault plan. Both are ignored over UDP.
+	Seed   int64
+	Faults ipc.FaultConfig
+	// Node configures every node (servers and clients) in the cluster.
+	Node ipc.NodeConfig
+	// Server configures every rfs server.
+	Server Config
+	// NewStore builds the backing store for one volume (nil → MemStore).
+	// Stores belong to the volume, not the server process: Kill/Restart
+	// reuses them, so volume data survives a server crash the way a disk
+	// survives a host reboot.
+	NewStore func(vol uint32) Store
+}
+
+// ClusterServer is one shard: a node plus the rfs server on it. After
+// Kill, Node and Srv are nil until Restart brings the shard back on the
+// same host (and, over UDP, the same socket address).
+type ClusterServer struct {
+	Index int
+	Host  ipc.LogicalHost
+	Specs []VolumeSpec
+
+	Node *ipc.Node
+	Srv  *Server
+
+	addr *net.UDPAddr // UDP listen address, rebound on Restart
+}
+
+// Cluster is the multi-server fixture: StartCluster boots the shards,
+// ClientNode adds client nodes wired into the same network, and
+// Kill/Restart crash and recover individual shards for failover tests.
+type Cluster struct {
+	cfg  ClusterConfig
+	Mesh *ipc.MemNetwork // nil over UDP
+
+	Servers []*ClusterServer
+	Volumes []uint32
+
+	mu       sync.Mutex
+	nextHost ipc.LogicalHost
+	clients  []*ipc.Node
+}
+
+// StartCluster boots cfg.Shards server nodes on hosts 1..K and starts
+// an rfs server on each with its round-robin share of the volumes.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Volumes == nil {
+		for i := 0; i < cfg.Shards; i++ {
+			cfg.Volumes = append(cfg.Volumes, uint32(i+1))
+		}
+	}
+	if cfg.NewStore == nil {
+		cfg.NewStore = func(uint32) Store { return NewMemStore() }
+	}
+	c := &Cluster{cfg: cfg, Volumes: cfg.Volumes, nextHost: 100}
+	if !cfg.UDP {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 7
+		}
+		c.Mesh = ipc.NewMemNetwork(seed, cfg.Faults)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		cs := &ClusterServer{Index: i, Host: ipc.LogicalHost(i + 1)}
+		for j, vol := range cfg.Volumes {
+			if j%cfg.Shards == i {
+				cs.Specs = append(cs.Specs, VolumeSpec{ID: vol, Store: cfg.NewStore(vol)})
+			}
+		}
+		c.Servers = append(c.Servers, cs)
+		if err := c.boot(cs); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// boot builds the shard's transport and node and starts its server.
+func (c *Cluster) boot(cs *ClusterServer) error {
+	var tr ipc.Transport
+	if c.cfg.UDP {
+		listen := "127.0.0.1:0"
+		if cs.addr != nil { // Restart: rebind the crashed server's address
+			listen = cs.addr.String()
+		}
+		utr, err := ipc.NewUDPTransport(listen)
+		if err != nil {
+			return fmt.Errorf("rfs: cluster shard %d: %w", cs.Index, err)
+		}
+		cs.addr = utr.Addr()
+		tr = utr
+	} else {
+		tr = c.Mesh.Transport(cs.Host)
+	}
+	cs.Node = ipc.NewNode(cs.Host, tr, c.cfg.Node)
+	srv, err := StartVolumes(cs.Node, cs.Specs, c.cfg.Server)
+	if err != nil {
+		_ = cs.Node.Close()
+		cs.Node = nil
+		return fmt.Errorf("rfs: cluster shard %d: %w", cs.Index, err)
+	}
+	cs.Srv = srv
+	return nil
+}
+
+// ClientNode adds a client node to the cluster's network. Over UDP the
+// node gets every shard's address as a peer; shard addresses survive
+// Restart, so clients made before a crash keep working after recovery.
+// The node is closed by Cluster.Close.
+func (c *Cluster) ClientNode() (*ipc.Node, error) {
+	c.mu.Lock()
+	host := c.nextHost
+	c.nextHost++
+	c.mu.Unlock()
+	var tr ipc.Transport
+	if c.cfg.UDP {
+		utr, err := ipc.NewUDPTransport("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		for _, cs := range c.Servers {
+			utr.AddPeer(cs.Host, cs.addr)
+		}
+		tr = utr
+	} else {
+		tr = c.Mesh.Transport(host)
+	}
+	node := ipc.NewNode(host, tr, c.cfg.Node)
+	c.mu.Lock()
+	c.clients = append(c.clients, node)
+	c.mu.Unlock()
+	return node, nil
+}
+
+// Kill crashes shard i: the server and its node close, in-flight and
+// future requests to its volumes time out, but the volume stores keep
+// their data for Restart. Safe to call on an already-dead shard.
+func (c *Cluster) Kill(i int) {
+	cs := c.Servers[i]
+	if cs.Srv != nil {
+		cs.Srv.Close()
+		cs.Srv = nil
+	}
+	if cs.Node != nil {
+		_ = cs.Node.Close()
+		cs.Node = nil
+	}
+}
+
+// Restart brings a killed shard back on the same host with the same
+// volume stores. The revived server re-registers its volume names, so
+// routed clients re-resolve to it on their next retry.
+func (c *Cluster) Restart(i int) error {
+	cs := c.Servers[i]
+	if cs.Srv != nil {
+		return fmt.Errorf("rfs: cluster shard %d still running", i)
+	}
+	return c.boot(cs)
+}
+
+// Close tears the whole cluster down: client nodes, every live shard,
+// every volume store, and the mesh.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, n := range clients {
+		_ = n.Close()
+	}
+	for i, cs := range c.Servers {
+		c.Kill(i)
+		for _, spec := range cs.Specs {
+			_ = spec.Store.Close()
+		}
+	}
+	if c.Mesh != nil {
+		c.Mesh.Close()
+	}
+}

@@ -30,7 +30,22 @@ import (
 
 // LogicalFileServer is the well-known logical id the server registers
 // under (the same id internal/core uses for the simulated file server).
+// In a sharded cluster every server registers it, so a broadcast lookup
+// enumerates the cluster (DiscoverAll) while per-volume routing goes
+// through LogicalVolumeBase.
 const LogicalFileServer uint32 = 1
+
+// DefaultVolume is the volume id legacy (pre-sharding) clients address:
+// requests whose reserved volume word is zero land here, so a server
+// started with Start is wire-compatible with old clients.
+const DefaultVolume uint32 = 0
+
+// LogicalVolumeBase maps volume ids into the logical name space: the
+// server hosting volume v registers LogicalVolumeBase+v with network-wide
+// scope. This is how servers advertise the volume set they own — the
+// name service doubles as the cluster's routing table, and rfs.Router
+// resolves a volume with one broadcast lookup of its logical name.
+const LogicalVolumeBase uint32 = 0x1000
 
 // Request opcodes (message word 1).
 const (
@@ -55,7 +70,14 @@ const (
 	// renewal purges the file's cached blocks.
 	OpRegisterCache uint32 = 8  // word 2: file id, word 3: callback pid → reply word 2: version, word 3: lease ms
 	OpReleaseCache  uint32 = 9  // word 2: file id, word 3: callback pid
-	OpInvalidate    uint32 = 10 // server→client callback: word 2: file, word 3: first block, word 4: count, word 5: version
+	OpInvalidate    uint32 = 10 // server→client callback: word 2: file, word 3: first block, word 4: count, word 5: version, word 6: volume
+
+	// OpQueryVolumes asks a server for the volume set it owns (word 4
+	// bounds the reply bytes; the ids arrive as big-endian uint32s in the
+	// granted segment, reply word 2 = count). Volume-agnostic: any server
+	// answers regardless of the request's volume word. DiscoverAll plus
+	// one OpQueryVolumes per responder yields the cluster map.
+	OpQueryVolumes uint32 = 11
 )
 
 // InvalidateAll as an OpInvalidate block count names the whole file
@@ -68,12 +90,21 @@ const (
 	StatusBadRequest
 	StatusNoFile
 	StatusIOError
+	// StatusNoVolume reports that the server does not host the request's
+	// volume — the signal that makes a routed client drop its cached
+	// route and re-discover (the volume moved, or the route was stale).
+	StatusNoVolume
 )
 
 // Errors returned by the client stubs.
 var (
 	ErrBadStatus = errors.New("rfs: server returned error status")
 	ErrNoServer  = errors.New("rfs: no file server registered")
+	// ErrNoVolume means no reachable server hosts the volume (or, for an
+	// unrouted client, the bound server does not). Routed clients surface
+	// it only after their bounded re-discovery attempts are exhausted —
+	// it is retryable once the volume comes back.
+	ErrNoVolume = errors.New("rfs: no server hosts the volume")
 )
 
 // Message layout. Requests use:
@@ -83,6 +114,9 @@ var (
 //	word 3: block number (page ops), byte offset (large ops) or size
 //	        (create)
 //	word 4: byte count
+//	word 5: volume id (previously reserved and always zero, so the
+//	        sharded protocol stays wire-compatible: legacy requests
+//	        address DefaultVolume)
 //
 // The data buffer itself is granted through the message's segment
 // descriptor. Replies use word 1 = status, word 2 = count (bytes
@@ -90,14 +124,18 @@ var (
 // carry the file's post-write cache version in word 3 with word 4 = 1
 // (see proto: OpRegisterCache) when the file is version-tracked, so a
 // caching writer can keep its own version current without a callback.
+// The OpInvalidate callback (a server→client request) already uses word
+// 5 for the version, so it carries its volume in word 6 — callbacks
+// grant no segment, leaving the descriptor words free.
 
-// buildRequest assembles a request message.
-func buildRequest(op, file, blockOrOff, count uint32) ipc.Message {
+// buildRequest assembles a request message addressed to a volume.
+func buildRequest(vol, op, file, blockOrOff, count uint32) ipc.Message {
 	var m ipc.Message
 	m.SetWord(1, op)
 	m.SetWord(2, file)
 	m.SetWord(3, blockOrOff)
 	m.SetWord(4, count)
+	m.SetWord(5, vol)
 	return m
 }
 
@@ -105,6 +143,9 @@ func buildRequest(op, file, blockOrOff, count uint32) ipc.Message {
 func parseRequest(m *ipc.Message) (op, file, blockOrOff, count uint32) {
 	return m.Word(1), m.Word(2), m.Word(3), m.Word(4)
 }
+
+// reqVolume returns the request's volume id (reserved word 5).
+func reqVolume(m *ipc.Message) uint32 { return m.Word(5) }
 
 // buildReply assembles a reply message.
 func buildReply(status, count uint32) ipc.Message {

@@ -25,12 +25,18 @@ import (
 // Registrations are keyed by callback pid; the owner pid (the client
 // process issuing reads and writes) is recorded so a writer is never
 // called back about its own write.
+//
+// Versions and watcher sets are per-(volume, file): the same file id in
+// two volumes is two different files, each with its own counter and its
+// own invalidation domain — a write in one volume never calls back, or
+// version-bumps, the other's clients.
 type cacheRegistry struct {
-	mu      sync.Mutex
-	files   map[uint32]*fileReg
-	lease   time.Duration
-	timeout time.Duration    // bound on one write's whole callback fan-out
-	now     func() time.Time // test hook (fake clocks for lease expiry)
+	mu       sync.Mutex
+	files    map[volFile]*fileReg
+	lease    time.Duration
+	timeout  time.Duration    // bound on one write's whole callback fan-out
+	now      func() time.Time // test hook (fake clocks for lease expiry)
+	nextReap time.Time        // earliest next registry-wide expired-watcher sweep
 
 	node     *ipc.Node
 	jobs     chan invJob
@@ -45,10 +51,17 @@ type cacheRegistry struct {
 	abandoned        atomic.Int64 // callback exchanges left parked past their deadline
 }
 
-// fileReg is one file's version counter and watcher set. The version
-// survives the watchers: it keeps counting writes after every
+// volFile names one file within one volume — the registry's key.
+type volFile struct {
+	vol  uint32
+	file uint32
+}
+
+// fileReg is one (volume, file)'s version counter and watcher set. The
+// version survives the watchers: it keeps counting writes after every
 // registration is dropped, which is what lets a re-registering client
-// detect the writes it missed.
+// detect the writes it missed. (That is also why the reap sweep removes
+// watchers but never the fileReg itself.)
 type fileReg struct {
 	version  uint32
 	watchers map[ipc.Pid]*watcher // keyed by callback pid
@@ -63,9 +76,9 @@ type watcher struct {
 // invJob is one invalidation callback for the pool: Send OpInvalidate to
 // cb and deliver the outcome on done.
 type invJob struct {
-	cb                           ipc.Pid
-	file, first, count, version uint32
-	done                        chan<- invResult
+	cb                               ipc.Pid
+	vol, file, first, count, version uint32
+	done                             chan<- invResult
 }
 
 type invResult struct {
@@ -87,7 +100,7 @@ var errCallbackTimeout = errors.New("rfs: invalidation callback timed out")
 // latest when the node closes).
 func newCacheRegistry(node *ipc.Node, lease, timeout time.Duration, workers int) (*cacheRegistry, error) {
 	r := &cacheRegistry{
-		files:    make(map[uint32]*fileReg),
+		files:    make(map[volFile]*fileReg),
 		lease:    lease,
 		timeout:  timeout,
 		now:      time.Now,
@@ -156,8 +169,11 @@ func (r *cacheRegistry) callbackExchange(job invJob, resCh chan<- invResult) {
 	defer r.node.Detach(p)
 	delay := 200 * time.Microsecond
 	for attempt := 0; ; attempt++ {
-		m := buildRequest(OpInvalidate, job.file, job.first, job.count)
+		// Callbacks reuse the request layout but word 5 carries the
+		// version, so the volume rides in word 6 (no segment is granted).
+		m := buildRequest(0, OpInvalidate, job.file, job.first, job.count)
 		m.SetWord(5, job.version)
+		m.SetWord(6, job.vol)
 		err = p.Send(&m, job.cb, nil)
 		if err == nil {
 			if status, _ := parseReply(&m); status != StatusOK {
@@ -178,24 +194,50 @@ func (r *cacheRegistry) callbackExchange(job invJob, resCh chan<- invResult) {
 
 // register adds (or renews) a registration and returns the file's current
 // version. Renewal by the same callback pid refreshes the lease in place.
-func (r *cacheRegistry) register(file uint32, owner, cb ipc.Pid) (version uint32) {
+// Registration is also the registry's reap point: without it, a watcher
+// on a file nobody ever writes again would only be removed by a write's
+// fan-out — write-time reaping alone lets idle-file registrations pin
+// memory indefinitely.
+func (r *cacheRegistry) register(vol, file uint32, owner, cb ipc.Pid) (version uint32) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	fr := r.files[file]
+	now := r.now()
+	r.reapLocked(now)
+	k := volFile{vol: vol, file: file}
+	fr := r.files[k]
 	if fr == nil {
 		fr = &fileReg{watchers: make(map[ipc.Pid]*watcher)}
-		r.files[file] = fr
+		r.files[k] = fr
 	}
-	fr.watchers[cb] = &watcher{cb: cb, owner: owner, expires: r.now().Add(r.lease)}
+	fr.watchers[cb] = &watcher{cb: cb, owner: owner, expires: now.Add(r.lease)}
 	r.registrations.Add(1)
 	return fr.version
 }
 
+// reapLocked sweeps lease-expired watchers registry-wide, at most once
+// per lease period (the sweep is O(watchers); amortizing it over a lease
+// keeps the registration path cheap). fileReg entries stay — their
+// version counters must outlive the watchers. Caller holds r.mu.
+func (r *cacheRegistry) reapLocked(now time.Time) {
+	if now.Before(r.nextReap) {
+		return
+	}
+	r.nextReap = now.Add(r.lease)
+	for _, fr := range r.files {
+		for cb, w := range fr.watchers {
+			if !now.Before(w.expires) {
+				delete(fr.watchers, cb)
+				r.leaseExpiries.Add(1)
+			}
+		}
+	}
+}
+
 // release drops a registration (client shutdown or cache disable).
-func (r *cacheRegistry) release(file uint32, cb ipc.Pid) {
+func (r *cacheRegistry) release(vol, file uint32, cb ipc.Pid) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if fr := r.files[file]; fr != nil {
+	if fr := r.files[volFile{vol: vol, file: file}]; fr != nil {
 		delete(fr.watchers, cb)
 	}
 }
@@ -207,12 +249,12 @@ func (r *cacheRegistry) release(file uint32, cb ipc.Pid) {
 // renewal even though its register() reply already carried the post-write
 // version (the bump precedes the fan-out), i.e. the renewed client is
 // fully consistent and must stay registered.
-func (r *cacheRegistry) dropInstance(file uint32, w *watcher) {
+func (r *cacheRegistry) dropInstance(k volFile, w *watcher) {
 	if w == nil {
 		return
 	}
 	r.mu.Lock()
-	if fr := r.files[file]; fr != nil && fr.watchers[w.cb] == w {
+	if fr := r.files[k]; fr != nil && fr.watchers[w.cb] == w {
 		delete(fr.watchers, w.cb)
 	}
 	r.mu.Unlock()
@@ -236,9 +278,10 @@ func (r *cacheRegistry) watcherCount() int {
 // whether the file is version-tracked at all — untracked files (no
 // registration ever) skip the counter so the registry stays empty for
 // cache-less workloads and the write path costs one mutex acquisition.
-func (r *cacheRegistry) invalidate(file, first, count uint32, owner ipc.Pid) (version uint32, tracked bool) {
+func (r *cacheRegistry) invalidate(vol, file, first, count uint32, owner ipc.Pid) (version uint32, tracked bool) {
+	k := volFile{vol: vol, file: file}
 	r.mu.Lock()
-	fr := r.files[file]
+	fr := r.files[k]
 	if fr == nil {
 		r.mu.Unlock()
 		return 0, false
@@ -290,13 +333,13 @@ func (r *cacheRegistry) invalidate(file, first, count uint32, owner ipc.Pid) (ve
 			// Unreachable callback process: revoke the registration
 			// rather than retry forever; the lease/version fallback
 			// bounds the staleness this client can now observe.
-			r.dropInstance(file, byCb[res.cb])
+			r.dropInstance(k, byCb[res.cb])
 		}
 	}
 	sent, timedOut := 0, false
 feed:
 	for _, w := range targets {
-		job := invJob{cb: w.cb, file: file, first: first, count: count, version: version, done: done}
+		job := invJob{cb: w.cb, vol: vol, file: file, first: first, count: count, version: version, done: done}
 		for {
 			select {
 			case r.jobs <- job:
@@ -322,7 +365,7 @@ feed:
 		r.callbackTimeouts.Add(1)
 		for _, w := range targets {
 			if !answered[w.cb] {
-				r.dropInstance(file, w)
+				r.dropInstance(k, w)
 			}
 		}
 	}

@@ -1,7 +1,11 @@
 package rfs
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,7 +15,11 @@ import (
 	"vkernel/internal/vproto"
 )
 
-// Config tunes the file server; the zero value gets defaults.
+// Config tunes the file server; the zero value gets defaults. Cache
+// sizing (CacheBlocks, DirtyBudget, Flushers, MaxDirtyAge) is per
+// volume: each volume a server hosts gets its own block cache, dirty
+// budget and flusher pool, so one volume's write backlog never starves
+// another's.
 type Config struct {
 	// BlockSize is the page size in bytes (0 → 512, the paper's page).
 	// Pages travel in one reply packet, so it is capped at vproto.MaxData.
@@ -197,19 +205,46 @@ type request struct {
 
 var requestPool = sync.Pool{New: func() any { return new(request) }}
 
+// VolumeSpec names one volume a server hosts and the store backing it.
+type VolumeSpec struct {
+	ID    uint32
+	Store Store
+}
+
+// volume is one hosted volume: an independent store behind an
+// independent block cache (own LRU, own dirty budget, own flushers), so
+// volumes are isolated sharding units — same file ids in two volumes are
+// different files, and one volume's flush backlog cannot block another's
+// writers.
+type volume struct {
+	id    uint32
+	store Store
+	cache *blockCache
+}
+
+// volBlock keys per-(volume, block) server state (read-ahead dedup).
+type volBlock struct {
+	vol uint32
+	id  blockID
+}
+
 // Server is a real networked V file server: one V process receiving the
-// Verex I/O protocol, a bounded worker pool executing requests, an LRU
-// block cache over a Store.
+// Verex I/O protocol, a bounded worker pool executing requests, and N
+// hosted volumes, each an LRU block cache over a Store.
 //
 // The receive loop and the workers share the server process: Receive
 // records which client each exchange came from, so any worker may Reply,
 // MoveTo or MoveFrom on that client's behalf while the loop blocks in the
 // next Receive — requests from independent clients proceed in parallel.
+//
+// Every hosted volume is advertised through the broadcast name service
+// as LogicalVolumeBase+id, which is the cluster's routing table: an
+// rfs.Router resolves a volume to the server pid currently advertising
+// it. The volume set is fixed at Start.
 type Server struct {
 	node     *ipc.Node
-	store    Store
 	cfg      Config
-	cache    *blockCache
+	volumes  map[uint32]*volume
 	registry *cacheRegistry
 	proc     *ipc.Proc
 
@@ -219,31 +254,60 @@ type Server struct {
 
 	raMu       sync.Mutex
 	raWG       sync.WaitGroup // outstanding read-ahead goroutines
-	raInflight map[blockID]bool
+	raInflight map[volBlock]bool
 
 	stats serverCounters
 }
 
-// Start spawns the file-server process on node and registers it under
-// LogicalFileServer with network-wide scope. The caller retains ownership
-// of store until Close.
+// Start spawns a single-volume file server: store becomes DefaultVolume,
+// which is what legacy clients (whose requests carry a zero volume word)
+// address. The caller retains ownership of store until Close.
 func Start(node *ipc.Node, store Store, cfg Config) (*Server, error) {
+	return StartVolumes(node, []VolumeSpec{{ID: DefaultVolume, Store: store}}, cfg)
+}
+
+// StartVolumes spawns the file-server process on node hosting the given
+// volume set. The server registers LogicalFileServer (cluster
+// enumeration) and one LogicalVolumeBase+id name per volume (routing),
+// all with network-wide scope. The caller retains ownership of the
+// stores until Close.
+func StartVolumes(node *ipc.Node, vols []VolumeSpec, cfg Config) (*Server, error) {
+	if len(vols) == 0 {
+		return nil, errors.New("rfs: no volumes")
+	}
 	s := &Server{
 		node:       node,
-		store:      store,
 		cfg:        cfg.withDefaults(),
-		raInflight: make(map[blockID]bool),
+		volumes:    make(map[uint32]*volume, len(vols)),
+		raInflight: make(map[volBlock]bool),
 	}
 	flushers := s.cfg.Flushers
 	if s.cfg.WriteThrough {
 		flushers = 0 // write-behind machinery idle; writes invalidate instead
 	}
-	s.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.BlockSize, s.cfg.DirtyBudget, flushers,
-		s.cfg.MaxDirtyAge,
-		func(file uint32, off int64, p []byte) error { return s.store.WriteAt(file, p, off) })
+	closeCaches := func() {
+		for _, v := range s.volumes {
+			v.cache.close()
+		}
+	}
+	for _, spec := range vols {
+		if _, dup := s.volumes[spec.ID]; dup {
+			closeCaches()
+			return nil, fmt.Errorf("rfs: duplicate volume %d", spec.ID)
+		}
+		if spec.Store == nil {
+			closeCaches()
+			return nil, fmt.Errorf("rfs: volume %d has no store", spec.ID)
+		}
+		v := &volume{id: spec.ID, store: spec.Store}
+		v.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.BlockSize, s.cfg.DirtyBudget, flushers,
+			s.cfg.MaxDirtyAge,
+			func(file uint32, off int64, p []byte) error { return v.store.WriteAt(file, p, off) })
+		s.volumes[spec.ID] = v
+	}
 	registry, err := newCacheRegistry(node, s.cfg.CacheLease, s.cfg.CallbackTimeout, s.cfg.Invalidators)
 	if err != nil {
-		s.cache.close()
+		closeCaches()
 		return nil, err
 	}
 	s.registry = registry
@@ -251,12 +315,15 @@ func Start(node *ipc.Node, store Store, cfg Config) (*Server, error) {
 	proc, err := node.Spawn("fileserver", s.serve)
 	if err != nil {
 		s.registry.close()
-		s.cache.close()
+		closeCaches()
 		return nil, err
 	}
 	s.proc = proc
 	proc.SetQueueLimit(s.cfg.ReceiveQueueDepth)
 	proc.SetPid(LogicalFileServer, proc.Pid(), ipc.ScopeBoth)
+	for id := range s.volumes {
+		proc.SetPid(LogicalVolumeBase+id, proc.Pid(), ipc.ScopeBoth)
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -267,27 +334,32 @@ func Start(node *ipc.Node, store Store, cfg Config) (*Server, error) {
 // Pid returns the server process id.
 func (s *Server) Pid() ipc.Pid { return s.proc.Pid() }
 
-// Stats returns a snapshot of the server counters.
+// Volumes returns the hosted volume ids in ascending order.
+func (s *Server) Volumes() []uint32 {
+	ids := make([]uint32, 0, len(s.volumes))
+	for id := range s.volumes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats returns a snapshot of the server counters; cache and
+// write-behind figures are aggregated across the hosted volumes.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Requests:      s.stats.requests.Load(),
-		PageReads:     s.stats.pageReads.Load(),
-		PageWrites:    s.stats.pageWrites.Load(),
-		LargeReads:    s.stats.largeReads.Load(),
-		LargeWrites:   s.stats.largeWrites.Load(),
-		Queries:       s.stats.queries.Load(),
-		Creates:       s.stats.creates.Load(),
-		Syncs:         s.stats.syncs.Load(),
-		BadRequests:   s.stats.badRequests.Load(),
-		BytesRead:     s.stats.bytesRead.Load(),
-		BytesWritten:  s.stats.bytesWrite.Load(),
-		CacheHits:     s.cache.hits.Load(),
-		CacheMisses:   s.cache.misses.Load(),
-		Prefetches:    s.stats.prefetches.Load(),
-		DirtyBlocks:   int64(s.cache.dirtyBlocks()),
-		FlushRuns:     s.cache.flushRuns.Load(),
-		FlushedBlocks: s.cache.flushedBlocks.Load(),
-		FlushErrors:   s.cache.flushErrs.Load(),
+	st := Stats{
+		Requests:     s.stats.requests.Load(),
+		PageReads:    s.stats.pageReads.Load(),
+		PageWrites:   s.stats.pageWrites.Load(),
+		LargeReads:   s.stats.largeReads.Load(),
+		LargeWrites:  s.stats.largeWrites.Load(),
+		Queries:      s.stats.queries.Load(),
+		Creates:      s.stats.creates.Load(),
+		Syncs:        s.stats.syncs.Load(),
+		BadRequests:  s.stats.badRequests.Load(),
+		BytesRead:    s.stats.bytesRead.Load(),
+		BytesWritten: s.stats.bytesWrite.Load(),
+		Prefetches:   s.stats.prefetches.Load(),
 
 		CacheRegistrations:    s.registry.registrations.Load(),
 		CacheWatchers:         int64(s.registry.watcherCount()),
@@ -296,17 +368,34 @@ func (s *Server) Stats() Stats {
 		CacheCallbackTimeouts: s.registry.callbackTimeouts.Load(),
 		CacheLeaseExpiries:    s.registry.leaseExpiries.Load(),
 	}
+	for _, v := range s.volumes {
+		st.CacheHits += v.cache.hits.Load()
+		st.CacheMisses += v.cache.misses.Load()
+		st.DirtyBlocks += int64(v.cache.dirtyBlocks())
+		st.FlushRuns += v.cache.flushRuns.Load()
+		st.FlushedBlocks += v.cache.flushedBlocks.Load()
+		st.FlushErrors += v.cache.flushErrs.Load()
+	}
+	return st
 }
 
-// Flush drains every staged write to the store (write-behind's sync
-// point; OpSync is the protocol's way to request it). It returns the
-// first store error the flushers hit since the previous drain.
-func (s *Server) Flush() error { return s.cache.flushAll() }
+// Flush drains every volume's staged writes to its store (write-behind's
+// sync point; OpSync is the protocol's way to request it). It returns
+// the first store error the flushers hit since the previous drain.
+func (s *Server) Flush() error {
+	var first error
+	for _, v := range s.volumes {
+		if err := v.cache.flushAll(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Close stops the server: the receive loop unblocks, queued requests
 // drain, the workers exit, in-flight read-aheads land, staged writes
-// flush to the store, and the block cache returns its buffers to the
-// pool. The backing store is not closed.
+// flush to the stores, and the block caches return their buffers to the
+// pool. The backing stores are not closed.
 func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.node.Detach(s.proc)
@@ -315,7 +404,9 @@ func (s *Server) Close() {
 		// the invalidator pool can go.
 		s.registry.close()
 		s.raWG.Wait()
-		s.cache.close()
+		for _, v := range s.volumes {
+			v.cache.close()
+		}
 	})
 }
 
@@ -351,18 +442,29 @@ func (s *Server) worker() {
 func (s *Server) handle(req *request) {
 	s.stats.requests.Add(1)
 	op, file, arg, count := parseRequest(&req.msg)
+	if op == OpQueryVolumes {
+		// Volume-agnostic: part of cluster discovery, answered by every
+		// server regardless of the request's volume word.
+		s.queryVolumes(req, count)
+		return
+	}
+	v := s.volumes[reqVolume(&req.msg)]
+	if v == nil {
+		s.replyStatus(req.src, StatusNoVolume, 0)
+		return
+	}
 	switch op {
 	case OpReadBlock:
-		s.pageRead(req, file, arg, count)
+		s.pageRead(v, req, file, arg, count)
 	case OpWriteBlock:
-		s.pageWrite(req, file, arg, count)
+		s.pageWrite(v, req, file, arg, count)
 	case OpReadLarge:
-		s.largeRead(req, file, arg, count)
+		s.largeRead(v, req, file, arg, count)
 	case OpWriteLarge:
-		s.largeWrite(req, file, arg, count)
+		s.largeWrite(v, req, file, arg, count)
 	case OpQueryFile:
 		s.stats.queries.Add(1)
-		size, err := s.sizeOf(file)
+		size, err := s.sizeOf(v, file)
 		if err != nil {
 			s.replyStatus(req.src, statusFor(err), 0)
 			return
@@ -370,23 +472,23 @@ func (s *Server) handle(req *request) {
 		s.replyStatus(req.src, StatusOK, uint32(size))
 	case OpCreateFile:
 		s.stats.creates.Add(1)
-		err := s.cache.truncate(file, func() error {
-			return s.store.Create(file, int64(arg))
+		err := v.cache.truncate(file, func() error {
+			return v.store.Create(file, int64(arg))
 		})
 		if err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		ver, tracked := s.registry.invalidate(file, 0, InvalidateAll, req.src)
+		ver, tracked := s.registry.invalidate(v.id, file, 0, InvalidateAll, req.src)
 		s.replyWritten(req.src, 0, ver, tracked)
 	case OpSync:
-		// Word 2 selects the file to drain; zero drains the whole cache.
+		// Word 2 selects the file to drain; zero drains the volume.
 		s.stats.syncs.Add(1)
 		var err error
 		if file == 0 {
-			err = s.Flush()
+			err = v.cache.flushAll()
 		} else {
-			err = s.cache.flushFile(file)
+			err = v.cache.flushFile(file)
 		}
 		if err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
@@ -396,14 +498,40 @@ func (s *Server) handle(req *request) {
 	case OpRegisterCache:
 		// arg is the client's callback pid; the reply carries the file's
 		// current version and the registration lease in milliseconds.
-		version := s.registry.register(file, req.src, ipc.Pid(arg))
+		version := s.registry.register(v.id, file, req.src, ipc.Pid(arg))
 		m := buildReply(StatusOK, version)
 		m.SetWord(3, uint32(s.cfg.CacheLease/time.Millisecond))
 		_ = s.proc.Reply(&m, req.src)
 	case OpReleaseCache:
-		s.registry.release(file, ipc.Pid(arg))
+		s.registry.release(v.id, file, ipc.Pid(arg))
 		s.replyStatus(req.src, StatusOK, 0)
 	default:
+		s.replyStatus(req.src, StatusBadRequest, 0)
+	}
+}
+
+// queryVolumes answers OpQueryVolumes: the hosted volume ids as
+// big-endian uint32s in the reply segment, count in reply word 2. The
+// set is capped by the client's grant and by one reply packet.
+func (s *Server) queryVolumes(req *request, count uint32) {
+	ids := s.Volumes()
+	limit := int(count) / 4
+	if limit > vproto.MaxData/4 {
+		limit = vproto.MaxData / 4
+	}
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	if len(ids) == 0 {
+		s.replyStatus(req.src, StatusOK, 0)
+		return
+	}
+	buf := make([]byte, len(ids)*4)
+	for i, id := range ids {
+		binary.BigEndian.PutUint32(buf[i*4:], id)
+	}
+	reply := buildReply(StatusOK, uint32(len(ids)))
+	if err := s.proc.ReplyWithSegment(&reply, req.src, 0, buf); err != nil {
 		s.replyStatus(req.src, StatusBadRequest, 0)
 	}
 }
@@ -444,20 +572,20 @@ func statusFor(err error) uint32 {
 // cached (see blockCache). A file that exists only as staged,
 // still-unflushed blocks reads as zeros outside them — those blocks are
 // holes the flusher has not yet materialized.
-func (s *Server) getBlock(file, block uint32) (*bufpool.Buf, int, error) {
+func (s *Server) getBlock(v *volume, file, block uint32) (*bufpool.Buf, int, error) {
 	id := blockID{file: file, block: block}
-	if b, end, ok := s.cache.getEnd(id); ok {
+	if b, end, ok := v.cache.getEnd(id); ok {
 		return b, end, nil
 	}
-	gen := s.cache.snapshot(id)
+	gen := v.cache.snapshot(id)
 	// Snapshot the staged size BEFORE the store read: if the file exists
 	// only as staged blocks and its first flush creates the store file
 	// mid-read, checking afterwards would see ErrNoFile from the store
 	// and no staged bytes either — a spurious no-such-file for a file
 	// that existed throughout.
-	staged := s.cache.stagedSize(file)
+	staged := v.cache.stagedSize(file)
 	b := bufpool.Get(s.cfg.BlockSize)
-	n, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize))
+	n, err := v.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize))
 	if err != nil {
 		if err == ErrNoFile && staged > 0 {
 			for i := range b.Data {
@@ -469,16 +597,16 @@ func (s *Server) getBlock(file, block uint32) (*bufpool.Buf, int, error) {
 			return nil, 0, err
 		}
 	}
-	s.cache.put(id, b, gen, n)
+	v.cache.put(id, b, gen, n)
 	return b, n, nil
 }
 
 // sizeOf is the file size as clients must observe it: the store size
 // raised to the staged write high-water mark, so unflushed write-behind
 // extensions are visible to queries and reads immediately.
-func (s *Server) sizeOf(file uint32) (int64, error) {
-	staged := s.cache.stagedSize(file)
-	size, err := s.store.Size(file)
+func (s *Server) sizeOf(v *volume, file uint32) (int64, error) {
+	staged := v.cache.stagedSize(file)
+	size, err := v.store.Size(file)
 	if err != nil {
 		if err == ErrNoFile && staged > 0 {
 			return staged, nil
@@ -492,34 +620,35 @@ func (s *Server) sizeOf(file uint32) (int64, error) {
 }
 
 // readAhead prefetches a block asynchronously (§6.2's read-ahead).
-func (s *Server) readAhead(file, block uint32) {
+func (s *Server) readAhead(v *volume, file, block uint32) {
 	id := blockID{file: file, block: block}
-	if s.cache.contains(id) {
+	if v.cache.contains(id) {
 		return
 	}
-	if size, err := s.sizeOf(file); err != nil || int64(block)*int64(s.cfg.BlockSize) >= size {
+	if size, err := s.sizeOf(v, file); err != nil || int64(block)*int64(s.cfg.BlockSize) >= size {
 		return // past EOF
 	}
+	key := volBlock{vol: v.id, id: id}
 	s.raMu.Lock()
-	if s.raInflight[id] {
+	if s.raInflight[key] {
 		s.raMu.Unlock()
 		return
 	}
-	s.raInflight[id] = true
+	s.raInflight[key] = true
 	s.raWG.Add(1)
 	s.raMu.Unlock()
 	go func() {
 		defer func() {
 			s.raMu.Lock()
-			delete(s.raInflight, id)
+			delete(s.raInflight, key)
 			s.raMu.Unlock()
 			s.raWG.Done()
 		}()
-		gen := s.cache.snapshot(id)
+		gen := v.cache.snapshot(id)
 		b := bufpool.Get(s.cfg.BlockSize)
 		defer b.Release()
-		if n, err := s.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize)); err == nil {
-			s.cache.put(id, b, gen, n)
+		if n, err := v.store.ReadAt(file, b.Data, int64(block)*int64(s.cfg.BlockSize)); err == nil {
+			v.cache.put(id, b, gen, n)
 			s.stats.prefetches.Add(1)
 		}
 	}()
@@ -529,19 +658,19 @@ func (s *Server) readAhead(file, block uint32) {
 // (ReplyWithSegment), one Send/Reply exchange total. The cache block is
 // lent for the reply encode — the page is copied exactly once, from
 // cache memory into the pooled wire frame.
-func (s *Server) pageRead(req *request, file, block, count uint32) {
+func (s *Server) pageRead(v *volume, req *request, file, block, count uint32) {
 	s.stats.pageReads.Add(1)
 	if count > uint32(s.cfg.BlockSize) {
 		s.replyStatus(req.src, StatusBadRequest, 0)
 		return
 	}
-	b, _, err := s.getBlock(file, block)
+	b, _, err := s.getBlock(v, file, block)
 	if err != nil {
 		s.replyStatus(req.src, statusFor(err), 0)
 		return
 	}
 	if s.cfg.ReadAhead {
-		s.readAhead(file, block+1)
+		s.readAhead(v, file, block+1)
 	}
 	s.stats.bytesRead.Add(int64(count))
 	reply := buildReply(StatusOK, count)
@@ -561,7 +690,7 @@ func (s *Server) pageRead(req *request, file, block, count uint32) {
 // back asynchronously (§6.2's server-side write buffering). With
 // Config.WriteThrough the write goes synchronously to the store and
 // invalidates the cached block before the reply, as before.
-func (s *Server) pageWrite(req *request, file, block, count uint32) {
+func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 	s.stats.pageWrites.Add(1)
 	bs := uint32(s.cfg.BlockSize)
 	if count > bs || int(count) > len(req.buf) {
@@ -579,13 +708,13 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 				return
 			}
 		}
-		if err := s.store.WriteAt(file, req.buf[:count], int64(block)*int64(s.cfg.BlockSize)); err != nil {
+		if err := v.store.WriteAt(file, req.buf[:count], int64(block)*int64(s.cfg.BlockSize)); err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		s.cache.invalidate(blockID{file: file, block: block})
+		v.cache.invalidate(blockID{file: file, block: block})
 		s.stats.bytesWrite.Add(int64(count))
-		ver, tracked := s.registry.invalidate(file, block, 1, req.src)
+		ver, tracked := s.registry.invalidate(v.id, file, block, 1, req.src)
 		s.replyWritten(req.src, count, ver, tracked)
 		return
 	}
@@ -595,11 +724,11 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 		// so the file is created/extended exactly as the write-through
 		// path would — staging an empty dirty block would raise the
 		// staged size only until its (empty) flush pruned it again.
-		if err := s.store.WriteAt(file, nil, int64(block)*int64(s.cfg.BlockSize)); err != nil {
+		if err := v.store.WriteAt(file, nil, int64(block)*int64(s.cfg.BlockSize)); err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		ver, tracked := s.registry.invalidate(file, block, 0, req.src)
+		ver, tracked := s.registry.invalidate(v.id, file, block, 0, req.src)
 		s.replyWritten(req.src, 0, ver, tracked)
 		return
 	}
@@ -612,7 +741,7 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 			return
 		}
 	}
-	err := s.stageBlock(blockID{file: file, block: block}, buf, 0, int(count))
+	err := s.stageBlock(v, blockID{file: file, block: block}, buf, 0, int(count))
 	buf.Release()
 	if err != nil {
 		s.replyStatus(req.src, StatusIOError, 0)
@@ -622,7 +751,7 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 	// The page is staged (readable by everyone through this server), so
 	// other clients' cached copies go stale NOW: call them back before
 	// the writer learns its write completed.
-	ver, tracked := s.registry.invalidate(file, block, 1, req.src)
+	ver, tracked := s.registry.invalidate(v.id, file, block, 1, req.src)
 	s.replyWritten(req.src, count, ver, tracked)
 }
 
@@ -635,7 +764,7 @@ func (s *Server) pageWrite(req *request, file, block, count uint32) {
 // transient read error destroy store data on the next flush. Plain
 // ErrNoFile means the block genuinely has no prior contents and zeros
 // are correct.
-func (s *Server) stageBlock(id blockID, buf *bufpool.Buf, payStart, payEnd int) error {
+func (s *Server) stageBlock(v *volume, id blockID, buf *bufpool.Buf, payStart, payEnd int) error {
 	bs := s.cfg.BlockSize
 	for {
 		var spareBuf *bufpool.Buf
@@ -643,8 +772,8 @@ func (s *Server) stageBlock(id blockID, buf *bufpool.Buf, payStart, payEnd int) 
 		spareEnd := 0
 		var gen uint64
 		if payStart > 0 || payEnd < bs {
-			gen = s.cache.snapshot(id)
-			b, end, err := s.getBlock(id.file, id.block)
+			gen = v.cache.snapshot(id)
+			b, end, err := s.getBlock(v, id.file, id.block)
 			switch {
 			case err == nil:
 				spareBuf, spare, spareEnd = b, b.Data, end
@@ -654,7 +783,7 @@ func (s *Server) stageBlock(id blockID, buf *bufpool.Buf, payStart, payEnd int) 
 				return err
 			}
 		}
-		err := s.cache.stage(id, buf, payStart, payEnd, spare, spareEnd, gen)
+		err := v.cache.stage(id, buf, payStart, payEnd, spare, spareEnd, gen)
 		spareBuf.Release()
 		if err != errStaleSpare {
 			return err
@@ -671,9 +800,9 @@ func (s *Server) stageBlock(id blockID, buf *bufpool.Buf, payStart, payEnd int) 
 // transfer completes; a concurrent write invalidates the cache entry but
 // cannot recycle a lent block. The reply reports how many bytes the file
 // actually held.
-func (s *Server) largeRead(req *request, file, off, count uint32) {
+func (s *Server) largeRead(v *volume, req *request, file, off, count uint32) {
 	s.stats.largeReads.Add(1)
-	size, err := s.sizeOf(file)
+	size, err := s.sizeOf(v, file)
 	if err != nil {
 		s.replyStatus(req.src, statusFor(err), 0)
 		return
@@ -709,7 +838,7 @@ func (s *Server) largeRead(req *request, file, off, count uint32) {
 			if c > m-fill {
 				c = m - fill
 			}
-			b, _, err := s.getBlock(file, blk)
+			b, _, err := s.getBlock(v, file, blk)
 			if err != nil {
 				release()
 				s.replyStatus(req.src, statusFor(err), done)
@@ -720,7 +849,7 @@ func (s *Server) largeRead(req *request, file, off, count uint32) {
 			fill += c
 		}
 		if s.cfg.ReadAhead {
-			s.readAhead(file, (off+done+m)/bs)
+			s.readAhead(v, file, (off+done+m)/bs)
 		}
 		err := s.proc.MoveToVec(req.src, done, parts...)
 		release() // MoveToVec borrows only for the duration of the call
@@ -776,11 +905,11 @@ func (s *Server) buildSpans(file, pos, m uint32, spans []span, slices [][]byte) 
 // dirty blocks (completing partial head/tail blocks from the old image)
 // and releases them. It runs on its own goroutine so the next chunk's
 // MoveFromVec overlaps it — the WriteLarge pipeline.
-func (s *Server) absorbSpans(file uint32, spans []span) error {
+func (s *Server) absorbSpans(v *volume, spans []span) error {
 	var err error
 	for _, sp := range spans {
 		if err == nil {
-			err = s.stageBlock(sp.id, sp.buf, sp.payStart, sp.payEnd)
+			err = s.stageBlock(v, sp.id, sp.buf, sp.payStart, sp.payEnd)
 		}
 		sp.buf.Release()
 	}
@@ -803,10 +932,10 @@ func releaseSpans(spans []span) {
 // (which may block on the dirty budget or, transitively, the store), the
 // next chunk's pull is already on the wire. With Config.WriteThrough the
 // old serial pull-then-write-through loop runs instead, as the baseline.
-func (s *Server) largeWrite(req *request, file, off, count uint32) {
+func (s *Server) largeWrite(v *volume, req *request, file, off, count uint32) {
 	s.stats.largeWrites.Add(1)
 	if s.cfg.WriteThrough {
-		s.largeWriteThrough(req, file, off, count)
+		s.largeWriteThrough(v, req, file, off, count)
 		return
 	}
 	pre := uint32(req.inline)
@@ -832,7 +961,7 @@ func (s *Server) largeWrite(req *request, file, off, count uint32) {
 	}
 	launch := func(spans []span) {
 		inflight = true
-		go func() { ch <- s.absorbSpans(file, spans) }()
+		go func() { ch <- s.absorbSpans(v, spans) }()
 	}
 
 	done := uint32(0)
@@ -875,21 +1004,21 @@ func (s *Server) largeWrite(req *request, file, off, count uint32) {
 		return
 	}
 	s.stats.bytesWrite.Add(int64(count))
-	ver, tracked := s.invalidateRange(req.src, file, off, count)
+	ver, tracked := s.invalidateRange(v, req.src, file, off, count)
 	s.replyWritten(req.src, count, ver, tracked)
 }
 
 // invalidateRange runs the client-cache fan-out for a byte-range write;
 // both large-write modes share its block-range arithmetic. The returned
 // version/tracked pair feeds replyWritten.
-func (s *Server) invalidateRange(src ipc.Pid, file, off, count uint32) (uint32, bool) {
+func (s *Server) invalidateRange(v *volume, src ipc.Pid, file, off, count uint32) (uint32, bool) {
 	bs := uint32(s.cfg.BlockSize)
 	first := off / bs
 	nblocks := uint32(0)
 	if count > 0 {
 		nblocks = (off+count-1)/bs - first + 1
 	}
-	return s.registry.invalidate(file, first, nblocks, src)
+	return s.registry.invalidate(v.id, file, first, nblocks, src)
 }
 
 // largeWriteThrough is the pre-overhaul §6.2 baseline: chunks pulled
@@ -897,14 +1026,14 @@ func (s *Server) invalidateRange(src ipc.Pid, file, off, count uint32) (uint32, 
 // to the store before the next pull, cached blocks invalidated at the
 // end. Kept runnable (Config.WriteThrough) so the write-behind win stays
 // measurable.
-func (s *Server) largeWriteThrough(req *request, file, off, count uint32) {
+func (s *Server) largeWriteThrough(v *volume, req *request, file, off, count uint32) {
 	bs := uint32(s.cfg.BlockSize)
 	pre := uint32(req.inline)
 	if pre > count {
 		pre = count
 	}
 	if pre > 0 {
-		if err := s.store.WriteAt(file, req.buf[:pre], int64(off)); err != nil {
+		if err := v.store.WriteAt(file, req.buf[:pre], int64(off)); err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
@@ -921,7 +1050,7 @@ func (s *Server) largeWriteThrough(req *request, file, off, count uint32) {
 			s.replyStatus(req.src, StatusBadRequest, done)
 			return
 		}
-		if err := s.store.WriteAt(file, staging.Data[:m], int64(off)+int64(done)); err != nil {
+		if err := v.store.WriteAt(file, staging.Data[:m], int64(off)+int64(done)); err != nil {
 			s.replyStatus(req.src, StatusIOError, done)
 			return
 		}
@@ -929,10 +1058,10 @@ func (s *Server) largeWriteThrough(req *request, file, off, count uint32) {
 	}
 	if count > 0 {
 		for blk := off / bs; blk <= (off+count-1)/bs; blk++ {
-			s.cache.invalidate(blockID{file: file, block: blk})
+			v.cache.invalidate(blockID{file: file, block: blk})
 		}
 	}
 	s.stats.bytesWrite.Add(int64(count))
-	ver, tracked := s.invalidateRange(req.src, file, off, count)
+	ver, tracked := s.invalidateRange(v, req.src, file, off, count)
 	s.replyWritten(req.src, count, ver, tracked)
 }

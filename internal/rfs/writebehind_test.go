@@ -700,13 +700,13 @@ func TestPerFileSync(t *testing.T) {
 func TestMaxDirtyAgeTrickle(t *testing.T) {
 	mem := NewMemStore()
 	gated := newGatedStore(mem)
-	gated.open() // writes pass; the wrapper only counts them
+	gated.open()          // writes pass; the wrapper only counts them
 	const age = time.Hour // the ticker never fires on its own in-test
 	e := memEnvStore(t, gated, ipc.FaultConfig{}, ipc.NodeConfig{}, Config{MaxDirtyAge: age})
 	c := e.client(t, "app")
 
 	base := time.Now()
-	e.srv.cache.setNow(func() time.Time { return base })
+	e.srv.volumes[DefaultVolume].cache.setNow(func() time.Time { return base })
 
 	want := pattern(5, 512)
 	if err := c.WriteBlock(5, 0, want); err != nil {
@@ -722,13 +722,13 @@ func TestMaxDirtyAgeTrickle(t *testing.T) {
 		t.Fatalf("block not held dirty: %+v", st)
 	}
 	// A trickle pass before the block ages is a no-op.
-	e.srv.cache.tricklePass()
+	e.srv.volumes[DefaultVolume].cache.tricklePass()
 	if n := gated.writes.Load(); n != 0 {
 		t.Fatalf("trickle flushed a young block (%d writes)", n)
 	}
 	// Age it past MaxDirtyAge: the next pass must flush it.
-	e.srv.cache.setNow(func() time.Time { return base.Add(2 * age) })
-	e.srv.cache.tricklePass()
+	e.srv.volumes[DefaultVolume].cache.setNow(func() time.Time { return base.Add(2 * age) })
+	e.srv.volumes[DefaultVolume].cache.tricklePass()
 	if n := gated.writes.Load(); n != 1 {
 		t.Fatalf("aged block not trickled out (writes=%d)", n)
 	}
