@@ -9,7 +9,7 @@ GO ?= go
 # stable local numbers.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet bench bench-ipc bench-rfs bench-alloc bench-ccache bench-shard check
+.PHONY: all build test race vet lint fmt-check bench bench-ipc bench-rfs bench-alloc bench-ccache bench-shard check
 
 all: build test
 
@@ -24,6 +24,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the project's own vlint suite (bufref,
+# lockorder, wireword, unlockpath, spawncheck — see README "Static
+# analysis"). vlint exits nonzero on any finding.
+lint: vet
+	$(GO) run ./cmd/vlint ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -run 'TestNothing' -bench=. -benchmem .
@@ -55,4 +65,4 @@ SHARDTIME ?= 1500ms
 bench-shard:
 	$(GO) run ./cmd/vbench -shard -shard-duration $(SHARDTIME) -shard-out BENCH_shard.json
 
-check: build vet test race
+check: build lint fmt-check test race

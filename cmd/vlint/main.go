@@ -1,0 +1,78 @@
+// Command vlint runs the kernel's project-specific static-analysis
+// suite over Go package patterns:
+//
+//	vlint ./...
+//
+// It loads and type-checks the module (stdlib-only: go/parser +
+// go/types with gc export data), runs the bufref, lockorder,
+// spawncheck, unlockpath, and wireword analyzers, and prints findings
+// as file:line:col: analyzer: message. The exit status is 1 when
+// anything is reported.
+//
+// Suppress a finding with a justified marker on (or directly above)
+// the flagged line:
+//
+//	//vlint:ignore <analyzer> <reason>
+//
+// A marker without a reason is itself a finding.
+//
+// -lockgraph dumps the computed lock-order edge set instead of
+// diagnostics, for declaring or revising suite.LockOrder.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vkernel/internal/analysis"
+	"vkernel/internal/analysis/load"
+	"vkernel/internal/analysis/lockorder"
+	"vkernel/internal/analysis/suite"
+)
+
+func main() {
+	lockgraph := flag.Bool("lockgraph", false, "dump the lock-order edge set and exit")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlint:", err)
+		os.Exit(2)
+	}
+	prog, err := load.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlint:", err)
+		os.Exit(2)
+	}
+
+	if *lockgraph {
+		pass := &analysis.Pass{Fset: prog.Fset, Packages: prog.Packages}
+		graph := lockorder.Graph(pass)
+		var lines []string
+		for from, tos := range graph {
+			for to, pos := range tos {
+				lines = append(lines, fmt.Sprintf("%s -> %s\t(%s)", from, to, prog.Fset.Position(pos)))
+			}
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return
+	}
+
+	diags := analysis.Run(prog, suite.Analyzers())
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,12 @@ import (
 
 const logicalClock = 77 // our well-known logical id
 
+// The clock service's reply layout.
+const (
+	wordTime = 1 // current time, microseconds
+	wordPid  = 2 // answering process
+)
+
 func clockService(scope core.Scope) func(*core.Process) {
 	return func(p *core.Process) {
 		p.SetPid(logicalClock, p.Pid(), scope)
@@ -25,8 +31,8 @@ func clockService(scope core.Scope) func(*core.Process) {
 				return
 			}
 			var reply core.Message
-			reply.SetWord(1, uint32(p.GetTime().Microseconds()))
-			reply.SetWord(2, uint32(p.Pid()))
+			reply.SetWord(wordTime, uint32(p.GetTime().Microseconds()))
+			reply.SetWord(wordPid, uint32(p.Pid()))
 			if err := p.Reply(&reply, src); err != nil {
 				return
 			}
@@ -62,7 +68,7 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("c: time from %v is %d us (answered by pid %d)\n",
-			pid, m.Word(1), m.Word(2))
+			pid, m.Word(wordTime), m.Word(wordPid))
 	})
 	kB.Spawn("probe", func(p *core.Process) {
 		p.Delay(sim.Millisecond)
@@ -73,7 +79,7 @@ func main() {
 		if err := p.Send(&m, pid); err != nil {
 			panic(err)
 		}
-		fmt.Printf("b: local time is %d us\n", m.Word(1))
+		fmt.Printf("b: local time is %d us\n", m.Word(wordTime))
 	})
 
 	if err := cluster.Run(); err != nil {

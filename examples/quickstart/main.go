@@ -12,6 +12,10 @@ import (
 	"vkernel/internal/sim"
 )
 
+// wordValue is the one message word this toy protocol uses: the number
+// the client sends and the doubler sends back.
+const wordValue = 1
+
 func main() {
 	// One seeded cluster = one deterministic experiment.
 	cluster := core.NewCluster(1, ether.Ethernet3Mb())
@@ -27,7 +31,7 @@ func main() {
 				return
 			}
 			var reply core.Message
-			reply.SetWord(1, msg.Word(1)*2)
+			reply.SetWord(wordValue, msg.Word(wordValue)*2)
 			if err := p.Reply(&reply, src); err != nil {
 				return
 			}
@@ -39,16 +43,16 @@ func main() {
 	const n = 1000
 	kClient.Spawn("client", func(p *core.Process) {
 		var m core.Message
-		m.SetWord(1, 21)
+		m.SetWord(wordValue, 21)
 		if err := p.Send(&m, server.Pid()); err != nil {
 			panic(err)
 		}
-		fmt.Printf("first exchange: sent 21, got %d back\n", m.Word(1))
+		fmt.Printf("first exchange: sent 21, got %d back\n", m.Word(wordValue))
 
 		start := p.GetTime()
 		for i := 0; i < n; i++ {
 			var msg core.Message
-			msg.SetWord(1, uint32(i))
+			msg.SetWord(wordValue, uint32(i))
 			if err := p.Send(&msg, server.Pid()); err != nil {
 				panic(err)
 			}

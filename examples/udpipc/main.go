@@ -16,6 +16,21 @@ import (
 
 const pageSize = 512
 
+// The page service's word layout (Verex-style I/O protocol): word 1
+// selects the operation, word 2 names the page; the reply carries a
+// status in word 1.
+const (
+	wordOp     = 1
+	wordPage   = 2
+	wordStatus = 1
+
+	opRead  uint32 = 1
+	opWrite uint32 = 2
+
+	statusOK    uint32 = 0
+	statusBadOp uint32 = 1
+)
+
 func main() {
 	// Two nodes = two workstations. Peer addresses play the role of the
 	// §3.1 logical-host-to-network-address table.
@@ -41,18 +56,18 @@ func main() {
 			if err != nil {
 				return
 			}
-			page := int(msg.Word(2)) % 64
+			page := int(msg.Word(wordPage)) % 64
 			var reply ipc.Message
-			switch msg.Word(1) {
-			case 1: // read: the page travels in the reply packet
-				reply.SetWord(1, 0)
+			switch msg.Word(wordOp) {
+			case opRead: // the page travels in the reply packet
+				reply.SetWord(wordStatus, statusOK)
 				err = p.ReplyWithSegment(&reply, src, 0, store[page*pageSize:(page+1)*pageSize])
-			case 2: // write: the data arrived inline with the Send
+			case opWrite: // the data arrived inline with the Send
 				copy(store[page*pageSize:], buf[:n])
-				reply.SetWord(1, 0)
+				reply.SetWord(wordStatus, statusOK)
 				err = p.Reply(&reply, src)
 			default:
-				reply.SetWord(1, 1)
+				reply.SetWord(wordStatus, statusBadOp)
 				err = p.Reply(&reply, src)
 			}
 			if err != nil {
@@ -79,14 +94,14 @@ func main() {
 		out[i] = byte(i * 11)
 	}
 	var w ipc.Message
-	w.SetWord(1, 2)
-	w.SetWord(2, 7)
+	w.SetWord(wordOp, opWrite)
+	w.SetWord(wordPage, 7)
 	must(client.Send(&w, server, &ipc.Segment{Data: out, Access: ipc.SegRead}))
 
 	in := make([]byte, pageSize)
 	var r ipc.Message
-	r.SetWord(1, 1)
-	r.SetWord(2, 7)
+	r.SetWord(wordOp, opRead)
+	r.SetWord(wordPage, 7)
 	must(client.Send(&r, server, &ipc.Segment{Data: in, Access: ipc.SegWrite}))
 	if !bytes.Equal(in, out) {
 		panic("page corrupted over UDP")
@@ -97,8 +112,8 @@ func main() {
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		var m ipc.Message
-		m.SetWord(1, 1)
-		m.SetWord(2, uint32(i))
+		m.SetWord(wordOp, opRead)
+		m.SetWord(wordPage, uint32(i))
 		must(client.Send(&m, server, &ipc.Segment{Data: in, Access: ipc.SegWrite}))
 	}
 	per := time.Since(start) / n

@@ -1,0 +1,151 @@
+// Package analysis defines the vlint analyzer interface and driver.
+//
+// Six PRs of zero-copy buffers, write-behind caching, invalidation
+// callbacks, and volume sharding have left the kernel's correctness
+// resting on conventions no compiler checks: buffer references must be
+// released on every path, sharded mutexes must nest in one order,
+// protocol words must be named. Each analyzer in the suite encodes one
+// of those conventions as a machine-checked invariant; the driver loads
+// the module, runs the suite, and applies `//vlint:ignore` suppressions
+// (which must carry a non-empty justification).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"vkernel/internal/analysis/load"
+)
+
+// Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass hands an analyzer the whole loaded program. Analyzers that work
+// package-at-a-time iterate Packages; global analyzers (lockorder) see
+// every package at once so cross-package lock nesting is visible.
+type Pass struct {
+	Fset     *token.FileSet
+	Packages []*load.Package
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Diagnostic
+}
+
+// IgnorePrefix introduces a suppression comment:
+//
+//	//vlint:ignore <analyzer> <justification>
+//
+// placed on the flagged line or the line above it. The justification is
+// mandatory; a suppression without one is itself reported.
+const IgnorePrefix = "//vlint:ignore"
+
+type suppression struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// collectSuppressions scans a file's comments for vlint:ignore markers,
+// keyed by filename:line for both the comment's own line and the line
+// below it (so a suppression comment can sit above the flagged code).
+func collectSuppressions(fset *token.FileSet, file *ast.File) map[string][]*suppression {
+	out := make(map[string][]*suppression)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, IgnorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			s := &suppression{analyzer: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
+			p := fset.Position(c.Pos())
+			out[fmt.Sprintf("%s:%d", p.Filename, p.Line)] = append(out[fmt.Sprintf("%s:%d", p.Filename, p.Line)], s)
+			out[fmt.Sprintf("%s:%d", p.Filename, p.Line+1)] = append(out[fmt.Sprintf("%s:%d", p.Filename, p.Line+1)], s)
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over the program, drops suppressed
+// diagnostics, reports empty-reason suppressions, and returns the
+// survivors sorted by position.
+func Run(prog *load.Program, analyzers []*Analyzer) []Diagnostic {
+	pass := &Pass{Fset: prog.Fset, Packages: prog.Packages}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(pass) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+	}
+
+	supp := make(map[string][]*suppression)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for k, v := range collectSuppressions(prog.Fset, f) {
+				supp[k] = append(supp[k], v...)
+			}
+		}
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		p := prog.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		suppressed := false
+		for _, s := range supp[key] {
+			if s.analyzer != d.Analyzer {
+				continue
+			}
+			s.used = true
+			if s.reason == "" {
+				// An unjustified suppression does not suppress; it is
+				// reported below and the diagnostic stands.
+				continue
+			}
+			suppressed = true
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	// Empty-reason suppressions are findings in their own right, used or
+	// not — the whole point of the marker is the recorded justification.
+	reported := make(map[token.Pos]bool)
+	for _, ss := range supp {
+		for _, s := range ss {
+			if s.reason == "" && !reported[s.pos] {
+				reported[s.pos] = true
+				kept = append(kept, Diagnostic{
+					Pos:      s.pos,
+					Analyzer: "vlint",
+					Message:  "vlint:ignore suppression is missing a justification",
+				})
+			}
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(kept[i].Pos), prog.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"vkernel/internal/analysis"
+	"vkernel/internal/analysis/analysistest"
+	"vkernel/internal/analysis/wireword"
+)
+
+// TestSuppressions pins the driver's suppression contract: a justified
+// //vlint:ignore removes the diagnostic, an unjustified one is itself
+// reported and leaves the diagnostic standing.
+func TestSuppressions(t *testing.T) {
+	prog := analysistest.Load(t, "testdata/src/suppress", "fixture/suppress")
+	diags := analysis.Run(prog, []*analysis.Analyzer{wireword.Analyzer})
+
+	var gotWireword, gotMarker int
+	for _, d := range diags {
+		p := prog.Fset.Position(d.Pos)
+		switch {
+		case d.Analyzer == "wireword":
+			gotWireword++
+			// The surviving finding must be the unjustified one (line 10),
+			// not the justified one (line 14).
+			if p.Line != 10 {
+				t.Errorf("wireword diagnostic at line %d, want 10 (the unjustified site)", p.Line)
+			}
+		case d.Analyzer == "vlint":
+			gotMarker++
+			if !strings.Contains(d.Message, "missing a justification") {
+				t.Errorf("vlint diagnostic %q, want a missing-justification report", d.Message)
+			}
+		default:
+			t.Errorf("unexpected diagnostic %s: %s", d.Analyzer, d.Message)
+		}
+	}
+	if gotWireword != 1 {
+		t.Errorf("got %d wireword diagnostics, want 1 (justified site suppressed, unjustified not)", gotWireword)
+	}
+	if gotMarker != 1 {
+		t.Errorf("got %d vlint marker diagnostics, want 1", gotMarker)
+	}
+}

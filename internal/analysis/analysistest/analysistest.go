@@ -1,0 +1,153 @@
+// Package analysistest is the golden-fixture harness for the vlint
+// analyzers. A fixture is an ordinary Go package under an analyzer's
+// testdata/src directory; lines expected to be flagged carry a
+// trailing comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// and the harness fails the test on any diagnostic without a matching
+// want (false positive) or any want without a matching diagnostic
+// (false negative). Fixtures are type-checked against the real module
+// — a bufref fixture imports the real vkernel/internal/bufpool — so
+// the tests exercise the same type-identity checks the production run
+// does.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vkernel/internal/analysis"
+	"vkernel/internal/analysis/load"
+)
+
+// Load type-checks the fixture package in dir (relative to the test's
+// working directory) under the import path path. The import path
+// matters to path-scoped analyzers: a spawncheck fixture declares
+// itself under vkernel/internal/ipc/... to fall inside the invariant's
+// scope.
+func Load(t *testing.T, dir, path string) *load.Program {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("resolving fixture dir %s: %v", dir, err)
+	}
+	modDir, err := load.ModuleDir(abs)
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	imp, fset, err := load.NewImporter(modDir)
+	if err != nil {
+		t.Fatalf("building importer: %v", err)
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	pkg, err := imp.Check(path, abs, files)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &load.Program{Fset: fset, Packages: []*load.Package{pkg}}
+}
+
+// Run loads the fixture and runs the analyzer over it through the full
+// driver (so //vlint:ignore suppressions behave exactly as in
+// production), then matches diagnostics against the want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, path string) {
+	t.Helper()
+	prog := Load(t, dir, path)
+	diags := analysis.Run(prog, []*analysis.Analyzer{a})
+	wants := collectWants(t, prog)
+
+	for _, d := range diags {
+		p := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != p.Filename || w.line != p.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", filepath.Base(p.Filename), p.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants parses every `// want "re"` comment in the fixture.
+func collectWants(t *testing.T, prog *load.Program) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					p := prog.Fset.Position(c.Pos())
+					quoted := quotedRE.FindAllString(text[len("want "):], -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s:%d: want comment with no quoted pattern", p.Filename, p.Line)
+					}
+					for _, q := range quoted {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", p.Filename, p.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, pat, err)
+						}
+						wants = append(wants, &want{file: p.Filename, line: p.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Fprint is a debugging aid for writing new fixtures: it prints every
+// diagnostic the analyzer produces on the fixture.
+func Fprint(t *testing.T, a *analysis.Analyzer, dir, path string) {
+	t.Helper()
+	prog := Load(t, dir, path)
+	for _, d := range analysis.Run(prog, []*analysis.Analyzer{a}) {
+		p := prog.Fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: %s: %s\n", filepath.Base(p.Filename), p.Line, p.Column, d.Analyzer, d.Message)
+	}
+}

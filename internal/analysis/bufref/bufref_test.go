@@ -1,0 +1,12 @@
+package bufref_test
+
+import (
+	"testing"
+
+	"vkernel/internal/analysis/analysistest"
+	"vkernel/internal/analysis/bufref"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, bufref.Analyzer, "testdata/src/a", "fixture/bufref/a")
+}

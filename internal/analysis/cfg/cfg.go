@@ -1,0 +1,487 @@
+// Package cfg builds intraprocedural control-flow graphs over function
+// bodies, precise enough for the flow-sensitive vlint analyzers
+// (bufref, unlockpath, lockorder) without pulling in golang.org/x/tools.
+//
+// Blocks hold statements (and branch-condition expressions) in
+// execution order. Edges out of conditional branches carry Facts — the
+// condition and whether it is negated on that edge — so analyzers can
+// refine state along `err != nil` / `ok` branches. Terminating calls
+// (panic, os.Exit, log.Fatal*, runtime.Goexit) end a block with no
+// successors: state on a crashing path is not checked against
+// return-path invariants.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Fact records a branch condition known on an edge: Cond evaluated
+// true (Negated=false) or false (Negated=true).
+type Fact struct {
+	Cond    ast.Expr
+	Negated bool
+}
+
+// Edge is a successor link with the facts that hold along it.
+type Edge struct {
+	To    *Block
+	Facts []Fact
+}
+
+// Block is a straight-line run of statements.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// Graph is a function body's CFG. Exit is the single synthetic block
+// every return statement (and fall-off-the-end) feeds; it holds no
+// nodes.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Reachable returns the blocks reachable from Entry, in a stable
+// breadth-first order. Detached blocks (unreachable code after returns)
+// are excluded, so analyzers never report on dead statements.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	order := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for i := 0; i < len(order); i++ {
+		for _, e := range order[i].Succs {
+			if !seen[e.To.Index] {
+				seen[e.To.Index] = true
+				order = append(order, e.To)
+			}
+		}
+	}
+	return order
+}
+
+type loopTarget struct {
+	breakTo    *Block
+	continueTo *Block // nil for switch/select break targets
+}
+
+type builder struct {
+	g            *Graph
+	cur          *Block // nil after a terminator (return/branch/panic)
+	loops        []*loopTarget
+	labeled      map[string]*loopTarget // label -> enclosing loop/switch targets
+	gotos        map[string]*Block      // label -> block starting at the label
+	pendingLabel string
+}
+
+// New builds the CFG for one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:       &Graph{},
+		labeled: make(map[string]*loopTarget),
+		gotos:   make(map[string]*Block),
+	}
+	b.g.Exit = b.newBlock()
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmt(body)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit)
+	}
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, facts ...Fact) {
+	from.Succs = append(from.Succs, Edge{To: to, Facts: facts})
+}
+
+// ensure returns the current block, creating a detached one for
+// syntactically unreachable code.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) { b.ensure().Nodes = append(b.ensure().Nodes, n) }
+
+// terminates reports whether a statement unconditionally crashes or
+// exits the goroutine, ending the path.
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			switch {
+			case x.Name == "os" && fn.Sel.Name == "Exit":
+				return true
+			case x.Name == "runtime" && fn.Sel.Name == "Goexit":
+				return true
+			case x.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	default:
+		// Plain statements: assignments, declarations, calls, sends,
+		// defers, go statements, inc/dec, empty.
+		b.add(s)
+		if terminates(s) {
+			b.cur = nil
+		}
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then, Fact{Cond: s.Cond})
+	b.cur = then
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, after)
+	}
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els, Fact{Cond: s.Cond, Negated: true})
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	} else {
+		b.edge(cond, after, Fact{Cond: s.Cond, Negated: true})
+	}
+	b.cur = after
+}
+
+func (b *builder) pushLoop(t *loopTarget) {
+	b.loops = append(b.loops, t)
+	if b.pendingLabel != "" {
+		b.labeled[b.pendingLabel] = t
+		b.pendingLabel = ""
+	}
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.ensure(), head)
+	after := b.newBlock()
+	body := b.newBlock()
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, body, Fact{Cond: s.Cond})
+		b.edge(head, after, Fact{Cond: s.Cond, Negated: true})
+	} else {
+		b.edge(head, body)
+	}
+	var post *Block
+	continueTo := head
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+	b.pendingLabel = label
+	b.pushLoop(&loopTarget{breakTo: after, continueTo: continueTo})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, continueTo)
+	}
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock()
+	b.edge(b.ensure(), head)
+	// The RangeStmt node itself carries X and the per-iteration Key/Value
+	// assignment for analyzers that track them.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.pendingLabel = label
+	b.pushLoop(&loopTarget{breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+// caseFacts derives edge facts for a tagless-switch case clause.
+func caseFacts(tag ast.Expr, exprs []ast.Expr, negated bool) []Fact {
+	if tag != nil {
+		return nil
+	}
+	if !negated {
+		if len(exprs) == 1 {
+			return []Fact{{Cond: exprs[0]}}
+		}
+		return nil
+	}
+	facts := make([]Fact, 0, len(exprs))
+	for _, e := range exprs {
+		facts = append(facts, Fact{Cond: e, Negated: true})
+	}
+	return facts
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.ensure()
+	after := b.newBlock()
+	b.pendingLabel = label
+	b.pushLoop(&loopTarget{breakTo: after})
+	var bodies []*Block
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+		bodies = append(bodies, b.newBlock())
+	}
+	var defaultIdx = -1
+	var nonDefault []ast.Expr
+	for i, c := range clauses {
+		if c.List == nil {
+			defaultIdx = i
+			continue
+		}
+		nonDefault = append(nonDefault, c.List...)
+		b.edge(head, bodies[i], caseFacts(s.Tag, c.List, false)...)
+	}
+	if defaultIdx >= 0 {
+		b.edge(head, bodies[defaultIdx], caseFacts(s.Tag, nonDefault, true)...)
+	} else {
+		b.edge(head, after, caseFacts(s.Tag, nonDefault, true)...)
+	}
+	for i, c := range clauses {
+		b.cur = bodies[i]
+		fell := false
+		for _, st := range c.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fell = true
+				break
+			}
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			if fell && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1])
+			} else {
+				b.edge(b.cur, after)
+			}
+		}
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.ensure()
+	after := b.newBlock()
+	b.pendingLabel = label
+	b.pushLoop(&loopTarget{breakTo: after})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.ensure()
+	after := b.newBlock()
+	b.pendingLabel = label
+	b.pushLoop(&loopTarget{breakTo: after})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	// A select with no default blocks until a case fires; no head→after
+	// edge either way — every path goes through some case.
+	_ = hasDefault
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		var t *loopTarget
+		if s.Label != nil {
+			t = b.labeled[s.Label.Name]
+		} else if len(b.loops) > 0 {
+			t = b.loops[len(b.loops)-1]
+		}
+		if t != nil {
+			b.edge(b.cur, t.breakTo)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		var t *loopTarget
+		if s.Label != nil {
+			t = b.labeled[s.Label.Name]
+		} else {
+			// Nearest enclosing loop (switch/select targets have no
+			// continue destination).
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if b.loops[i].continueTo != nil {
+					t = b.loops[i]
+					break
+				}
+			}
+		}
+		if t != nil && t.continueTo != nil {
+			b.edge(b.cur, t.continueTo)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			b.edge(b.cur, b.gotoBlock(s.Label.Name))
+		}
+		b.cur = nil
+	}
+}
+
+func (b *builder) gotoBlock(label string) *Block {
+	if blk, ok := b.gotos[label]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.gotos[label] = blk
+	return blk
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	blk := b.gotoBlock(s.Label.Name)
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}

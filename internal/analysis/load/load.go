@@ -1,0 +1,268 @@
+// Package load turns Go package patterns into parsed, type-checked
+// syntax using only the standard library. It shells out to `go list
+// -export -deps -json` for package metadata and compiled export data
+// (the same .a files the gc toolchain writes into the build cache), so
+// it works in a fully offline build environment with no dependency on
+// golang.org/x/tools.
+//
+// Module packages (those belonging to the main module) are parsed and
+// type-checked from source so analyzers get full *ast.File syntax plus
+// a populated types.Info. Everything else — the standard library — is
+// imported from export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the result of a Load: every module package matched by the
+// patterns (plus module dependencies of those packages), sharing one
+// token.FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listedPkg is the subset of `go list -json` output we consume.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Deps       []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,Deps,Module"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, errb.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Importer resolves import paths to export data recorded by `go list
+// -export`, falling back to a per-path `go list` query for paths not in
+// the initial listing (fixture packages may import corners of the
+// standard library the module itself does not).
+type Importer struct {
+	dir  string // module directory go list queries run in
+	fset *token.FileSet
+	gc   types.Importer
+
+	mu      sync.Mutex
+	exports map[string]string         // import path -> export file
+	local   map[string]*types.Package // source-checked module packages
+}
+
+// NewImporter builds an Importer rooted at dir (any directory inside
+// the module). The initial export map is seeded from `go list -export
+// -deps ./...` so almost every lookup is a cache hit.
+func NewImporter(dir string) (*Importer, *token.FileSet, error) {
+	pkgs, err := goList(dir, "./...")
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := &Importer{
+		dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string, len(pkgs)),
+		local:   make(map[string]*types.Package),
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			imp.exports[p.ImportPath] = p.Export
+		}
+	}
+	imp.gc = importer.ForCompiler(imp.fset, "gc", imp.lookup)
+	return imp, imp.fset, nil
+}
+
+func (imp *Importer) lookup(path string) (io.ReadCloser, error) {
+	imp.mu.Lock()
+	file, ok := imp.exports[path]
+	imp.mu.Unlock()
+	if !ok {
+		// Path outside the seeded listing: ask go list for just this one.
+		pkgs, err := goList(imp.dir, path)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export == "" {
+				continue
+			}
+			imp.mu.Lock()
+			imp.exports[p.ImportPath] = p.Export
+			if p.ImportPath == path {
+				file = p.Export
+				ok = true
+			}
+			imp.mu.Unlock()
+		}
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer. Module packages that have already
+// been type-checked from source are returned directly, so object
+// identities are shared across the whole program.
+func (imp *Importer) Import(path string) (*types.Package, error) {
+	imp.mu.Lock()
+	if p, ok := imp.local[path]; ok {
+		imp.mu.Unlock()
+		return p, nil
+	}
+	imp.mu.Unlock()
+	return imp.gc.Import(path)
+}
+
+// setLocal registers a source-checked package for later imports.
+func (imp *Importer) setLocal(path string, pkg *types.Package) {
+	imp.mu.Lock()
+	imp.local[path] = pkg
+	imp.mu.Unlock()
+}
+
+// Check parses and type-checks one package directory's files as import
+// path `path`, using the importer for all dependencies. It is the
+// building block both Load and the analysistest fixture harness use.
+func (imp *Importer) Check(path, dir string, filenames []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("load: no Go files for %q in %s", path, dir)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, imp.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	imp.setLocal(path, tpkg)
+	return pkg, nil
+}
+
+// Load lists the given patterns (relative to dir) and type-checks every
+// module package among them and their module dependencies, in
+// dependency order.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var mod []listedPkg
+	seen := make(map[string]bool)
+	for _, p := range listed {
+		if p.Standard || p.Module == nil || seen[p.ImportPath] || p.Name == "" {
+			continue
+		}
+		seen[p.ImportPath] = true
+		mod = append(mod, p)
+	}
+	// A package's transitive dep set strictly contains each dependency's,
+	// so sorting by |Deps| yields a valid dependency order.
+	sort.SliceStable(mod, func(i, j int) bool { return len(mod[i].Deps) < len(mod[j].Deps) })
+
+	imp := &Importer{
+		dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string, len(listed)),
+		local:   make(map[string]*types.Package),
+	}
+	for _, p := range listed {
+		if p.Export != "" {
+			imp.exports[p.ImportPath] = p.Export
+		}
+	}
+	imp.gc = importer.ForCompiler(imp.fset, "gc", imp.lookup)
+
+	prog := &Program{Fset: imp.fset}
+	for _, p := range mod {
+		pkg, err := imp.Check(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// ModuleDir locates the main module root from anywhere inside it.
+func ModuleDir(from string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = from
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("load: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

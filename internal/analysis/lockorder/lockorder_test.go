@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"vkernel/internal/analysis/analysistest"
+	"vkernel/internal/analysis/lockorder"
+)
+
+func TestGolden(t *testing.T) {
+	order := []string{"a.C.mu", "a.D.mu", "a.E.mu", "a.F.mu"}
+	analysistest.Run(t, lockorder.New(order), "testdata/src/a", "fixture/lockorder/a")
+}

@@ -1,0 +1,49 @@
+// Fixture: the lock graph must be acyclic and respect the declared
+// nesting order (here: a.C.mu, a.D.mu, a.E.mu, a.F.mu).
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// cycleOne and cycleTwo acquire A and B in opposite orders — a
+// deadlock waiting for the right interleaving.
+func cycleOne(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func cycleTwo(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock cycle: a.A.mu → a.B.mu → a.A.mu"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// inverted acquires C while holding D, against the declared order.
+func inverted(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want "acquires a.C.mu while holding a.D.mu"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// nested respects the order through a callee: lockF's acquisition is
+// visible via the call summary, and E before F matches the order.
+func nested(e *E, f *F) {
+	e.mu.Lock()
+	lockF(f)
+	e.mu.Unlock()
+}
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}

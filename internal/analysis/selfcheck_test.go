@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vkernel/internal/analysis"
+	"vkernel/internal/analysis/load"
+	"vkernel/internal/analysis/suite"
+)
+
+// TestRepoClean runs the full vlint suite over the whole module and
+// requires a clean bill: every invariant the analyzers encode holds on
+// the tree as committed, and any deliberate exception carries a
+// justified //vlint:ignore.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	dir, err := load.ModuleDir(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	prog, err := load.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := analysis.Run(prog, suite.Analyzers())
+	for _, d := range diags {
+		p := prog.Fset.Position(d.Pos)
+		t.Errorf("%s:%d:%d: %s: %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+	}
+}

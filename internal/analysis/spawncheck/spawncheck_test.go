@@ -1,0 +1,13 @@
+package spawncheck_test
+
+import (
+	"testing"
+
+	"vkernel/internal/analysis/analysistest"
+	"vkernel/internal/analysis/spawncheck"
+)
+
+func TestGolden(t *testing.T) {
+	// The import path puts the fixture inside the analyzer's ipc scope.
+	analysistest.Run(t, spawncheck.Analyzer, "testdata/src/a", "vkernel/internal/ipc/spawnfixture")
+}

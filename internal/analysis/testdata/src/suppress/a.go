@@ -1,0 +1,15 @@
+// Fixture for the driver's suppression rules: an unjustified
+// //vlint:ignore neither suppresses nor passes — the marker itself is
+// reported and the diagnostic stands — while a justified one works.
+package suppress
+
+import "vkernel/internal/vproto"
+
+func unjustified(m *vproto.Message) {
+	//vlint:ignore wireword
+	m.SetWord(6, 2)
+}
+
+func justified(m *vproto.Message) {
+	m.SetWord(6, 2) //vlint:ignore wireword fixture: justification recorded here
+}

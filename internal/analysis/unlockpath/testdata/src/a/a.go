@@ -1,0 +1,51 @@
+// Fixture: a locked mutex must be unlocked on every return path, or
+// the unlock must be deferred.
+package a
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// early returns while holding t.mu on the stop path.
+func early(t *table, stop bool) int {
+	t.mu.Lock()
+	if stop {
+		return -1 // want "return path may hold t.mu"
+	}
+	t.mu.Unlock()
+	return t.n
+}
+
+// deferred covers every path with one defer.
+func deferred(t *table, stop bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if stop {
+		return -1
+	}
+	return t.n
+}
+
+// relock drops and retakes the lock under a pending defer — the
+// mid-loop service idiom — at a net depth of zero.
+func relock(t *table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		t.mu.Unlock()
+		t.n++
+		t.mu.Lock()
+	}
+}
+
+// readPath leaks a read lock on the stop path.
+func readPath(mu *sync.RWMutex, stop bool) {
+	mu.RLock()
+	if stop {
+		return // want "return path may hold mu"
+	}
+	mu.RUnlock()
+}

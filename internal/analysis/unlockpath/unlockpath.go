@@ -1,0 +1,285 @@
+// Package unlockpath checks that a function which locks a mutex
+// unlocks it on every return path (or defers the unlock). The ipc
+// tables and the rfs caches use manual Lock/Unlock sequencing on hot
+// paths — handleSend alone releases the alien-table mutex on seven
+// branches — and a single early return while holding a shard mutex
+// wedges every later request that hashes to the shard.
+//
+// The check tracks a per-lock-expression depth along the CFG: Lock and
+// RLock add one, Unlock and RUnlock subtract one, and a deferred unlock
+// subtracts immediately (defers always run before the function's caller
+// resumes, so for exit-state purposes the early debit is exact — it
+// also keeps the mid-loop "unlock, service, relock under a pending
+// defer" idiom in rfs's flushFile at a net depth of zero). A return
+// reached with positive depth on any path is reported.
+package unlockpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vkernel/internal/analysis"
+	"vkernel/internal/analysis/cfg"
+	"vkernel/internal/analysis/load"
+)
+
+// Analyzer is the unlockpath checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "unlockpath",
+	Doc:  "a locked mutex must be unlocked on every return path or deferred",
+	Run:  run,
+}
+
+// maxDepth bounds tracked lock depth so pathological loops terminate;
+// keys that escape the bound are ignored rather than misreported.
+const maxDepth = 4
+
+type lockOp struct {
+	key   string // canonical receiver expression + mode, e.g. "t.mu" / "t.mu(r)"
+	delta int
+	pos   token.Pos
+}
+
+// mutexMethod classifies a selector call as a lock operation on a
+// sync.Mutex or sync.RWMutex receiver.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var delta int
+	var read bool
+	switch sel.Sel.Name {
+	case "Lock":
+		delta = 1
+	case "Unlock":
+		delta = -1
+	case "RLock":
+		delta, read = 1, true
+	case "RUnlock":
+		delta, read = -1, true
+	default:
+		return lockOp{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return lockOp{}, false
+	}
+	t := types.Unalias(tv.Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	name := n.Obj().Name()
+	if name != "Mutex" && name != "RWMutex" {
+		return lockOp{}, false
+	}
+	key := types.ExprString(sel.X)
+	if read {
+		key += "(r)"
+	}
+	return lockOp{key: key, delta: delta, pos: call.Pos()}, true
+}
+
+// opsIn collects lock operations in a node in source order, without
+// descending into function literals (their bodies run elsewhere).
+// Deferred direct unlocks and deferred closures are included — the
+// early-debit model.
+func opsIn(info *types.Info, node ast.Node) []lockOp {
+	var ops []lockOp
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return inDefer // deferred closure bodies run at exit; others do not run here
+			case *ast.GoStmt:
+				return false
+			case *ast.DeferStmt:
+				walk(m.Call, true)
+				return false
+			case *ast.CallExpr:
+				if op, ok := mutexMethod(info, m); ok {
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	walk(node, false)
+	return ops
+}
+
+// depths is the set of possible lock depths for one key at one point.
+type depths map[int]bool
+
+func (d depths) clone() depths {
+	c := make(depths, len(d))
+	for k := range d {
+		c[k] = true
+	}
+	return c
+}
+
+type state map[string]depths
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+// join unions o into s, reporting whether s changed.
+func (s state) join(o state) bool {
+	changed := false
+	for k, dv := range o {
+		dst, ok := s[k]
+		if !ok {
+			s[k] = dv.clone()
+			changed = true
+			continue
+		}
+		for d := range dv {
+			if !dst[d] {
+				dst[d] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (s state) apply(op lockOp) {
+	d, ok := s[op.key]
+	if !ok {
+		d = depths{0: true}
+		s[op.key] = d
+	}
+	next := make(depths, len(d))
+	for v := range d {
+		nv := v + op.delta
+		if nv > maxDepth {
+			nv = maxDepth
+		}
+		if nv < -maxDepth {
+			nv = -maxDepth
+		}
+		next[nv] = true
+	}
+	s[op.key] = next
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	pkg   *load.Package
+	diags *[]analysis.Diagnostic
+	seen  map[string]bool
+}
+
+func (c *checker) checkReturn(s state, pos token.Pos) {
+	for key, dv := range s {
+		held := false
+		for d := range dv {
+			if d >= maxDepth {
+				held = false // chaotic growth: ignore this key
+				break
+			}
+			if d > 0 {
+				held = true
+			}
+		}
+		if !held {
+			continue
+		}
+		p := c.pass.Fset.Position(pos)
+		id := fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, key)
+		if c.seen[id] {
+			continue
+		}
+		c.seen[id] = true
+		*c.diags = append(*c.diags, analysis.Diagnostic{
+			Pos:     pos,
+			Message: fmt.Sprintf("return path may hold %s: unlock on every path or defer the unlock", trimMode(key)),
+		})
+	}
+}
+
+func trimMode(key string) string {
+	if len(key) > 3 && key[len(key)-3:] == "(r)" {
+		return key[:len(key)-3] + " (read-locked)"
+	}
+	return key
+}
+
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	blocks := g.Reachable()
+	in := make(map[*cfg.Block]state)
+	in[g.Entry] = state{}
+	work := []*cfg.Block{g.Entry}
+	onWork := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		onWork[blk] = false
+		s := in[blk].clone()
+		for _, node := range blk.Nodes {
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				c.checkReturn(s, ret.Pos())
+				continue
+			}
+			for _, op := range opsIn(c.pkg.Info, node) {
+				s.apply(op)
+			}
+		}
+		// Implicit return: the block flows to Exit without a return
+		// statement (fall off the end of the function).
+		for _, e := range blk.Succs {
+			if e.To == g.Exit {
+				if len(blk.Nodes) == 0 {
+					c.checkReturn(s, body.End())
+				} else if _, ok := blk.Nodes[len(blk.Nodes)-1].(*ast.ReturnStmt); !ok {
+					c.checkReturn(s, body.End())
+				}
+			}
+			dst, ok := in[e.To]
+			if !ok {
+				dst = state{}
+				in[e.To] = dst
+			}
+			if dst.join(s) && !onWork[e.To] {
+				onWork[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	_ = blocks
+}
+
+func run(pass *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pass.Packages {
+		c := &checker{pass: pass, pkg: pkg, diags: &diags, seen: make(map[string]bool)}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						c.checkFunc(n.Body)
+					}
+				case *ast.FuncLit:
+					c.checkFunc(n.Body)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,12 @@
+package unlockpath_test
+
+import (
+	"testing"
+
+	"vkernel/internal/analysis/analysistest"
+	"vkernel/internal/analysis/unlockpath"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, unlockpath.Analyzer, "testdata/src/a", "fixture/unlockpath/a")
+}

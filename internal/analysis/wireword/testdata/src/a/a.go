@@ -1,0 +1,21 @@
+// Fixture: raw word indices outside proto.go are flagged; named
+// constants, proto.go itself, and justified suppressions are not.
+package a
+
+import "vkernel/internal/vproto"
+
+const wordFile = 2
+
+func flagged(m *vproto.Message) uint32 {
+	m.SetWord(1, 7)  // want "raw word index 1 in SetWord call"
+	return m.Word(3) // want "raw word index 3 in Word call"
+}
+
+func named(m *vproto.Message) uint32 {
+	m.SetWord(wordFile, 7)
+	return m.Word(wordFile)
+}
+
+func suppressed(m *vproto.Message) {
+	m.SetWord(4, 1) //vlint:ignore wireword fixture: demonstrates a justified suppression
+}

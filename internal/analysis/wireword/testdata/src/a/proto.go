@@ -1,0 +1,7 @@
+// Raw indices are allowed here: a file named proto.go is a designated
+// home of wire-layout knowledge.
+package a
+
+import "vkernel/internal/vproto"
+
+func accessor(m *vproto.Message) uint32 { return m.Word(5) }

@@ -1,0 +1,80 @@
+// Package wireword flags raw integer indexing into interkernel message
+// words. The V protocol gives each of the eight request/reply words a
+// meaning — op code in word 1, file in word 2, block or byte offset in
+// word 3, count in word 4, volume in word 5, invalidation version and
+// volume in words 5/6 — and those meanings must live in one auditable
+// place. A call like m.SetWord(5, vol) scattered through a handler is a
+// protocol-layout decision hiding in the data path; it must go through
+// a named constant or an accessor defined in a file named proto.go or
+// vproto.go (the allowlisted homes of wire-layout knowledge).
+package wireword
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"vkernel/internal/analysis"
+)
+
+const messagePkg = "vkernel/internal/vproto"
+
+// Analyzer is the wireword checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireword",
+	Doc:  "protocol words must be indexed through named constants outside proto.go/vproto.go",
+	Run:  run,
+}
+
+// isMessage reports whether t is vproto.Message (possibly behind a
+// pointer or an alias such as ipc.Message).
+func isMessage(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == messagePkg && obj.Name() == "Message"
+}
+
+func run(pass *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pass.Packages {
+		for _, file := range pkg.Files {
+			base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+			if base == "proto.go" || base == "vproto.go" {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Word" && sel.Sel.Name != "SetWord") || len(call.Args) == 0 {
+					return true
+				}
+				recv := pkg.Info.Types[sel.X]
+				if recv.Type == nil || !isMessage(recv.Type) {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok {
+					return true
+				}
+				diags = append(diags, analysis.Diagnostic{
+					Pos: lit.Pos(),
+					Message: fmt.Sprintf("raw word index %s in %s call: name this word with a constant or accessor in proto.go/vproto.go",
+						lit.Value, sel.Sel.Name),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,12 @@
+package wireword_test
+
+import (
+	"testing"
+
+	"vkernel/internal/analysis/analysistest"
+	"vkernel/internal/analysis/wireword"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, wireword.Analyzer, "testdata/src/a", "fixture/wireword/a")
+}

@@ -160,7 +160,7 @@ func (k *Kernel) streamMoveTo(op *moveOp, from uint32) {
 			Count:  op.count,
 			Data:   op.p.ReadSpace(op.local+off, int(n)),
 		}
-		pkt.Msg.SetWord(1, op.remote) // destination base address
+		pkt.Msg.SetWord(wordMoveBase, op.remote) // destination base address
 		if off+n == op.count {
 			pkt.Flags |= vproto.FlagLast
 		}
@@ -186,7 +186,7 @@ func (k *Kernel) sendMoveFromReq(op *moveOp) {
 		Offset: op.got, // resume point
 		Count:  op.count,
 	}
-	pkt.Msg.SetWord(1, op.remote) // source base address
+	pkt.Msg.SetWord(wordMoveBase, op.remote) // source base address
 	k.transmit(pkt, op.peer.Host())
 }
 
@@ -219,7 +219,7 @@ func (k *Kernel) handleMoveToData(pkt *vproto.Packet) {
 		k.stats.BadPackets++
 		return
 	}
-	base := pkt.Msg.Word(1)
+	base := pkt.Msg.Word(wordMoveBase)
 	if grantedSpan(&proc.msg, base, pkt.Count, vproto.SegFlagWrite) != nil || !proc.checkSpan(base, pkt.Count) {
 		k.stats.BadPackets++
 		return
@@ -303,7 +303,7 @@ func (k *Kernel) handleMoveFromReq(pkt *vproto.Packet) {
 		k.stats.BadPackets++
 		return
 	}
-	base := pkt.Msg.Word(1)
+	base := pkt.Msg.Word(wordMoveBase)
 	if grantedSpan(&proc.msg, base, pkt.Count, vproto.SegFlagRead) != nil || !proc.checkSpan(base, pkt.Count) {
 		k.stats.BadPackets++
 		return

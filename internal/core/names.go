@@ -56,7 +56,7 @@ func (k *Kernel) broadcastGetPid(lk *lookup) {
 		Src:   lk.p.pid,
 		Flags: vproto.FlagScopeRemote,
 	}
-	pkt.Msg.SetWord(1, lk.id)
+	pkt.Msg.SetWord(wordNameID, lk.id)
 	k.broadcast(pkt)
 }
 
@@ -77,7 +77,7 @@ func (k *Kernel) getPidTimeout(lk *lookup) {
 // handleGetPid answers a broadcast lookup if this kernel knows a mapping
 // registered with remote visibility.
 func (k *Kernel) handleGetPid(pkt *vproto.Packet) {
-	id := pkt.Msg.Word(1)
+	id := pkt.Msg.Word(wordNameID)
 	e, ok := k.names[id]
 	if !ok || e.scope&ScopeRemote == 0 {
 		return
@@ -88,15 +88,15 @@ func (k *Kernel) handleGetPid(pkt *vproto.Packet) {
 		Seq:  pkt.Seq,
 		Dst:  pkt.Src,
 	}
-	out.Msg.SetWord(1, id)
-	out.Msg.SetWord(2, uint32(e.pid))
+	out.Msg.SetWord(wordNameID, id)
+	out.Msg.SetWord(wordNamePid, uint32(e.pid))
 	k.transmit(out, pkt.Src.Host())
 }
 
 // handleGetPidReply completes outstanding lookups for the logical id.
 func (k *Kernel) handleGetPidReply(pkt *vproto.Packet) {
-	id := pkt.Msg.Word(1)
-	pid := Pid(pkt.Msg.Word(2))
+	id := pkt.Msg.Word(wordNameID)
+	pid := Pid(pkt.Msg.Word(wordNamePid))
 	waiters := k.lookups[id]
 	if len(waiters) == 0 {
 		return

@@ -1,0 +1,18 @@
+// Word layout of the kernel-originated messages in the simulated
+// kernel: the same name-lookup and data-move layouts the runnable
+// kernel (internal/ipc) uses, kept in one place so every raw word
+// index lives in a proto.go file (the wireword analyzer enforces
+// this).
+package core
+
+const (
+	// KindGetPid / KindGetPidReply: word 1 names the logical id being
+	// resolved; the reply adds the holder's pid in word 2.
+	wordNameID  = 1
+	wordNamePid = 2
+
+	// KindMoveToData / KindMoveFromReq: word 1 carries the transfer's
+	// base address in the target process's space; fragment offsets in
+	// the packet header are applied relative to it.
+	wordMoveBase = 1
+)

@@ -24,6 +24,14 @@ func (m opMeasure) ms() float64 { return m.elapsed.Milliseconds() }
 // core/timing_test.go for the analysis).
 var longTimeout = core.Config{RetransmitTimeout: 1000 * sim.Second}
 
+// The harness's toy page-server protocol: message word 1 selects the
+// operation the server performs on its page.
+const (
+	pageWordOp         = 1
+	pageOpRead  uint32 = 1
+	pageOpWrite uint32 = 2
+)
+
 // rig is a two-workstation measurement setup; local rigs reuse one
 // workstation for both parties.
 type rig struct {
@@ -178,7 +186,7 @@ func pageServer(k *core.Kernel, pageSize int, page []byte, interDelay sim.Time) 
 				return
 			}
 			var reply core.Message
-			if msg.Word(1) == 1 {
+			if msg.Word(pageWordOp) == pageOpRead {
 				start, _, _, _ := msg.Segment()
 				if err := p.ReplyWithSegment(&reply, src, start, page); err != nil {
 					return
@@ -208,10 +216,10 @@ func measurePage(prof cost.Profile, netCfg ether.Config, remote bool, read bool,
 		op := func() error {
 			var m core.Message
 			if read {
-				m.SetWord(1, 1)
+				m.SetWord(pageWordOp, pageOpRead)
 				m.SetSegment(buf, pageSize, vproto.SegFlagWrite)
 			} else {
-				m.SetWord(1, 2)
+				m.SetWord(pageWordOp, pageOpWrite)
 				m.SetSegment(buf, pageSize, vproto.SegFlagRead)
 			}
 			return p.Send(&m, server.Pid())
@@ -254,7 +262,7 @@ func measureSequential(prof cost.Profile, netCfg ether.Config, diskLatency sim.T
 		buf := p.Alloc(pageSize)
 		read := func() error {
 			var m core.Message
-			m.SetWord(1, 1)
+			m.SetWord(pageWordOp, pageOpRead)
 			m.SetSegment(buf, pageSize, vproto.SegFlagWrite)
 			return p.Send(&m, server.Pid())
 		}

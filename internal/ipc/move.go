@@ -273,7 +273,7 @@ func (n *Node) streamMoveTo(op *moveOp, from uint32) {
 			Offset: off,
 			Count:  count,
 		}
-		pkt.Msg.SetWord(1, op.base)
+		pkt.Msg.SetWord(wordMoveBase, op.base)
 		if off+m == count {
 			pkt.Flags |= vproto.FlagLast
 		}
@@ -297,7 +297,7 @@ func (n *Node) sendMoveFromReq(op *moveOp, got uint32) {
 		Offset: got,
 		Count:  op.size,
 	}
-	pkt.Msg.SetWord(1, op.base)
+	pkt.Msg.SetWord(wordMoveBase, op.base)
 	n.send(pkt, op.peer.Host())
 }
 
@@ -358,7 +358,7 @@ func (n *Node) handleMoveToData(pkt *vproto.Packet) {
 		n.stats.badPackets.Add(1)
 		return
 	}
-	base := pkt.Msg.Word(1)
+	base := pkt.Msg.Word(wordMoveBase)
 	if uint64(base)+uint64(pkt.Count) > uint64(len(ps.seg.Data)) ||
 		uint64(pkt.Offset)+uint64(len(pkt.Data)) > uint64(pkt.Count) {
 		pt.mu.Unlock()
@@ -461,7 +461,7 @@ func (n *Node) handleMoveFromReq(pkt *vproto.Packet) {
 		n.stats.badPackets.Add(1)
 		return
 	}
-	base := pkt.Msg.Word(1)
+	base := pkt.Msg.Word(wordMoveBase)
 	if uint64(base)+uint64(pkt.Count) > uint64(len(ps.seg.Data)) {
 		pt.mu.Unlock()
 		n.stats.badPackets.Add(1)

@@ -41,7 +41,7 @@ func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
 		Src:   p.pid,
 		Flags: vproto.FlagScopeRemote,
 	}
-	pkt.Msg.SetWord(1, logicalID)
+	pkt.Msg.SetWord(wordNameID, logicalID)
 	f := bufpool.Get(pkt.WireSize())
 	if _, err := pkt.EncodeInto(f.Data); err != nil {
 		f.Release()
@@ -78,7 +78,7 @@ func (p *Proc) GetPid(logicalID uint32, scope Scope) Pid {
 
 // handleGetPid answers broadcast lookups this node can resolve.
 func (n *Node) handleGetPid(pkt *vproto.Packet) {
-	id := pkt.Msg.Word(1)
+	id := pkt.Msg.Word(wordNameID)
 	t := &n.names
 	t.mu.Lock()
 	e, ok := t.names[id]
@@ -91,8 +91,8 @@ func (n *Node) handleGetPid(pkt *vproto.Packet) {
 		Seq:  pkt.Seq,
 		Dst:  pkt.Src,
 	}
-	out.Msg.SetWord(1, id)
-	out.Msg.SetWord(2, uint32(e.pid))
+	out.Msg.SetWord(wordNameID, id)
+	out.Msg.SetWord(wordNamePid, uint32(e.pid))
 	n.send(out, pkt.Src.Host())
 }
 
@@ -132,7 +132,7 @@ func (p *Proc) GetPidAll(logicalID uint32, scope Scope, window time.Duration) []
 		Src:   p.pid,
 		Flags: vproto.FlagScopeRemote,
 	}
-	pkt.Msg.SetWord(1, logicalID)
+	pkt.Msg.SetWord(wordNameID, logicalID)
 	f := bufpool.Get(pkt.WireSize())
 	if _, err := pkt.EncodeInto(f.Data); err != nil {
 		f.Release()
@@ -185,8 +185,8 @@ func (p *Proc) GetPidAll(logicalID uint32, scope Scope, window time.Duration) []
 // (GetPidAll) keeps receiving after the first reply; GetPid waiters
 // simply return on the first pid delivered and deregister themselves.
 func (n *Node) handleGetPidReply(pkt *vproto.Packet) {
-	id := pkt.Msg.Word(1)
-	pid := Pid(pkt.Msg.Word(2))
+	id := pkt.Msg.Word(wordNameID)
+	pid := Pid(pkt.Msg.Word(wordNamePid))
 	t := &n.names
 	t.mu.Lock()
 	ws := append([]chan Pid(nil), t.lookups[id]...)

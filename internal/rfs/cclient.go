@@ -184,7 +184,8 @@ func (c *CachingClient) callbackLoop(p *ipc.Proc) {
 			_ = p.Reply(&reply, src)
 			continue
 		}
-		if vol := msg.Word(6); vol != c.vol {
+		version, vol := parseInvalidate(&msg)
+		if vol != c.vol {
 			// Another volume's callback (a registration left behind on a
 			// server this client failed away from): acknowledge so the
 			// writer is not held up, but touch nothing — this client's
@@ -193,7 +194,6 @@ func (c *CachingClient) callbackLoop(p *ipc.Proc) {
 			_ = p.Reply(&reply, src)
 			continue
 		}
-		version := msg.Word(5)
 		c.callbacks.Add(1)
 		if count == InvalidateAll {
 			c.cache.InvalidateFile(file)
@@ -250,7 +250,7 @@ func (c *CachingClient) ensure(file uint32) bool {
 		return false
 	}
 	_, version := parseReply(&m)
-	lease := time.Duration(m.Word(3)) * time.Millisecond
+	lease := time.Duration(registerLease(&m)) * time.Millisecond
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -356,10 +356,10 @@ func (c *CachingClient) CreateFile(file uint32, size uint32) error {
 // callback also drops its blocks unconditionally, so gaps there are
 // harmless; only this no-callback path needs the contiguity proof.)
 func (c *CachingClient) noteWriteVersion(file uint32, m *ipc.Message) {
-	if m.Word(4) == 0 {
+	v, tracked := writeVersion(m)
+	if !tracked {
 		return
 	}
-	v := m.Word(3)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fs := c.files[file]

@@ -159,3 +159,46 @@ func buildReply(status, count uint32) ipc.Message {
 func parseReply(m *ipc.Message) (status, count uint32) {
 	return m.Word(1), m.Word(2)
 }
+
+// buildInvalidate assembles an OpInvalidate callback. Callbacks reuse
+// the request layout but word 5 carries the file's post-write version,
+// so the volume rides in word 6 — callbacks grant no segment, leaving
+// the descriptor words free.
+func buildInvalidate(vol, file, first, count, version uint32) ipc.Message {
+	m := buildRequest(0, OpInvalidate, file, first, count)
+	m.SetWord(5, version)
+	m.SetWord(6, vol)
+	return m
+}
+
+// parseInvalidate decodes the callback-specific words of an
+// OpInvalidate message (the op/file/block/count words go through
+// parseRequest as usual).
+func parseInvalidate(m *ipc.Message) (version, vol uint32) {
+	return m.Word(5), m.Word(6)
+}
+
+// stampRegisterLease records the registration lease (milliseconds) in
+// an OpRegisterCache reply; word 2 already carries the version.
+func stampRegisterLease(m *ipc.Message, leaseMs uint32) { m.SetWord(3, leaseMs) }
+
+// registerLease reads the lease (milliseconds) from an OpRegisterCache
+// reply.
+func registerLease(m *ipc.Message) uint32 { return m.Word(3) }
+
+// stampWriteVersion marks a write reply with the file's post-write
+// cache version: word 3 is the version, word 4 = 1 flags that the file
+// is version-tracked.
+func stampWriteVersion(m *ipc.Message, version uint32) {
+	m.SetWord(3, version)
+	m.SetWord(4, 1)
+}
+
+// writeVersion reads a write reply's post-write version; ok reports
+// whether the reply carried one (the file is version-tracked).
+func writeVersion(m *ipc.Message) (version uint32, ok bool) {
+	if m.Word(4) == 0 {
+		return 0, false
+	}
+	return m.Word(3), true
+}

@@ -169,11 +169,7 @@ func (r *cacheRegistry) callbackExchange(job invJob, resCh chan<- invResult) {
 	defer r.node.Detach(p)
 	delay := 200 * time.Microsecond
 	for attempt := 0; ; attempt++ {
-		// Callbacks reuse the request layout but word 5 carries the
-		// version, so the volume rides in word 6 (no segment is granted).
-		m := buildRequest(0, OpInvalidate, job.file, job.first, job.count)
-		m.SetWord(5, job.version)
-		m.SetWord(6, job.vol)
+		m := buildInvalidate(job.vol, job.file, job.first, job.count, job.version)
 		err = p.Send(&m, job.cb, nil)
 		if err == nil {
 			if status, _ := parseReply(&m); status != StatusOK {

@@ -478,6 +478,7 @@ func TestUDPConcurrentClients(t *testing.T) {
 // TestFileStore runs the protocol against the durable, directory-backed
 // store and checks the data survives a store reopen.
 func TestFileStore(t *testing.T) {
+	leakCheck(t)
 	dir := t.TempDir()
 	store, err := NewFileStore(dir)
 	if err != nil {

@@ -500,7 +500,7 @@ func (s *Server) handle(req *request) {
 		// current version and the registration lease in milliseconds.
 		version := s.registry.register(v.id, file, req.src, ipc.Pid(arg))
 		m := buildReply(StatusOK, version)
-		m.SetWord(3, uint32(s.cfg.CacheLease/time.Millisecond))
+		stampRegisterLease(&m, uint32(s.cfg.CacheLease/time.Millisecond))
 		_ = s.proc.Reply(&m, req.src)
 	case OpReleaseCache:
 		s.registry.release(v.id, file, ipc.Pid(arg))
@@ -551,8 +551,7 @@ func (s *Server) replyStatus(src ipc.Pid, status, count uint32) {
 func (s *Server) replyWritten(src ipc.Pid, count, version uint32, tracked bool) {
 	m := buildReply(StatusOK, count)
 	if tracked {
-		m.SetWord(3, version)
-		m.SetWord(4, 1)
+		stampWriteVersion(&m, version)
 	}
 	_ = s.proc.Reply(&m, src)
 }

@@ -310,6 +310,7 @@ func TestWriteLargeScatterUnderFaults(t *testing.T) {
 // must survive Server.Close (which drains the dirty blocks) and a full
 // FileStore reopen.
 func TestWriteBehindDurabilityAcrossReopen(t *testing.T) {
+	leakCheck(t)
 	dir := t.TempDir()
 	store, err := NewFileStore(dir)
 	if err != nil {
