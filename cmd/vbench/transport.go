@@ -1,0 +1,374 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vkernel/internal/ipc"
+	"vkernel/internal/rfs"
+)
+
+// transportConfig parameterizes the wire-transport scenario matrix.
+type transportConfig struct {
+	clients  []int         // concurrent-client counts to sweep
+	duration time.Duration // per-phase measurement window
+	trials   int           // paired trials per scenario (median ratio reported)
+	out      string        // JSON artifact path ("" → stdout only)
+}
+
+// transportResult is one (transport, client-count) cell of the matrix:
+// the best trial per scenario, with that trial's allocation rate.
+type transportResult struct {
+	Transport       string  `json:"transport"`
+	Clients         int     `json:"clients"`
+	PageReadOps     float64 `json:"page_read_ops_per_s"`
+	PageReadAllocs  float64 `json:"page_read_allocs_per_op"`
+	PageWriteOps    float64 `json:"page_write_ops_per_s"`
+	PageWriteAllocs float64 `json:"page_write_allocs_per_op"`
+	Read64KOps      float64 `json:"read_large_64k_ops_per_s"`
+	Read64KAllocs   float64 `json:"read_large_64k_allocs_per_op"`
+}
+
+// transportArtifact is the committed BENCH_transport.json shape.
+// Speedup holds the batched/udp ratio per scenario at the largest
+// client count — the headline the batching work is judged on. Each
+// ratio is the median over paired trials (a udp window immediately
+// followed by a batched window), so slow minutes on a shared host hit
+// both transports rather than skewing one.
+type transportArtifact struct {
+	Bench     string             `json:"bench"`
+	DurationS float64            `json:"duration_s"`
+	Trials    int                `json:"trials"`
+	Results   []transportResult  `json:"results"`
+	Speedup   map[string]float64 `json:"speedup_at_max_clients"`
+}
+
+const (
+	transportFile   = 1
+	transportBlocks = 1024 // 512 KB file: covers 64 KB streamed reads with room for random pages
+)
+
+// transportWire is what both UDP transports provide beyond Transport:
+// the bound address and static peer registration, needed to wire the
+// client and server nodes to each other without a rendezvous service.
+type transportWire interface {
+	ipc.Transport
+	Addr() *net.UDPAddr
+	AddPeer(ipc.LogicalHost, *net.UDPAddr)
+}
+
+// transportScenario is one workload shape of the matrix.
+type transportScenario struct {
+	name string
+	buf  int // per-worker scratch buffer size
+	op   func(*rfs.Client, *rand.Rand, []byte) error
+}
+
+func transportScenarios() []transportScenario {
+	return []transportScenario{
+		{"page_read", 512, func(c *rfs.Client, rng *rand.Rand, buf []byte) error {
+			_, err := c.ReadBlock(transportFile, uint32(rng.Intn(transportBlocks)), buf)
+			return err
+		}},
+		{"page_write", 512, func(c *rfs.Client, rng *rand.Rand, buf []byte) error {
+			return c.WriteBlock(transportFile, uint32(rng.Intn(transportBlocks)), buf)
+		}},
+		{"read_large_64k", 64 << 10, func(c *rfs.Client, rng *rand.Rand, buf []byte) error {
+			// Random 64 KB-aligned offset within the file: streamed
+			// MoveTo chunk trains, the densest burst the transport sees.
+			off := uint32(rng.Intn(transportBlocks*512/len(buf))) * uint32(len(buf))
+			_, err := c.ReadLarge(transportFile, off, buf)
+			return err
+		}},
+	}
+}
+
+// runTransport sweeps the client counts, running plain and batched UDP
+// side by side over the real loopback wire, and writes the artifact.
+// Unlike -shard (device-bound by construction) this workload is
+// deliberately transport-bound: the whole file fits in the server
+// cache, so every op's cost is dominated by kernel crossings — exactly
+// what recvmmsg/sendmmsg batching, the egress coalescer and hot-peer
+// connected sockets are meant to cut.
+func runTransport(cfg transportConfig) error {
+	defer profileTo(os.Getenv("VBENCH_PROFILE"))()
+	art := transportArtifact{
+		Bench:     "udp-transport-batching",
+		DurationS: cfg.duration.Seconds(),
+		Trials:    max(cfg.trials, 1),
+	}
+	for _, n := range cfg.clients {
+		udpRes, batRes, ratios, err := runTransportCell(n, cfg)
+		if err != nil {
+			return fmt.Errorf("%d clients: %w", n, err)
+		}
+		art.Results = append(art.Results, udpRes, batRes)
+		art.Speedup = ratios // overwritten each sweep: the last (max) count stands
+		for _, res := range []transportResult{udpRes, batRes} {
+			fmt.Printf("%-8s clients=%-3d page-read %8.0f ops/s (%5.1f allocs/op)  page-write %8.0f ops/s (%5.1f)  64k-read %7.0f ops/s (%6.1f)\n",
+				res.Transport, n, res.PageReadOps, res.PageReadAllocs,
+				res.PageWriteOps, res.PageWriteAllocs,
+				res.Read64KOps, res.Read64KAllocs)
+		}
+		fmt.Printf("  batched/udp median of %d paired trials: page-read %.2fx  page-write %.2fx  64k-read %.2fx\n",
+			art.Trials, ratios["page_read"], ratios["page_write"], ratios["read_large_64k"])
+	}
+	if cfg.out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.out, append(data, '\n'), 0o644)
+}
+
+// runTransportCell measures one client count: both stacks stand up side
+// by side (an idle transport is just parked goroutines), and every
+// trial runs the plain window immediately followed by the batched
+// window so host-level interference lands on both.
+func runTransportCell(nClients int, cfg transportConfig) (udpRes, batRes transportResult, ratios map[string]float64, err error) {
+	ue, err := newTransportEnv("udp", nClients)
+	if err != nil {
+		return udpRes, batRes, nil, err
+	}
+	defer ue.close()
+	be, err := newTransportEnv("batched", nClients)
+	if err != nil {
+		return udpRes, batRes, nil, err
+	}
+	defer be.close()
+
+	udpRes = transportResult{Transport: "udp", Clients: nClients}
+	batRes = transportResult{Transport: "batched", Clients: nClients}
+	ratios = make(map[string]float64)
+	for _, sc := range transportScenarios() {
+		var bestU, bestB int64
+		var allocsU, allocsB uint64
+		var rs []float64
+		for trial := 0; trial < max(cfg.trials, 1); trial++ {
+			// Alternate which transport goes first so ordering effects
+			// (scheduler warmth, cache state) cancel across trials, and
+			// settle the heap before each window so one phase's garbage
+			// isn't collected on the next phase's clock.
+			envs := [2]*transportEnv{ue, be}
+			if trial%2 == 1 {
+				envs[0], envs[1] = be, ue
+			}
+			var ops [2]int64
+			var allocs [2]uint64
+			for i, env := range envs {
+				runtime.GC()
+				o, a, err := transportPhase(env.clients, cfg.duration, sc.buf, sc.op)
+				if err != nil {
+					return udpRes, batRes, nil, fmt.Errorf("%s %s: %w", env.kind, sc.name, err)
+				}
+				ops[i], allocs[i] = o, a
+			}
+			ou, au, ob, ab := ops[0], allocs[0], ops[1], allocs[1]
+			if trial%2 == 1 {
+				ou, au, ob, ab = ob, ab, ou, au
+			}
+			if ou > bestU {
+				bestU, allocsU = ou, au
+			}
+			if ob > bestB {
+				bestB, allocsB = ob, ab
+			}
+			rs = append(rs, float64(ob)/float64(max(ou, 1)))
+		}
+		secs := cfg.duration.Seconds()
+		udpRes.set(sc.name, float64(bestU)/secs, float64(allocsU)/float64(max(bestU, 1)))
+		batRes.set(sc.name, float64(bestB)/secs, float64(allocsB)/float64(max(bestB, 1)))
+		ratios[sc.name] = median(rs)
+	}
+	_ = ue.clients[0].Sync(0)
+	_ = be.clients[0].Sync(0)
+
+	if bt, ok := be.srvWire.(*ipc.BatchedUDPTransport); ok {
+		ss, cs := bt.Stats(), be.cliWire.(*ipc.BatchedUDPTransport).Stats()
+		fmt.Printf("  batched occupancy: srv rx %.2f/batch tx %.2f/batch | cli rx %.2f/batch tx %.2f/batch\n",
+			float64(ss.Recvs)/float64(max(ss.RecvBatches, 1)),
+			float64(ss.Sends)/float64(max(ss.SendBatches, 1)),
+			float64(cs.Recvs)/float64(max(cs.RecvBatches, 1)),
+			float64(cs.Sends)/float64(max(cs.SendBatches, 1)))
+	}
+	return udpRes, batRes, ratios, nil
+}
+
+// set fills the scenario's columns in the result row.
+func (r *transportResult) set(scenario string, ops, allocs float64) {
+	switch scenario {
+	case "page_read":
+		r.PageReadOps, r.PageReadAllocs = ops, allocs
+	case "page_write":
+		r.PageWriteOps, r.PageWriteAllocs = ops, allocs
+	case "read_large_64k":
+		r.Read64KOps, r.Read64KAllocs = ops, allocs
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// transportEnv is one full client/server stack over one transport kind.
+type transportEnv struct {
+	kind             string
+	srvWire, cliWire transportWire
+	srvNode, cliNode *ipc.Node
+	srv              *rfs.Server
+	procs            []*ipc.Proc
+	clients          []*rfs.Client
+}
+
+// newTransportWire builds one endpoint of the given kind on loopback.
+func newTransportWire(kind string) (transportWire, error) {
+	switch kind {
+	case "udp":
+		return ipc.NewUDPTransport("127.0.0.1:0")
+	case "batched":
+		return ipc.NewBatchedUDPTransport("127.0.0.1:0", ipc.BatchConfig{})
+	}
+	return nil, fmt.Errorf("unknown transport %q", kind)
+}
+
+// newTransportEnv stands up a server node and a client node on the
+// given transport kind, attaches nClients client processes, and warms
+// the server cache (and the batched transport's hot-peer promotion) so
+// measurement windows see steady state.
+func newTransportEnv(kind string, nClients int) (*transportEnv, error) {
+	e := &transportEnv{kind: kind}
+	fail := func(err error) (*transportEnv, error) {
+		e.close()
+		return nil, err
+	}
+	var err error
+	if e.srvWire, err = newTransportWire(kind); err != nil {
+		return fail(err)
+	}
+	e.srvNode = ipc.NewNode(2, e.srvWire, ipc.NodeConfig{})
+
+	ms := rfs.NewMemStore()
+	if err := ms.Create(transportFile, transportBlocks*512); err != nil {
+		return fail(err)
+	}
+	// Cache larger than the file: after warmup no op touches the store,
+	// leaving the wire as the only cost. The worker pool is sized to the
+	// offered load (not the CPU count) so a whole receive batch can be in
+	// service at once — which is also what lets the batched transport's
+	// reply coalescing see the requests of one batch as one gang.
+	if e.srv, err = rfs.Start(e.srvNode, ms, rfs.Config{CacheBlocks: 2 * transportBlocks, Workers: 16}); err != nil {
+		return fail(err)
+	}
+
+	if e.cliWire, err = newTransportWire(kind); err != nil {
+		return fail(err)
+	}
+	e.cliNode = ipc.NewNode(1, e.cliWire, ipc.NodeConfig{})
+	e.cliWire.AddPeer(2, e.srvWire.Addr())
+	e.srvWire.AddPeer(1, e.cliWire.Addr())
+
+	for i := 0; i < nClients; i++ {
+		p, err := e.cliNode.Attach(fmt.Sprintf("tbench%d", i))
+		if err != nil {
+			return fail(err)
+		}
+		e.procs = append(e.procs, p)
+		e.clients = append(e.clients, rfs.NewClient(p, e.srv.Pid()))
+	}
+
+	page := make([]byte, 512)
+	for b := 0; b < transportBlocks; b += 8 {
+		if _, err := e.clients[0].ReadBlock(transportFile, uint32(b), page); err != nil {
+			return fail(err)
+		}
+	}
+	return e, nil
+}
+
+func (e *transportEnv) close() {
+	if e.cliNode != nil {
+		for _, p := range e.procs {
+			e.cliNode.Detach(p)
+		}
+		_ = e.cliNode.Close()
+	}
+	if e.srv != nil {
+		e.srv.Close()
+	}
+	if e.srvNode != nil {
+		_ = e.srvNode.Close()
+	}
+}
+
+// transportPhase drives every client in a goroutine for the window with
+// a per-worker scratch buffer of bufSize bytes, returning total
+// completed ops and the process-wide allocation delta.
+func transportPhase(clients []*rfs.Client, window time.Duration, bufSize int, op func(*rfs.Client, *rand.Rand, []byte) error) (int64, uint64, error) {
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *rfs.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			buf := make([]byte, bufSize)
+			for !stop.Load() {
+				if err := op(c, rng, buf); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				total.Add(1)
+			}
+		}(i, c)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	runtime.ReadMemStats(&after)
+	return total.Load(), after.Mallocs - before.Mallocs, first
+}
+
+// profileTo is a development hook: set VBENCH_PROFILE to a path to
+// capture a CPU profile of the benchmark run.
+func profileTo(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return func() {}
+	}
+	_ = pprof.StartCPUProfile(f)
+	return func() { pprof.StopCPUProfile(); f.Close() }
+}

@@ -44,6 +44,11 @@ func main() {
 		host         = flag.Int("host", 1, "logical host id of this node")
 		listen       = flag.String("listen", "127.0.0.1:0", "UDP listen address")
 		peers        = flag.String("peer", "", "comma-separated host=addr peer list")
+		transport    = flag.String("transport", "udp", "wire transport: udp (per-datagram) or batched (recvmmsg/sendmmsg, reuseport shards, hot-peer sockets)")
+		rxshards     = flag.Int("rxshards", 0, "batched: SO_REUSEPORT rx shard sockets (0 = per-CPU default, capped at 4)")
+		udpqueue     = flag.Int("udpqueue", 0, "dispatch queue depth between socket reads and handler workers (0 = default 512)")
+		udpworkers   = flag.Int("udpworkers", 0, "packet-dispatch worker goroutines (0 = per-CPU default, capped at 16)")
+		adaptiveRTO  = flag.Bool("adaptiverto", false, "per-peer adaptive retransmission timing (smoothed RTT/RTTVAR) instead of the fixed timeout")
 		serve        = flag.Bool("serve", false, "run the file server")
 		volumes      = flag.String("volumes", "", "server: comma-separated volume ids to host (empty = the single default volume)")
 		storeDir     = flag.String("store", "", "server: directory for the file-backed store (empty = in-memory)")
@@ -64,7 +69,30 @@ func main() {
 	)
 	flag.Parse()
 
-	tr, err := ipc.NewUDPTransport(*listen)
+	// Both wire transports register peers and expose their bound address
+	// the same way; everything past construction is Transport-agnostic.
+	type wireTransport interface {
+		ipc.Transport
+		Addr() *net.UDPAddr
+		AddPeer(ipc.LogicalHost, *net.UDPAddr)
+	}
+	var tr wireTransport
+	var err error
+	switch *transport {
+	case "udp":
+		tr, err = ipc.NewUDPTransportConfig(*listen, ipc.UDPConfig{
+			QueueDepth: *udpqueue,
+			Workers:    *udpworkers,
+		})
+	case "batched":
+		tr, err = ipc.NewBatchedUDPTransport(*listen, ipc.BatchConfig{
+			Shards:     *rxshards,
+			QueueDepth: *udpqueue,
+			Workers:    *udpworkers,
+		})
+	default:
+		err = fmt.Errorf("unknown -transport %q (want udp or batched)", *transport)
+	}
 	fatalIf(err)
 	for _, spec := range strings.Split(*peers, ",") {
 		if spec == "" {
@@ -80,9 +108,9 @@ func main() {
 		fatalIf(err)
 		tr.AddPeer(ipc.LogicalHost(h), addr)
 	}
-	node := ipc.NewNode(ipc.LogicalHost(*host), tr, ipc.NodeConfig{})
+	node := ipc.NewNode(ipc.LogicalHost(*host), tr, ipc.NodeConfig{AdaptiveRTO: *adaptiveRTO})
 	defer node.Close()
-	fmt.Printf("vnode: host %d listening on %v\n", *host, tr.Addr())
+	fmt.Printf("vnode: host %d listening on %v (%s transport)\n", *host, tr.Addr(), *transport)
 
 	if *serve {
 		runServer(node, *volumes, *storeDir, rfs.Config{

@@ -77,8 +77,21 @@ const (
 
 // NodeConfig tunes a node; the zero value gets defaults.
 type NodeConfig struct {
-	// RetransmitTimeout is the kernel-level retransmission period.
+	// RetransmitTimeout is the kernel-level retransmission period. With
+	// AdaptiveRTO it is the initial per-peer timeout, used until the
+	// first clean round-trip sample.
 	RetransmitTimeout time.Duration
+	// AdaptiveRTO replaces the fixed retransmission period with
+	// per-peer Jacobson/Karn timing: clean Send→Reply round trips feed
+	// a smoothed RTT/RTTVAR per peer, the timeout is srtt + 4·rttvar
+	// clamped to [MinRTO, MaxRTO], and timeout retransmissions back the
+	// peer off exponentially until a clean sample lands (see rtt.go).
+	AdaptiveRTO bool
+	// MinRTO floors the adaptive timeout (0 = 1ms) so a microsecond
+	// loopback estimate cannot arm degenerate timers.
+	MinRTO time.Duration
+	// MaxRTO caps the adaptive timeout and its backoff (0 = 3s).
+	MaxRTO time.Duration
 	// Retries bounds retransmissions before a Send fails (§3.2's N).
 	Retries int
 	// AlienDescriptors bounds the remote-sender descriptor pool.
@@ -104,6 +117,12 @@ type NodeConfig struct {
 func (c NodeConfig) withDefaults() NodeConfig {
 	if c.RetransmitTimeout == 0 {
 		c.RetransmitTimeout = 50 * time.Millisecond
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 3 * time.Second
 	}
 	if c.Retries == 0 {
 		c.Retries = 5
@@ -155,4 +174,15 @@ type Transport interface {
 	SetHandler(h func(frame *bufpool.Buf))
 	// Close releases transport resources.
 	Close() error
+}
+
+// BufSender is an optional Transport fast path for senders whose frames
+// already live in pooled buffers. SendBuf borrows f for the duration of
+// the call exactly like Send borrows its slice — the caller keeps its
+// reference and releases it on its own schedule — but a transport that
+// defers the transmit (egress coalescing) retains f across the queue
+// instead of copying the bytes into a fresh frame. For bulk-transfer
+// chunk trains that removes a full payload copy per datagram.
+type BufSender interface {
+	SendBuf(to LogicalHost, f *bufpool.Buf) error
 }

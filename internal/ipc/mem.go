@@ -14,7 +14,8 @@ type FaultConfig struct {
 	DropProb    float64       // lose the packet
 	DupProb     float64       // deliver it twice
 	CorruptProb float64       // flip a byte (caught by the packet checksum)
-	MaxDelay    time.Duration // uniform random delivery delay (reorders)
+	Delay       time.Duration // fixed delivery delay (one-way link latency)
+	MaxDelay    time.Duration // uniform random delivery delay on top (reorders)
 }
 
 // MemNetwork is an in-process datagram mesh connecting Nodes, with
@@ -30,6 +31,7 @@ type FaultConfig struct {
 type MemNetwork struct {
 	mu     sync.Mutex
 	cfg    FaultConfig
+	links  map[memLink]FaultConfig // per-directed-link overrides
 	rng    *rand.Rand
 	ports  map[LogicalHost]*memPort
 	closed bool
@@ -78,6 +80,12 @@ type memDelivery struct {
 	buf  *bufpool.Buf // the queue's reference, released after handling
 }
 
+// memLink names one direction of a host pair, so fault profiles can be
+// asymmetric (a lossy slow uplink against a clean return path).
+type memLink struct {
+	from, to LogicalHost
+}
+
 type memPort struct {
 	net     *MemNetwork
 	host    LogicalHost
@@ -100,6 +108,19 @@ func NewMemNetwork(seed int64, cfg FaultConfig) *MemNetwork {
 		go m.worker()
 	}
 	return m
+}
+
+// SetLinkFault overrides the mesh-wide fault profile for the directed
+// link from→to. Asymmetric WAN conditions — say 100 ms and 12 % loss
+// toward a far server but a clean return path — are two calls with
+// different configs. A zero config makes the link ideal.
+func (m *MemNetwork) SetLinkFault(from, to LogicalHost, cfg FaultConfig) {
+	m.mu.Lock()
+	if m.links == nil {
+		m.links = make(map[memLink]FaultConfig)
+	}
+	m.links[memLink{from, to}] = cfg
+	m.mu.Unlock()
 }
 
 // Transport attaches a new port for the given host.
@@ -161,7 +182,7 @@ func (m *MemNetwork) enqueue(d memDelivery) {
 }
 
 // deliver applies fault injection and schedules the packet for the target.
-func (m *MemNetwork) deliver(to LogicalHost, pkt []byte) {
+func (m *MemNetwork) deliver(from, to LogicalHost, pkt []byte) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -172,7 +193,13 @@ func (m *MemNetwork) deliver(to LogicalHost, pkt []byte) {
 		m.mu.Unlock()
 		return
 	}
-	if m.cfg == (FaultConfig{}) {
+	cfg := m.cfg
+	if m.links != nil {
+		if override, ok := m.links[memLink{from, to}]; ok {
+			cfg = override
+		}
+	}
+	if cfg == (FaultConfig{}) {
 		// Fault-free fast path (the benchmark configuration): one pooled
 		// copy, scheduled directly, no shipment bookkeeping.
 		buf := bufpool.Get(len(pkt))
@@ -183,9 +210,9 @@ func (m *MemNetwork) deliver(to LogicalHost, pkt []byte) {
 		return
 	}
 	copies := 1
-	if m.cfg.DropProb > 0 && m.rng.Float64() < m.cfg.DropProb {
+	if cfg.DropProb > 0 && m.rng.Float64() < cfg.DropProb {
 		copies = 0
-	} else if m.cfg.DupProb > 0 && m.rng.Float64() < m.cfg.DupProb {
+	} else if cfg.DupProb > 0 && m.rng.Float64() < cfg.DupProb {
 		copies = 2
 	}
 	type shipment struct {
@@ -198,12 +225,12 @@ func (m *MemNetwork) deliver(to LogicalHost, pkt []byte) {
 		// and fault injection mutates per copy), recycled after dispatch.
 		buf := bufpool.Get(len(pkt))
 		copy(buf.Data, pkt)
-		if m.cfg.CorruptProb > 0 && m.rng.Float64() < m.cfg.CorruptProb {
+		if cfg.CorruptProb > 0 && m.rng.Float64() < cfg.CorruptProb {
 			buf.Data[m.rng.Intn(len(buf.Data))] ^= 0xA5
 		}
-		var d time.Duration
-		if m.cfg.MaxDelay > 0 {
-			d = time.Duration(m.rng.Int63n(int64(m.cfg.MaxDelay)))
+		d := cfg.Delay
+		if cfg.MaxDelay > 0 {
+			d += time.Duration(m.rng.Int63n(int64(cfg.MaxDelay)))
 		}
 		ships = append(ships, shipment{buf: buf, delay: d})
 	}
@@ -235,7 +262,7 @@ func (p *memPort) handle(f *bufpool.Buf) {
 
 // Send implements Transport.
 func (p *memPort) Send(to LogicalHost, pkt []byte) error {
-	p.net.deliver(to, pkt)
+	p.net.deliver(p.host, to, pkt)
 	return nil
 }
 
@@ -250,7 +277,7 @@ func (p *memPort) Broadcast(pkt []byte) error {
 	}
 	p.net.mu.Unlock()
 	for _, h := range hosts {
-		p.net.deliver(h, pkt)
+		p.net.deliver(p.host, h, pkt)
 	}
 	return nil
 }

@@ -1,0 +1,47 @@
+//go:build !(linux && (amd64 || 386 || arm || arm64 || riscv64 || loong64))
+
+// Portable fallback for BatchedUDPTransport: without recvmmsg/sendmmsg
+// and SO_REUSEPORT the transport degrades to one socket doing
+// per-datagram I/O — semantically identical to UDPTransport, so the
+// tree builds and behaves the same everywhere.
+
+package ipc
+
+import (
+	"errors"
+	"net"
+
+	"vkernel/internal/bufpool"
+)
+
+const batchingAvailable = false
+
+type mmsgState struct{}
+
+func (st *mmsgState) init(conn *net.UDPConn, batch int, connected bool) {}
+
+func listenBatch(listen string, shards int) ([]*net.UDPConn, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return []*net.UDPConn{conn}, nil
+}
+
+func dialHot(local, peer *net.UDPAddr) (*net.UDPConn, error) {
+	return nil, errors.New("ipc: connected hot-peer sockets require linux")
+}
+
+func (s *batchSock) readBatch(frames []*bufpool.Buf, peers *peerTable) (int, error) {
+	return s.readOne(frames, peers)
+}
+
+func (s *batchSock) writeBatch(msgs []txMsg) {
+	for _, m := range msgs {
+		_ = s.writeOne(m.frame.Data, m.addr)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build linux && 386
+
+package ipc
+
+// recvmmsg/sendmmsg syscall numbers for the x86-32 ABI.
+const (
+	sysRecvmmsg = 337
+	sysSendmmsg = 345
+)

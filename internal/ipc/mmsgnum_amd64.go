@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package ipc
+
+// recvmmsg/sendmmsg syscall numbers for the x86-64 ABI; the frozen
+// syscall package predates sendmmsg, so they are declared here.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

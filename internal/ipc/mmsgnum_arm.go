@@ -1,0 +1,9 @@
+//go:build linux && arm
+
+package ipc
+
+// recvmmsg/sendmmsg syscall numbers for the 32-bit ARM EABI.
+const (
+	sysRecvmmsg = 365
+	sysSendmmsg = 374
+)

@@ -1,0 +1,13 @@
+//go:build linux && (arm64 || riscv64 || loong64)
+
+package ipc
+
+// recvmmsg/sendmmsg syscall numbers from the asm-generic table, shared
+// by every Linux architecture added after it existed (arm64, riscv64,
+// loong64). Legacy ABIs with their own tables (mips, ppc64, s390x) are
+// excluded from the fast path by mmsg_linux.go's build tags and take
+// the portable per-datagram fallback instead.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

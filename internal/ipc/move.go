@@ -197,7 +197,7 @@ func (n *Node) runMove(op *moveOp) error {
 	}
 	op.seq = n.nextSeq()
 	err := n.moves.add(op, func() *time.Timer {
-		return time.AfterFunc(n.cfg.RetransmitTimeout, func() { n.moveTimeout(op) })
+		return time.AfterFunc(n.rtoFor(op.peer.Host()), func() { n.moveTimeout(op) })
 	})
 	if err != nil {
 		return err
@@ -281,7 +281,7 @@ func (n *Node) streamMoveTo(op *moveOp, from uint32) {
 			f.Release()
 			panic("ipc: " + err.Error())
 		}
-		_ = n.transport.Send(op.peer.Host(), f.Data)
+		n.xmit(op.peer.Host(), f)
 		f.Release()
 	}
 }
@@ -332,7 +332,8 @@ func (n *Node) moveTimeout(op *moveOp) {
 		n.sendMoveFromReq(op, got)
 	}
 	op.io.RUnlock()
-	op.timer.Reset(n.cfg.RetransmitTimeout)
+	n.bumpRTO(op.peer.Host())
+	op.timer.Reset(n.rtoFor(op.peer.Host()))
 }
 
 // moveToTargetLocked locates the pending Send whose process granted the
@@ -447,7 +448,7 @@ func (n *Node) handleMoveAck(pkt *vproto.Packet) {
 	t.mu.Unlock()
 	n.streamMoveTo(op, resume)
 	op.io.RUnlock()
-	op.timer.Reset(n.cfg.RetransmitTimeout)
+	op.timer.Reset(n.rtoFor(op.peer.Host()))
 }
 
 // handleMoveFromReq streams the requested range back; the data packets
@@ -540,6 +541,6 @@ func (n *Node) handleMoveFromData(pkt *vproto.Packet) {
 		t.mu.Unlock()
 		// Gap at end of stream: re-request from the last received byte.
 		n.sendMoveFromReq(op, got)
-		op.timer.Reset(n.cfg.RetransmitTimeout)
+		op.timer.Reset(n.rtoFor(op.peer.Host()))
 	}
 }

@@ -24,6 +24,9 @@ type Node struct {
 	host      LogicalHost
 	cfg       NodeConfig
 	transport Transport
+	// sendBuf is the transport's zero-copy frame path, nil when the
+	// transport only takes byte slices (resolved once at construction).
+	sendBuf BufSender
 
 	closed    atomic.Bool
 	nextLocal atomic.Uint32
@@ -34,6 +37,7 @@ type Node struct {
 	pending pendingTable
 	moves   moveTable
 	names   nameTable
+	rtt     rttTable
 
 	stats nodeCounters
 }
@@ -50,6 +54,7 @@ type NodeStats struct {
 	BadPackets        int
 	MoveOps           int
 	MoveBytes         int64
+	RTTSamples        int
 }
 
 type nameEntry struct {
@@ -107,6 +112,15 @@ type pendingSend struct {
 	retries int
 	timer   *time.Timer
 	done    bool
+	// sentAt stamps the first transmission for RTT sampling (zero when
+	// the node is not doing adaptive timing). retransmitted marks the
+	// exchange tainted for Karn's rule: unlike retries, it is never
+	// reset by ReplyPending, so a reply to an exchange that was ever
+	// retransmitted — ambiguous about which copy it answers — is never
+	// sampled. Guarded by the pendingTable lock; the owner reads them
+	// race-free after the exchange completes.
+	sentAt        time.Time
+	retransmitted bool
 }
 
 // barrier orders in-flight segment copies (inbound MoveTo data landing in
@@ -144,11 +158,13 @@ func NewNode(host LogicalHost, tr Transport, cfg NodeConfig) *Node {
 		cfg:       cfg.withDefaults(),
 		transport: tr,
 	}
+	n.sendBuf, _ = tr.(BufSender)
 	n.procs.init()
 	n.aliens.init()
 	n.pending.init()
 	n.moves.init()
 	n.names.init()
+	n.rtt.init()
 	// Local ids start at a random point in the 16-bit space, so a node
 	// rebooted on the same logical host is unlikely to mint the pids its
 	// previous incarnation held (§3.1's "unlikely to be reused soon").
@@ -264,15 +280,27 @@ func (n *Node) lookupProc(pid Pid) (*Proc, bool) { return n.procs.get(pid) }
 
 // send encodes into a pooled frame and transmits it to the destination
 // host; the frame is recycled as soon as the transport hands it back
-// (Transport.Send borrows, never keeps).
+// (both transmit paths borrow — a coalescing transport retains its own
+// reference if it queues the frame).
 func (n *Node) send(pkt *vproto.Packet, to LogicalHost) {
 	f := bufpool.Get(pkt.WireSize())
 	if _, err := pkt.EncodeInto(f.Data); err != nil {
 		f.Release()
 		panic("ipc: " + err.Error())
 	}
-	_ = n.transport.Send(to, f.Data)
+	n.xmit(to, f)
 	f.Release()
+}
+
+// xmit transmits an encoded pooled frame, taking the transport's
+// zero-copy frame path when it offers one. The frame is borrowed either
+// way; the caller keeps (and eventually releases) its reference.
+func (n *Node) xmit(to LogicalHost, f *bufpool.Buf) {
+	if n.sendBuf != nil {
+		_ = n.sendBuf.SendBuf(to, f)
+		return
+	}
+	_ = n.transport.Send(to, f.Data)
 }
 
 // handlePacket is the transport upcall. Transports may invoke it from
@@ -349,7 +377,7 @@ func (n *Node) handleSend(pkt *vproto.Packet, f *bufpool.Buf) {
 					t.lruTouchLocked(a)
 					t.mu.Unlock()
 					n.stats.remoteReplies.Add(1)
-					_ = n.transport.Send(pkt.Src.Host(), reply.Data)
+					n.xmit(pkt.Src.Host(), reply)
 					reply.Release()
 					return
 				}
@@ -503,14 +531,21 @@ func (n *Node) retransmit(ps *pendingSend) {
 		ps.replyCh <- sendResult{err: ErrTimeout}
 		return
 	}
-	// Pin the encoded frame across the transmit: the owner releases it
-	// as soon as the exchange completes, which can race this timer.
+	ps.retransmitted = true
+	// Pin the encoded frame across the transmit, and snapshot the fields
+	// used after the unlock: the owner releases the frame — and, since
+	// descriptors are reused, may re-initialize the whole pendingSend for
+	// its next exchange — as soon as this one completes, which can race
+	// everything below.
 	f := ps.frame.Retain()
+	dst := ps.dst
+	timer := ps.timer
 	t.mu.Unlock()
 	n.stats.retransmits.Add(1)
-	_ = n.transport.Send(ps.dst.Host(), f.Data)
+	n.bumpRTO(dst.Host())
+	n.xmit(dst.Host(), f)
 	f.Release()
-	ps.timer.Reset(n.cfg.RetransmitTimeout)
+	timer.Reset(n.rtoFor(dst.Host()))
 }
 
 func (n *Node) String() string {

@@ -78,10 +78,24 @@ type Proc struct {
 	resendMu    sync.Mutex
 	resendTimer *time.Timer
 	resendPS    *pendingSend
+
+	// psend is the per-process exchange descriptor, reused across Sends
+	// for the same at-most-one-outstanding reason as sendRes and
+	// resendTimer: a fresh heap pendingSend per remote Send is an
+	// allocation on the page-exchange fast path. Its per-exchange fields
+	// are rewritten only inside pendingTable.add's critical section, and
+	// concurrent consumers (retransmit, reply dispatch, move handlers)
+	// only touch a descriptor they validated as live under that same
+	// lock — so no straggler from a finished exchange can observe the
+	// next exchange's re-initialization. A stale retransmit-timer fire
+	// that validates after the descriptor was re-registered retransmits
+	// the new exchange early, which the receiver's duplicate filter
+	// absorbs (and Karn's rule then skips the RTT sample).
+	psend pendingSend
 }
 
 func newProc(n *Node, pid Pid, name string) *Proc {
-	return &Proc{
+	p := &Proc{
 		node:       n,
 		pid:        pid,
 		name:       name,
@@ -90,6 +104,9 @@ func newProc(n *Node, pid Pid, name string) *Proc {
 		received:   make(map[Pid]*envelope),
 		sendRes:    make(chan sendResult, 1),
 	}
+	p.psend.proc = p
+	p.psend.replyCh = p.sendRes
+	return p
 }
 
 // SetQueueLimit overrides the node-wide FCFS receive-queue bound for this
@@ -105,12 +122,13 @@ func (p *Proc) SetQueueLimit(n int) {
 // arms it, creating the timer on the first remote Send. It returns the
 // timer so completion paths can Stop it through ps.timer as before.
 func (p *Proc) armResend(ps *pendingSend) *time.Timer {
+	rto := p.node.rtoFor(ps.dst.Host())
 	p.resendMu.Lock()
 	p.resendPS = ps
 	if p.resendTimer == nil {
-		p.resendTimer = time.AfterFunc(p.node.cfg.RetransmitTimeout, p.resendFire)
+		p.resendTimer = time.AfterFunc(rto, p.resendFire)
 	} else {
-		p.resendTimer.Reset(p.node.cfg.RetransmitTimeout)
+		p.resendTimer.Reset(rto)
 	}
 	t := p.resendTimer
 	p.resendMu.Unlock()
@@ -258,23 +276,43 @@ func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 		f.Release()
 		return err
 	}
-	ps := &pendingSend{
-		seq:     pkt.Seq,
-		proc:    p,
-		dst:     dst,
-		frame:   f,
-		seg:     seg,
-		replyCh: p.sendRes,
+	// The process's reusable exchange descriptor (see the psend field
+	// comment). Its per-exchange fields are (re)written inside add's
+	// critical section: a stale timer fire validates the descriptor by
+	// reading ps.seq under the same lock, so initializing outside it
+	// would race.
+	var sentAt time.Time
+	if n.cfg.AdaptiveRTO {
+		sentAt = time.Now()
 	}
-	if err := n.pending.add(ps, func() *time.Timer { return p.armResend(ps) }); err != nil {
+	ps := &p.psend
+	if err := n.pending.add(ps, func() *time.Timer {
+		ps.seq = pkt.Seq
+		ps.dst = dst
+		ps.frame = f
+		ps.seg = seg
+		ps.retries = 0
+		ps.done = false
+		ps.sentAt = sentAt
+		ps.retransmitted = false
+		return p.armResend(ps)
+	}); err != nil {
 		f.Release()
 		return err
 	}
 	n.stats.remoteSends.Add(1)
 
-	_ = n.transport.Send(dst.Host(), f.Data)
+	n.xmit(dst.Host(), f)
 	res := <-ps.replyCh
 	f.Release() // exchange over; in-flight retransmits hold their own refs
+	// A clean (never retransmitted — Karn) completed round trip is an
+	// RTT sample for this peer. Reading ps.retransmitted here is
+	// race-free: it only changes under the pendingTable lock before the
+	// exchange is taken, and the result-channel receive orders that
+	// before this read.
+	if res.err == nil && !ps.sentAt.IsZero() && !ps.retransmitted {
+		n.observeRTT(dst.Host(), time.Since(ps.sentAt))
+	}
 	// ReplyWithSegment data lands in the granted segment straight from
 	// the retained receive frame.
 	if res.err == nil && len(res.data) > 0 && seg != nil && seg.Access&SegWrite != 0 {
@@ -477,7 +515,7 @@ func (n *Node) remoteReply(p *Proc, msg *Message, a *alien, destOff uint32, data
 	}
 	n.aliens.cacheReply(a, f)
 	n.stats.remoteReplies.Add(1)
-	_ = n.transport.Send(a.src.Host(), f.Data)
+	n.xmit(a.src.Host(), f)
 	f.Release()
 	return nil
 }

@@ -1,0 +1,153 @@
+package ipc
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-peer adaptive retransmission timing (NodeConfig.AdaptiveRTO).
+//
+// The paper ran on one Ethernet, where a fixed retransmission interval
+// is fine; spread the same protocol across links of very different
+// latency and a single knob is always wrong — too short for the WAN
+// peer (spurious retransmissions that the duplicate filter then has to
+// absorb), too long for the LAN peer (slow loss recovery). So each peer
+// gets the classic Jacobson/Karn treatment:
+//
+//   - observe: clean Send→Reply round trips (never retransmitted
+//     exchanges — Karn's rule, since a reply to a retransmitted Send is
+//     ambiguous about which copy it answers) update the smoothed RTT
+//     and its variance with the standard 1/8 and 1/4 gains.
+//   - rto: srtt + 4·rttvar, clamped to [MinRTO, MaxRTO], doubled per
+//     backoff step. Before the first sample the configured
+//     RetransmitTimeout serves as the initial estimate.
+//   - bump: each timeout retransmission doubles the peer's timeout
+//     (capped) until a clean sample resets it. Without this, an initial
+//     estimate below the peer's true RTT would retransmit every
+//     exchange forever and — by Karn's rule — never sample at all; the
+//     backoff climbs above the true RTT in a few exchanges, a clean
+//     round trip gets through, and the estimator takes over.
+
+// rtoBackoffMax caps the exponential backoff at 2^6 = 64× so a loss
+// burst cannot push the timeout into minutes.
+const rtoBackoffMax = 6
+
+// rttEstimator is one peer's timing state, guarded by rttTable.mu.
+type rttEstimator struct {
+	srtt    time.Duration
+	rttvar  time.Duration
+	backoff uint
+	samples int64
+}
+
+// rttTable maps peers to their estimators. It is a leaf lock: nothing
+// is acquired under it.
+type rttTable struct {
+	mu sync.Mutex
+	m  map[LogicalHost]*rttEstimator
+}
+
+func (t *rttTable) init() { t.m = make(map[LogicalHost]*rttEstimator) }
+
+func (t *rttTable) estimatorLocked(host LogicalHost) *rttEstimator {
+	e := t.m[host]
+	if e == nil {
+		e = &rttEstimator{}
+		t.m[host] = e
+	}
+	return e
+}
+
+// observe folds in one clean round-trip sample and clears the backoff.
+func (t *rttTable) observe(host LogicalHost, rtt time.Duration) {
+	t.mu.Lock()
+	e := t.estimatorLocked(host)
+	if e.samples == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+	} else {
+		diff := e.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.samples++
+	e.backoff = 0
+	t.mu.Unlock()
+}
+
+// bump doubles the peer's timeout after a timeout retransmission.
+func (t *rttTable) bump(host LogicalHost) {
+	t.mu.Lock()
+	e := t.estimatorLocked(host)
+	if e.backoff < rtoBackoffMax {
+		e.backoff++
+	}
+	t.mu.Unlock()
+}
+
+// rto computes the peer's current retransmission timeout.
+func (t *rttTable) rto(host LogicalHost, initial, floor, ceil time.Duration) time.Duration {
+	t.mu.Lock()
+	e := t.m[host]
+	d := initial
+	var backoff uint
+	if e != nil {
+		backoff = e.backoff
+		if e.samples > 0 {
+			d = e.srtt + 4*e.rttvar
+		}
+	}
+	t.mu.Unlock()
+	if d < floor {
+		d = floor
+	}
+	d <<= backoff
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
+
+// snapshot reports a peer's current estimate (for tests and stats).
+func (t *rttTable) snapshot(host LogicalHost) (srtt, rttvar time.Duration, samples int64) {
+	t.mu.Lock()
+	if e := t.m[host]; e != nil {
+		srtt, rttvar, samples = e.srtt, e.rttvar, e.samples
+	}
+	t.mu.Unlock()
+	return
+}
+
+// rtoFor is the timeout to arm for the next (re)transmission to host.
+func (n *Node) rtoFor(host LogicalHost) time.Duration {
+	if !n.cfg.AdaptiveRTO {
+		return n.cfg.RetransmitTimeout
+	}
+	return n.rtt.rto(host, n.cfg.RetransmitTimeout, n.cfg.MinRTO, n.cfg.MaxRTO)
+}
+
+// observeRTT feeds one clean Send→Reply round trip into host's estimator.
+func (n *Node) observeRTT(host LogicalHost, rtt time.Duration) {
+	if !n.cfg.AdaptiveRTO {
+		return
+	}
+	n.stats.rttSamples.Add(1)
+	n.rtt.observe(host, rtt)
+}
+
+// bumpRTO backs off host's timeout after a timeout retransmission.
+func (n *Node) bumpRTO(host LogicalHost) {
+	if !n.cfg.AdaptiveRTO {
+		return
+	}
+	n.rtt.bump(host)
+}
+
+// PeerRTT reports the smoothed round-trip estimate for a peer host and
+// how many clean samples back it (zero values before the first sample).
+func (n *Node) PeerRTT(host LogicalHost) (srtt, rttvar time.Duration, samples int64) {
+	return n.rtt.snapshot(host)
+}

@@ -16,6 +16,7 @@ type nodeCounters struct {
 	badPackets        atomic.Int64
 	moveOps           atomic.Int64
 	moveBytes         atomic.Int64
+	rttSamples        atomic.Int64
 }
 
 // snapshot materializes the exported NodeStats view.
@@ -31,5 +32,6 @@ func (c *nodeCounters) snapshot() NodeStats {
 		BadPackets:        int(c.badPackets.Load()),
 		MoveOps:           int(c.moveOps.Load()),
 		MoveBytes:         c.moveBytes.Load(),
+		RTTSamples:        int(c.rttSamples.Load()),
 	}
 }

@@ -186,15 +186,20 @@ type pendingTable struct {
 func (t *pendingTable) init() { t.m = make(map[uint32]*pendingSend) }
 
 // add registers ps and arms its retransmission timer atomically, so a
-// reply processed concurrently can never observe a nil timer.
+// reply processed concurrently can never observe a nil timer. The arm
+// callback runs inside the critical section and is also where the caller
+// (re)initializes the descriptor's per-exchange fields: processes reuse
+// one pendingSend across Sends, and every concurrent consumer validates
+// a descriptor under this lock before touching it, so the re-init must
+// be ordered by the same lock.
 func (t *pendingTable) add(ps *pendingSend, arm func() *time.Timer) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return ErrClosed
 	}
+	ps.timer = arm() // first: arm initializes ps.seq before the insert reads it
 	t.m[ps.seq] = ps
-	ps.timer = arm()
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package ipc
 
 import (
-	"encoding/binary"
 	"fmt"
 	"net"
 	"runtime"
@@ -18,6 +17,27 @@ import (
 // dropped — the protocol recovers by retransmission, as it does for any
 // datagram loss).
 const udpQueueDepth = 512
+
+// UDPConfig tunes a UDPTransport; the zero value gets the defaults that
+// used to be compile-time constants.
+type UDPConfig struct {
+	// QueueDepth bounds datagrams buffered between the socket read loop
+	// and the handler workers (0 = 512).
+	QueueDepth int
+	// Workers sizes the packet-dispatch pool (0 = one per CPU, min 2,
+	// capped at 16).
+	Workers int
+}
+
+func (c UDPConfig) withDefaults() UDPConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = udpQueueDepth
+	}
+	if c.Workers <= 0 {
+		c.Workers = dispatchWorkers(16)
+	}
+	return c
+}
 
 // dispatchWorkers sizes a packet-dispatch pool: one worker per available
 // CPU, at least 2, and at most limit when limit > 0 (so a large host does
@@ -51,12 +71,17 @@ func dispatchWorkers(limit int) int {
 // never touches a frame after handing it off, so a worker can never
 // observe a recycled buffer mid-dispatch — the lifetime audit is the ref
 // count.
+//
+// This transport pays one kernel crossing per datagram in each
+// direction; BatchedUDPTransport amortizes those crossings with
+// recvmmsg/sendmmsg vectors on Linux.
 type UDPTransport struct {
 	conn    *net.UDPConn
+	cfg     UDPConfig
 	handler atomic.Pointer[func(*bufpool.Buf)]
+	peers   peerTable
 
 	mu      sync.Mutex
-	peers   map[LogicalHost]*net.UDPAddr
 	closed  bool
 	started bool
 	queue   chan *bufpool.Buf
@@ -64,9 +89,16 @@ type UDPTransport struct {
 }
 
 // NewUDPTransport opens a UDP socket on the given address (use
-// "127.0.0.1:0" for tests). The read loop starts when SetHandler installs
-// the upcall, so no packet can arrive before there is a handler for it.
+// "127.0.0.1:0" for tests) with default tuning. The read loop starts when
+// SetHandler installs the upcall, so no packet can arrive before there is
+// a handler for it.
 func NewUDPTransport(listen string) (*UDPTransport, error) {
+	return NewUDPTransportConfig(listen, UDPConfig{})
+}
+
+// NewUDPTransportConfig is NewUDPTransport with explicit queue and
+// worker-pool tuning.
+func NewUDPTransportConfig(listen string, cfg UDPConfig) (*UDPTransport, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("ipc: resolve %q: %w", listen, err)
@@ -75,11 +107,14 @@ func NewUDPTransport(listen string) (*UDPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipc: listen %q: %w", listen, err)
 	}
-	return &UDPTransport{
+	cfg = cfg.withDefaults()
+	t := &UDPTransport{
 		conn:  conn,
-		peers: make(map[LogicalHost]*net.UDPAddr),
-		queue: make(chan *bufpool.Buf, udpQueueDepth),
-	}, nil
+		cfg:   cfg,
+		queue: make(chan *bufpool.Buf, cfg.QueueDepth),
+	}
+	t.peers.init()
+	return t, nil
 }
 
 // Addr returns the transport's bound UDP address.
@@ -87,9 +122,7 @@ func (t *UDPTransport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDP
 
 // AddPeer registers the network address of a logical host.
 func (t *UDPTransport) AddPeer(host LogicalHost, addr *net.UDPAddr) {
-	t.mu.Lock()
-	t.peers[host] = addr
-	t.mu.Unlock()
+	t.peers.add(host, addr)
 }
 
 // readLoop pulls datagrams off the socket and feeds the worker pool. It
@@ -109,7 +142,7 @@ func (t *UDPTransport) readLoop() {
 			return // closed
 		}
 		f.Data = f.Data[:n]
-		t.learn(f.Data, from)
+		t.peers.learn(f.Data, from)
 		t.queue <- f
 	}
 }
@@ -128,32 +161,15 @@ func (t *UDPTransport) worker() {
 	}
 }
 
-// learn discovers logical-host-to-network-address correspondences from
-// received packets (§3.1), so replies to broadcast lookups and messages
-// from previously unknown peers can be unicast.
-func (t *UDPTransport) learn(pkt []byte, from *net.UDPAddr) {
-	if len(pkt) < 12 || pkt[1] != vproto.Version {
-		return
-	}
-	src := vproto.Pid(binary.BigEndian.Uint32(pkt[8:12]))
-	host := src.Host()
-	if host == 0 {
-		return
-	}
-	t.mu.Lock()
-	t.peers[host] = from
-	t.mu.Unlock()
-}
-
 // Send implements Transport.
 func (t *UDPTransport) Send(to LogicalHost, pkt []byte) error {
 	t.mu.Lock()
-	addr := t.peers[to]
 	closed := t.closed
 	t.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
+	addr := t.peers.get(to)
 	if addr == nil {
 		// Unknown host: broadcast, as the kernel does (§3.1).
 		return t.Broadcast(pkt)
@@ -162,24 +178,26 @@ func (t *UDPTransport) Send(to LogicalHost, pkt []byte) error {
 	return err
 }
 
-// Broadcast implements Transport.
+// Broadcast implements Transport. Delivery is best effort per peer: one
+// unreachable address must not starve the rest of the mesh (a broadcast
+// name lookup still has to reach the peers that can answer), so errors
+// are collected rather than aborting the sweep, and the first one is
+// returned. The address snapshot is cached in the peer table and reused
+// until AddPeer or learning actually changes the peer set.
 func (t *UDPTransport) Broadcast(pkt []byte) error {
 	t.mu.Lock()
-	addrs := make([]*net.UDPAddr, 0, len(t.peers))
-	for _, a := range t.peers {
-		addrs = append(addrs, a)
-	}
 	closed := t.closed
 	t.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
-	for _, a := range addrs {
-		if _, err := t.conn.WriteToUDP(pkt, a); err != nil {
-			return err
+	var first error
+	for _, a := range t.peers.snapshot() {
+		if _, err := t.conn.WriteToUDP(pkt, a); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
 
 // SetHandler implements Transport. The first call starts the read loop
@@ -191,7 +209,7 @@ func (t *UDPTransport) SetHandler(h func(*bufpool.Buf)) {
 	} else {
 		t.handler.Store(&h)
 	}
-	workers := dispatchWorkers(16)
+	workers := t.cfg.Workers
 	t.mu.Lock()
 	start := !t.started && !t.closed
 	if start {

@@ -300,7 +300,7 @@ func (c *CachingClient) WriteBlock(file, block uint32, data []byte) error {
 	registered := c.ensure(file)
 	gen := c.cache.Snapshot(file, block)
 	m := c.request(OpWriteBlock, file, block, uint32(len(data)))
-	if err := c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
+	if err := c.exchangeOp(&m, c.segment(data, ipc.SegRead)); err != nil {
 		return err
 	}
 	c.noteWriteVersion(file, &m)
@@ -317,7 +317,7 @@ func (c *CachingClient) WriteBlock(file, block uint32, data []byte) error {
 func (c *CachingClient) WriteLarge(file, off uint32, data []byte) error {
 	c.ensure(file)
 	m := c.request(OpWriteLarge, file, off, uint32(len(data)))
-	if err := c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead}); err != nil {
+	if err := c.exchangeOp(&m, c.segment(data, ipc.SegRead)); err != nil {
 		return err
 	}
 	c.noteWriteVersion(file, &m)

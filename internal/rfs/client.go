@@ -64,6 +64,17 @@ type Client struct {
 	// sleep is the backoff hook; tests substitute a recording no-op so
 	// retry schedules stay deterministic and instantaneous.
 	sleep func(time.Duration)
+	// scratch is the reusable segment descriptor for the I/O stubs: a
+	// Client is single-threaded with at most one exchange in flight, so
+	// one descriptor serves every op without a per-call allocation (the
+	// pointer escapes into the kernel's pending-exchange state).
+	scratch ipc.Segment
+}
+
+// segment points the client's scratch descriptor at data and returns it.
+func (c *Client) segment(data []byte, access byte) *ipc.Segment {
+	c.scratch = ipc.Segment{Data: data, Access: access}
+	return &c.scratch
 }
 
 // NewClient binds stubs for the calling process to the given server pid
@@ -244,7 +255,7 @@ func (c *Client) exchangeOp(m *ipc.Message, seg *ipc.Segment) error {
 // page (§3.4). It returns the byte count the server sent.
 func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 	m := c.request(OpReadBlock, file, block, uint32(len(dst)))
-	if err := c.exchangeOp(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+	if err := c.exchangeOp(&m, c.segment(dst, ipc.SegWrite)); err != nil {
 		return 0, err
 	}
 	_, n := parseReply(&m)
@@ -257,7 +268,7 @@ func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 // write-back.
 func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 	m := c.request(OpWriteBlock, file, block, uint32(len(data)))
-	return c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead})
+	return c.exchangeOp(&m, c.segment(data, ipc.SegRead))
 }
 
 // ReadLarge reads up to len(dst) bytes starting at byte offset off into
@@ -265,7 +276,7 @@ func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 // (§6.3); the count returned is how many bytes the file held.
 func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 	m := c.request(OpReadLarge, file, off, uint32(len(dst)))
-	if err := c.exchangeOp(&m, &ipc.Segment{Data: dst, Access: ipc.SegWrite}); err != nil {
+	if err := c.exchangeOp(&m, c.segment(dst, ipc.SegWrite)); err != nil {
 		return 0, err
 	}
 	_, n := parseReply(&m)
@@ -276,7 +287,7 @@ func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 // it with scatter MoveFrom in transfer-unit chunks.
 func (c *Client) WriteLarge(file, off uint32, data []byte) error {
 	m := c.request(OpWriteLarge, file, off, uint32(len(data)))
-	return c.exchangeOp(&m, &ipc.Segment{Data: data, Access: ipc.SegRead})
+	return c.exchangeOp(&m, c.segment(data, ipc.SegRead))
 }
 
 // QueryFile returns a file's size in bytes (staged write-behind
@@ -303,7 +314,7 @@ func (c *Client) CreateFile(file uint32, size uint32) error {
 func (c *Client) QueryVolumes() ([]uint32, error) {
 	buf := make([]byte, vproto.MaxData)
 	m := c.request(OpQueryVolumes, 0, 0, uint32(len(buf)))
-	if err := c.exchangeOp(&m, &ipc.Segment{Data: buf, Access: ipc.SegWrite}); err != nil {
+	if err := c.exchangeOp(&m, c.segment(buf, ipc.SegWrite)); err != nil {
 		return nil, err
 	}
 	_, n := parseReply(&m)

@@ -413,7 +413,8 @@ func (s *Server) Close() {
 // serve is the receive loop: it pulls exchanges off the process queue and
 // hands them to the worker pool. Each request gets its own pooled staging
 // buffer because workers process them concurrently; the worker returns it
-// after handling.
+// after handling. The most common exchange — a cache-hit page read — is
+// answered inline instead, without the queue hop.
 func (s *Server) serve(p *ipc.Proc) {
 	defer close(s.queue)
 	for {
@@ -423,10 +424,49 @@ func (s *Server) serve(p *ipc.Proc) {
 			f.Release()
 			return
 		}
+		if n == 0 && s.fastRead(&msg, src) {
+			f.Release()
+			continue
+		}
 		req := requestPool.Get().(*request)
 		*req = request{msg: msg, src: src, frame: f, buf: f.Data, inline: n}
 		s.queue <- req
 	}
+}
+
+// fastRead serves a cache-hit OpReadBlock directly from the receive
+// loop, the way the V kernel handles its dominant exchange in the
+// packet-reception path rather than waking a server process (§6's
+// page-transfer special casing). The saving is one queue hop and one
+// goroutine wakeup per hot read. Everything on this path must be
+// non-blocking: one cache mutex and the reply transmit. Anything
+// else — a miss that needs the store, an unknown volume, a malformed
+// count, or a ReadAhead config whose prefetch probes store sizes
+// synchronously — returns false and takes the worker path.
+func (s *Server) fastRead(msg *ipc.Message, src ipc.Pid) bool {
+	op, file, block, count := parseRequest(msg)
+	if op != OpReadBlock || count > uint32(s.cfg.BlockSize) || s.cfg.ReadAhead {
+		return false
+	}
+	v := s.volumes[reqVolume(msg)]
+	if v == nil {
+		return false
+	}
+	b, _, ok := v.cache.getEnd(blockID{file: file, block: block})
+	if !ok {
+		return false
+	}
+	s.stats.requests.Add(1)
+	s.stats.pageReads.Add(1)
+	s.stats.bytesRead.Add(int64(count))
+	reply := buildReply(StatusOK, count)
+	err := s.proc.ReplyWithSegment(&reply, src, 0, b.Data[:count])
+	b.Release()
+	if err != nil {
+		// The client's grant was missing or too small: answer without data.
+		s.replyStatus(src, StatusBadRequest, 0)
+	}
+	return true
 }
 
 func (s *Server) worker() {

@@ -116,13 +116,7 @@ func TestDecodeRejectsOversizedDataLen(t *testing.T) {
 	grown[24] = byte(bigLen >> 8)
 	grown[25] = byte(bigLen & 0xFF)
 	grown[28], grown[29], grown[30], grown[31] = 0, 0, 0, 0
-	var sum uint32
-	for i, b := range grown {
-		if i >= 28 && i < 32 {
-			continue
-		}
-		sum = sum*31 + uint32(b)
-	}
+	sum := checksum(grown)
 	grown[28] = byte(sum >> 24)
 	grown[29] = byte(sum >> 16)
 	grown[30] = byte(sum >> 8)

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Pid is a 32-bit globally unique process identifier. The high-order 16
@@ -308,17 +309,34 @@ func DecodeInto(p *Packet, buf []byte) error {
 	return nil
 }
 
-// checksum is a simple 32-bit ones'-complement-style sum over the packet
-// with the checksum field treated as zero. It exists to let transports and
-// tests detect corruption; the simulated Ethernet models corruption
-// out-of-band.
+// checksum folds the packet (minus the checksum field itself) eight
+// bytes at a time, rotating the accumulator between words so
+// transpositions change the result. It exists to let transports and
+// tests detect corruption — any single-byte flip changes its word by a
+// nonzero delta, which no rotation can cancel — and it runs an order of
+// magnitude faster than a byte-wise loop, which matters because every
+// datagram is summed twice (encode and decode) on the hot path.
 func checksum(buf []byte) uint32 {
-	var sum uint32
-	for i, b := range buf {
-		if i >= 28 && i < 32 {
-			continue
-		}
-		sum = sum*31 + uint32(b)
+	// The 28 header bytes before the checksum field, then everything
+	// after it.
+	sum := sumWords(0, buf[:min(28, len(buf))])
+	if len(buf) > 32 {
+		sum = sumWords(sum, buf[32:])
+	}
+	return uint32(sum>>32) ^ uint32(sum)
+}
+
+// sumWords folds b into sum as big-endian 64-bit words, zero-padding the
+// tail.
+func sumWords(sum uint64, b []byte) uint64 {
+	for len(b) >= 8 {
+		sum = bits.RotateLeft64(sum, 13) + binary.BigEndian.Uint64(b)
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		sum = bits.RotateLeft64(sum, 13) + binary.BigEndian.Uint64(tail[:])
 	}
 	return sum
 }
