@@ -9,7 +9,7 @@ GO ?= go
 # stable local numbers.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet lint fmt-check crosscheck bench bench-ipc bench-rfs bench-alloc bench-ccache bench-shard bench-transport check
+.PHONY: all build test race vet lint fmt-check crosscheck bench bench-ipc bench-rfs bench-alloc bench-ccache bench-shard bench-transport bench-replica check
 
 all: build test
 
@@ -82,5 +82,17 @@ TRANSPORTTRIALS ?= 5
 bench-transport:
 	$(GO) run ./cmd/vbench -transport -transport-duration $(TRANSPORTTIME) \
 		-transport-trials $(TRANSPORTTRIALS) -transport-out BENCH_transport.json
+
+# Replication: device-bound read throughput at 1/2/3 copies of one
+# volume (reads spread over the in-sync set) plus kill-the-primary
+# failover gaps — time from the kill to the first successful read and
+# write. REPLICATIME is the per-point read window and REPLICATRIALS the
+# failover trial count (shrunk in CI smoke runs; defaults for committed
+# numbers in BENCH_replica.json).
+REPLICATIME ?= 1500ms
+REPLICATRIALS ?= 3
+bench-replica:
+	$(GO) run ./cmd/vbench -replica -replica-duration $(REPLICATIME) \
+		-replica-trials $(REPLICATRIALS) -replica-out BENCH_replica.json
 
 check: build lint fmt-check test race

@@ -15,6 +15,18 @@
 //
 //	vnode -host 2 -listen 127.0.0.1:4040 -serve -volumes 1,3
 //
+// Replicated pair: host 2 is volume 1's primary keeping one replica in
+// sync, host 3 hosts that replica (volume:replica-id syntax) and
+// promotes itself if the primary's lease lapses:
+//
+//	vnode -host 2 -listen 127.0.0.1:4040 -serve -volumes 1 -replicas 1
+//	vnode -host 3 -listen 127.0.0.1:4041 -peer 2=127.0.0.1:4040 -serve -volumes 1:1
+//
+// Restarting a crashed primary into a cluster where a replica may have
+// promoted (-rejoin demotes it to a replica instead of split-braining):
+//
+//	vnode -host 2 -listen 127.0.0.1:4040 -peer 3=127.0.0.1:4041 -serve -volumes 1 -replicas 1 -rejoin
+//
 // Client:
 //
 //	vnode -host 1 -listen 127.0.0.1:0 -peer 2=127.0.0.1:4040 -reads 1000 -large 65536
@@ -43,14 +55,16 @@ func main() {
 	var (
 		host         = flag.Int("host", 1, "logical host id of this node")
 		listen       = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		peers        = flag.String("peer", "", "comma-separated host=addr peer list")
+		peers        peerList
 		transport    = flag.String("transport", "udp", "wire transport: udp (per-datagram) or batched (recvmmsg/sendmmsg, reuseport shards, hot-peer sockets)")
 		rxshards     = flag.Int("rxshards", 0, "batched: SO_REUSEPORT rx shard sockets (0 = per-CPU default, capped at 4)")
 		udpqueue     = flag.Int("udpqueue", 0, "dispatch queue depth between socket reads and handler workers (0 = default 512)")
 		udpworkers   = flag.Int("udpworkers", 0, "packet-dispatch worker goroutines (0 = per-CPU default, capped at 16)")
 		adaptiveRTO  = flag.Bool("adaptiverto", false, "per-peer adaptive retransmission timing (smoothed RTT/RTTVAR) instead of the fixed timeout")
 		serve        = flag.Bool("serve", false, "run the file server")
-		volumes      = flag.String("volumes", "", "server: comma-separated volume ids to host (empty = the single default volume)")
+		volumes      = flag.String("volumes", "", "server: comma-separated volumes to host — 'id' for a primary, 'id:rid' for read replica rid of volume id (empty = the single default volume)")
+		nreplicas    = flag.Int("replicas", 0, "server: read replicas each hosted primary keeps in sync (0 = replication off)")
+		rejoin       = flag.Bool("rejoin", false, "server: primaries probe the name service first and demote to replicas if another server already owns the volume (restart after failover)")
 		storeDir     = flag.String("store", "", "server: directory for the file-backed store (empty = in-memory)")
 		cacheBlks    = flag.Int("cache", 1024, "server: block-cache capacity in blocks")
 		readahead    = flag.Bool("readahead", false, "server: prefetch the next block after each page read")
@@ -66,7 +80,9 @@ func main() {
 		clientCache  = flag.Bool("clientcache", false, "client: enable the local block cache with server-driven invalidation")
 		ccBlocks     = flag.Int("ccblocks", 0, "client: local cache capacity in blocks (0 = default 256)")
 		volumeID     = flag.Int("volume", -1, "client: route to this volume id via the name service (-1 = legacy single-server discovery)")
+		spreadReads  = flag.Bool("spreadreads", false, "client: round-robin reads over the volume's in-sync replica set (requires -volume)")
 	)
+	flag.Var(&peers, "peer", "host=addr peer entry; repeatable, and each may be a comma-separated list")
 	flag.Parse()
 
 	// Both wire transports register peers and expose their bound address
@@ -94,10 +110,7 @@ func main() {
 		err = fmt.Errorf("unknown -transport %q (want udp or batched)", *transport)
 	}
 	fatalIf(err)
-	for _, spec := range strings.Split(*peers, ",") {
-		if spec == "" {
-			continue
-		}
+	for _, spec := range peers {
 		parts := strings.SplitN(spec, "=", 2)
 		if len(parts) != 2 {
 			fatalIf(fmt.Errorf("bad -peer entry %q", spec))
@@ -113,7 +126,7 @@ func main() {
 	fmt.Printf("vnode: host %d listening on %v (%s transport)\n", *host, tr.Addr(), *transport)
 
 	if *serve {
-		runServer(node, *volumes, *storeDir, rfs.Config{
+		runServer(node, *volumes, *storeDir, *nreplicas, *rejoin, rfs.Config{
 			CacheBlocks:  *cacheBlks,
 			ReadAhead:    *readahead,
 			WriteThrough: *writeThrough,
@@ -124,43 +137,91 @@ func main() {
 		})
 		return
 	}
-	runClient(node, uint32(*fileID), *reads, *writes, *large, *clientCache, *ccBlocks, *volumeID)
+	runClient(node, uint32(*fileID), *reads, *writes, *large, *clientCache, *ccBlocks, *volumeID, *spreadReads)
 }
 
-// parseVolumes turns the -volumes flag into volume ids. An empty flag
-// means the pre-sharding shape: one server, one DefaultVolume.
-func parseVolumes(spec string) []uint32 {
-	if spec == "" {
-		return []uint32{rfs.DefaultVolume}
+// peerList accumulates -peer flags: the flag is repeatable (the usage
+// examples above pass it once per peer) and each occurrence may itself
+// be a comma-separated host=addr list.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, e := range strings.Split(v, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			*p = append(*p, e)
+		}
 	}
-	var ids []uint32
+	return nil
+}
+
+// volEntry is one parsed -volumes entry: a primary ('7') or a read
+// replica ('7:2' — replica id 2 of volume 7).
+type volEntry struct {
+	id  uint32
+	rid uint32 // 0 = primary
+}
+
+// parseVolumes turns the -volumes flag into volume entries. An empty
+// flag means the pre-sharding shape: one server, one DefaultVolume.
+func parseVolumes(spec string) []volEntry {
+	if spec == "" {
+		return []volEntry{{id: rfs.DefaultVolume}}
+	}
+	var out []volEntry
 	for _, f := range strings.Split(spec, ",") {
-		id, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+		f = strings.TrimSpace(f)
+		var e volEntry
+		idPart, ridPart, isReplica := strings.Cut(f, ":")
+		id, err := strconv.ParseUint(idPart, 10, 32)
 		if err != nil {
 			fatalIf(fmt.Errorf("bad -volumes entry %q: %w", f, err))
 		}
-		ids = append(ids, uint32(id))
+		e.id = uint32(id)
+		if isReplica {
+			rid, err := strconv.ParseUint(ridPart, 10, 32)
+			if err != nil || rid == 0 {
+				fatalIf(fmt.Errorf("bad -volumes replica entry %q (want vol:rid with rid >= 1)", f))
+			}
+			e.rid = uint32(rid)
+		}
+		out = append(out, e)
 	}
-	return ids
+	return out
 }
 
-func runServer(node *ipc.Node, volumeSpec, storeDir string, cfg rfs.Config) {
-	ids := parseVolumes(volumeSpec)
-	vols := make([]rfs.VolumeSpec, 0, len(ids))
-	for _, id := range ids {
+func runServer(node *ipc.Node, volumeSpec, storeDir string, nreplicas int, rejoin bool, cfg rfs.Config) {
+	entries := parseVolumes(volumeSpec)
+	vols := make([]rfs.VolumeSpec, 0, len(entries))
+	var ids []uint32
+	for _, e := range entries {
+		ids = append(ids, e.id)
 		var store rfs.Store
 		if storeDir == "" {
 			store = rfs.NewMemStore()
 		} else {
-			// Each volume is its own "disk": a subdirectory so two volumes
-			// never alias the same backing files.
-			dir := filepath.Join(storeDir, fmt.Sprintf("vol%d", id))
-			fs, err := rfs.NewFileStore(dir)
+			// Each copy is its own "disk": a subdirectory so two volumes
+			// (or a primary and a replica of different volumes) never
+			// alias the same backing files.
+			name := fmt.Sprintf("vol%d", e.id)
+			if e.rid != 0 {
+				name = fmt.Sprintf("vol%d.r%d", e.id, e.rid)
+			}
+			fs, err := rfs.NewFileStore(filepath.Join(storeDir, name))
 			fatalIf(err)
 			store = fs
 		}
 		defer store.Close()
-		vols = append(vols, rfs.VolumeSpec{ID: id, Store: store})
+		spec := rfs.VolumeSpec{ID: e.id, Store: store}
+		if e.rid != 0 {
+			spec.Role = rfs.RoleReplica
+			spec.ReplicaID = e.rid
+		} else {
+			spec.Replicas = nreplicas
+			spec.Rejoin = rejoin && nreplicas > 0
+		}
+		vols = append(vols, spec)
 	}
 	if storeDir == "" {
 		fmt.Printf("vnode: serving volumes %v from in-memory stores\n", ids)
@@ -184,7 +245,7 @@ func runServer(node *ipc.Node, volumeSpec, storeDir string, cfg rfs.Config) {
 	fmt.Printf("vnode: shutting down; stats: %+v\n", srv.Stats())
 }
 
-func runClient(node *ipc.Node, file uint32, reads, writes, large int, clientCache bool, ccBlocks, volumeID int) {
+func runClient(node *ipc.Node, file uint32, reads, writes, large int, clientCache bool, ccBlocks, volumeID int, spreadReads bool) {
 	proc, err := node.Attach("client")
 	fatalIf(err)
 	defer node.Detach(proc)
@@ -201,8 +262,15 @@ func runClient(node *ipc.Node, file uint32, reads, writes, large int, clientCach
 		server, err := router.Resolve(uint32(volumeID))
 		fatalIf(err)
 		client = rfs.NewVolumeClient(proc, router, uint32(volumeID))
+		if spreadReads {
+			client.SpreadReads(true)
+			fmt.Println("vnode: reads round-robin over the volume's replica set")
+		}
 		fmt.Printf("vnode: routed volume %d -> %v\n", volumeID, server)
 	} else {
+		if spreadReads {
+			fatalIf(fmt.Errorf("-spreadreads requires -volume routing"))
+		}
 		client, err = rfs.Discover(proc)
 		fatalIf(err)
 		fmt.Printf("vnode: resolved file server -> %v\n", client.Server())

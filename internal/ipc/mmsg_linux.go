@@ -21,8 +21,6 @@ import (
 	"net"
 	"syscall"
 	"unsafe"
-
-	"vkernel/internal/bufpool"
 )
 
 const batchingAvailable = true
@@ -166,24 +164,25 @@ func (st *mmsgState) init(conn *net.UDPConn, batch int, connected bool) {
 	}
 }
 
-// readBatch pulls up to len(frames) datagrams in one recvmmsg crossing.
-// Each frame's Data is resliced to its datagram and its sender learned;
-// frames beyond the returned count are untouched, and their header
-// slots are still armed from the previous call.
-func (s *batchSock) readBatch(frames []*bufpool.Buf, peers *peerTable) (int, error) {
+// readBatch pulls up to len(scratch) datagrams in one recvmmsg crossing
+// into the caller's scratch slabs, recording each datagram's length in
+// lens and learning senders. Slots beyond the returned count are
+// untouched, and their header slots are still armed from the previous
+// call.
+func (s *batchSock) readBatch(scratch [][]byte, lens []int, peers *peerTable) (int, error) {
 	st := &s.mm
 	if st.raw == nil {
-		return s.readOne(frames, peers)
+		return s.readOne(scratch, lens, peers)
 	}
 	for i := 0; i < st.rDirty; i++ {
-		st.riovs[i].Base = &frames[i].Data[0]
-		st.riovs[i].SetLen(len(frames[i].Data))
+		st.riovs[i].Base = &scratch[i][0]
+		st.riovs[i].SetLen(len(scratch[i]))
 		if !st.connected {
 			// The kernel rewrote Namelen on fill; re-arm the full size.
 			st.rhdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(st.rnames[i]))
 		}
 	}
-	st.rN = len(frames)
+	st.rN = len(scratch)
 	st.rErrno = 0
 	if err := st.raw.Read(st.readCB); err != nil {
 		return 0, err // socket closed
@@ -194,7 +193,7 @@ func (s *batchSock) readBatch(frames []*bufpool.Buf, peers *peerTable) (int, err
 	got := st.rGot
 	st.rDirty = got
 	for i := 0; i < got; i++ {
-		frames[i].Data = frames[i].Data[:st.rhdrs[i].msgLen]
+		lens[i] = int(st.rhdrs[i].msgLen)
 		// Consecutive datagrams overwhelmingly share a sender; converting
 		// and learning only when the raw sockaddr changes keeps the hot
 		// path allocation-free. (A transport address carries one logical
@@ -202,7 +201,7 @@ func (s *batchSock) readBatch(frames []*bufpool.Buf, peers *peerTable) (int, err
 		if !st.connected && !sameRawName(&st.rnames[i], &st.lastName) {
 			st.lastName = st.rnames[i]
 			if from := rawToUDPAddr(&st.rnames[i]); from != nil {
-				peers.learn(frames[i].Data, from)
+				peers.learn(scratch[i][:lens[i]], from)
 			}
 		}
 	}

@@ -10,8 +10,6 @@ package ipc
 import (
 	"errors"
 	"net"
-
-	"vkernel/internal/bufpool"
 )
 
 const batchingAvailable = false
@@ -36,8 +34,8 @@ func dialHot(local, peer *net.UDPAddr) (*net.UDPConn, error) {
 	return nil, errors.New("ipc: connected hot-peer sockets require linux")
 }
 
-func (s *batchSock) readBatch(frames []*bufpool.Buf, peers *peerTable) (int, error) {
-	return s.readOne(frames, peers)
+func (s *batchSock) readBatch(scratch [][]byte, lens []int, peers *peerTable) (int, error) {
+	return s.readOne(scratch, lens, peers)
 }
 
 func (s *batchSock) writeBatch(msgs []txMsg) {

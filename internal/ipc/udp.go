@@ -126,22 +126,28 @@ func (t *UDPTransport) AddPeer(host LogicalHost, addr *net.UDPAddr) {
 }
 
 // readLoop pulls datagrams off the socket and feeds the worker pool. It
-// owns the queue and closes it on socket shutdown. Each datagram lands
-// in its own pooled frame whose single reference rides the queue to a
-// worker — no copy, and no reuse until that worker's release. Datagrams
-// larger than a maximal interkernel packet are truncated and fail the
-// decode checksum, as any non-protocol traffic does.
+// owns the queue and closes it on socket shutdown. The socket read lands
+// in a loop-owned scratch buffer, not a pooled frame: a pooled frame
+// posted before the blocking read would stay checked out for as long as
+// the socket sits idle, so an idle transport would pin pool memory
+// forever (and read as a leak to anything auditing Outstanding). Only
+// once a datagram has actually arrived is a pooled frame taken — sized
+// to the datagram, so small packets draw from the small size classes —
+// and its single reference rides the queue to a worker, with no reuse
+// until that worker's release. Datagrams larger than a maximal
+// interkernel packet are truncated and fail the decode checksum, as any
+// non-protocol traffic does.
 func (t *UDPTransport) readLoop() {
 	defer t.wg.Done()
 	defer close(t.queue)
+	scratch := make([]byte, vproto.MaxWireSize)
 	for {
-		f := bufpool.Get(vproto.MaxWireSize)
-		n, from, err := t.conn.ReadFromUDP(f.Data)
+		n, from, err := t.conn.ReadFromUDP(scratch)
 		if err != nil {
-			f.Release()
 			return // closed
 		}
-		f.Data = f.Data[:n]
+		f := bufpool.Get(n)
+		copy(f.Data, scratch[:n])
 		t.peers.learn(f.Data, from)
 		t.queue <- f
 	}

@@ -421,41 +421,38 @@ func (s *batchSock) writeOne(pkt []byte, addr *net.UDPAddr) error {
 }
 
 // readOne is the per-datagram receive shared by the non-Linux build and
-// the fallback when the raw descriptor is unavailable: fill frames[0],
-// learn the sender, report one datagram.
-func (s *batchSock) readOne(frames []*bufpool.Buf, peers *peerTable) (int, error) {
-	f := frames[0]
-	n, from, err := s.conn.ReadFromUDP(f.Data)
+// the fallback when the raw descriptor is unavailable: fill scratch[0],
+// record its length, learn the sender, report one datagram.
+func (s *batchSock) readOne(scratch [][]byte, lens []int, peers *peerTable) (int, error) {
+	n, from, err := s.conn.ReadFromUDP(scratch[0])
 	if err != nil {
 		return 0, err
 	}
-	f.Data = f.Data[:n]
-	peers.learn(f.Data, from)
+	lens[0] = n
+	peers.learn(scratch[0][:n], from)
 	return 1, nil
 }
 
-// rxLoop drives one socket: each iteration tops up the frame vector
-// from the pool, pulls up to Batch datagrams in one kernel crossing,
-// and hands the filled frames' single references to the dispatch queue
-// as one batch (one channel operation per kernel crossing, not per
-// datagram). Frames still in the vector when the socket closes go back
-// to the pool.
+// rxLoop drives one socket: each iteration pulls up to Batch datagrams
+// in one kernel crossing into loop-owned scratch slabs, wraps each in a
+// right-sized pooled frame, and hands the frames' single references to
+// the dispatch queue as one batch (one channel operation per kernel
+// crossing, not per datagram). The recvmmsg vector is backed by the
+// scratch slabs, not pooled frames: recvmmsg needs its buffers posted
+// before the blocking read, and a pooled vector posted that way would
+// stay checked out of the pool for as long as the socket sits idle —
+// Batch frames pinned per socket, reading as a leak to anything
+// auditing bufpool.Outstanding. Pool frames are taken only for
+// datagrams that actually arrived.
 func (t *BatchedUDPTransport) rxLoop(s *batchSock) {
 	defer t.rxWG.Done()
-	frames := make([]*bufpool.Buf, t.cfg.Batch)
-	defer func() {
-		for i, f := range frames {
-			f.Release()
-			frames[i] = nil
-		}
-	}()
+	scratch := make([][]byte, t.cfg.Batch)
+	for i := range scratch {
+		scratch[i] = make([]byte, vproto.MaxWireSize)
+	}
+	lens := make([]int, t.cfg.Batch)
 	for {
-		for i := range frames {
-			if frames[i] == nil {
-				frames[i] = bufpool.Get(vproto.MaxWireSize)
-			}
-		}
-		n, err := s.readBatch(frames, &t.peers)
+		n, err := s.readBatch(scratch, lens, &t.peers)
 		if err != nil {
 			return // closed
 		}
@@ -469,9 +466,10 @@ func (t *BatchedUDPTransport) rxLoop(s *batchSock) {
 			t.rxBurst.Store(v - 1)
 		}
 		batch := make([]*bufpool.Buf, n)
-		copy(batch, frames[:n])
 		for i := 0; i < n; i++ {
-			frames[i] = nil
+			f := bufpool.Get(lens[i])
+			copy(f.Data, scratch[i][:lens[i]])
+			batch[i] = f
 		}
 		t.queue <- batch
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"vkernel/internal/ipc"
@@ -13,9 +14,10 @@ import (
 // RetryPolicy tunes the client stubs' reaction to ipc.ErrOverloaded —
 // the kernel's receive-queue backpressure Nack, which promises the
 // exchange never executed and is safe to retry. Retries back off
-// exponentially (deterministically, no jitter: Delay, 2·Delay, 4·Delay …
-// capped at MaxDelay) so a herd of shedding clients thins out instead of
-// hammering the queue in lockstep.
+// exponentially (Delay, 2·Delay, 4·Delay … capped at MaxDelay), each
+// sleep jittered over the upper half of its nominal value so a herd of
+// shedding clients — sixteen of them rerouting off one dead primary —
+// thins out instead of retrying in lockstep.
 type RetryPolicy struct {
 	// Retries bounds the retry attempts after the first Send; 0 turns
 	// the policy off (ErrOverloaded surfaces to the caller immediately).
@@ -30,6 +32,22 @@ type RetryPolicy struct {
 	// volume moved, or its server died and restarted). 0 turns failover
 	// off; unrouted (fixed-pid) clients ignore it.
 	Reroutes int
+	// NoJitter restores the deterministic backoff schedule (each sleep
+	// exactly the capped power of two) for tests that assert on it.
+	NoJitter bool
+}
+
+// jitter spreads one backoff sleep over [d/2, d]. The attempt counts,
+// doubling and cap stay deterministic — only the slept duration varies —
+// and the sleep hook still receives the final value, so tests that
+// substitute a recording no-op remain schedule-deterministic (or set
+// NoJitter to pin the durations too).
+func (p RetryPolicy) jitter(d time.Duration) time.Duration {
+	if p.NoJitter || d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
 }
 
 // DefaultRetryPolicy is the stubs' out-of-the-box overload behavior:
@@ -60,7 +78,15 @@ type Client struct {
 	// layered state bound to the old server (cache contents, cache
 	// registrations, version baselines) can be discarded.
 	onReroute func(ipc.Pid)
-	retry     RetryPolicy
+	// spreadReads load-balances read ops over the volume's read set
+	// (primary + in-sync replicas) via Router.ResolveRead; writes still
+	// pin to the primary. readOp marks the current op as spreadable and
+	// lastTarget the pid the current exchange went to (so a failed read
+	// can evict exactly the dead member from the read set).
+	spreadReads bool
+	readOp      bool
+	lastTarget  ipc.Pid
+	retry       RetryPolicy
 	// sleep is the backoff hook; tests substitute a recording no-op so
 	// retry schedules stay deterministic and instantaneous.
 	sleep func(time.Duration)
@@ -148,6 +174,16 @@ func (c *Client) SetRetry(p RetryPolicy, sleep func(time.Duration)) {
 	}
 }
 
+// SpreadReads toggles read fan-out for a routed client: reads go to the
+// volume's primary AND its in-sync replicas, round-robin, which is how
+// a read-heavy workload scales with the replica count. Writes (and
+// everything else) still pin to the primary. A replica answers only
+// while in-sync — it then holds every acked write — so spread reads
+// observe write-behind state exactly as primary reads do. Do not
+// combine with CachingClient: its registration protocol lives on the
+// primary. No-op for unrouted clients.
+func (c *Client) SpreadReads(on bool) { c.spreadReads = on }
+
 // Server returns the bound (fixed-pid) or last-routed server pid.
 func (c *Client) Server() ipc.Pid {
 	if c.router != nil {
@@ -169,7 +205,18 @@ func (c *Client) request(op, file, blockOrOff, count uint32) ipc.Message {
 // before any exchange reaches the new server.
 func (c *Client) target() (ipc.Pid, error) {
 	if c.router == nil {
+		c.lastTarget = c.server
 		return c.server, nil
+	}
+	if c.spreadReads && c.readOp {
+		pid, err := c.router.ResolveRead(c.vol)
+		if err != nil {
+			return vproto.Nil, err
+		}
+		// Spread reads bypass the onReroute hook on purpose: rotating
+		// over the read set is not the volume moving.
+		c.lastTarget = pid
+		return pid, nil
 	}
 	pid, err := c.router.Resolve(c.vol)
 	if err != nil {
@@ -179,6 +226,7 @@ func (c *Client) target() (ipc.Pid, error) {
 		c.onReroute(pid)
 	}
 	c.lastPid = pid
+	c.lastTarget = pid
 	return pid, nil
 }
 
@@ -206,7 +254,7 @@ func (c *Client) exchange(m *ipc.Message, seg *ipc.Segment) error {
 			return nil
 		case errors.Is(err, ipc.ErrOverloaded) && attempt < c.retry.Retries:
 			attempt++
-			c.sleep(delay)
+			c.sleep(c.retry.jitter(delay))
 			if delay *= 2; delay > c.retry.MaxDelay {
 				delay = c.retry.MaxDelay
 			}
@@ -214,6 +262,9 @@ func (c *Client) exchange(m *ipc.Message, seg *ipc.Segment) error {
 			(errors.Is(err, ipc.ErrTimeout) || errors.Is(err, ipc.ErrNoProcess)):
 			reroutes++
 			c.router.Invalidate(c.vol)
+			if c.spreadReads && c.readOp {
+				c.router.InvalidateRead(c.vol, pid)
+			}
 		default:
 			return err
 		}
@@ -239,6 +290,11 @@ func (c *Client) exchangeOp(m *ipc.Message, seg *ipc.Segment) error {
 			return nil
 		case status == StatusNoVolume:
 			if c.router != nil && reroutes < c.retry.Reroutes {
+				if c.spreadReads && c.readOp {
+					// A replica that stopped serving (fell out of sync, or
+					// is mid-promotion): evict it and retry the survivors.
+					c.router.InvalidateRead(c.vol, c.lastTarget)
+				}
 				c.router.Invalidate(c.vol)
 				*m = orig
 				continue
@@ -255,7 +311,10 @@ func (c *Client) exchangeOp(m *ipc.Message, seg *ipc.Segment) error {
 // page (§3.4). It returns the byte count the server sent.
 func (c *Client) ReadBlock(file, block uint32, dst []byte) (int, error) {
 	m := c.request(OpReadBlock, file, block, uint32(len(dst)))
-	if err := c.exchangeOp(&m, c.segment(dst, ipc.SegWrite)); err != nil {
+	c.readOp = true
+	err := c.exchangeOp(&m, c.segment(dst, ipc.SegWrite))
+	c.readOp = false
+	if err != nil {
 		return 0, err
 	}
 	_, n := parseReply(&m)
@@ -276,7 +335,10 @@ func (c *Client) WriteBlock(file, block uint32, data []byte) error {
 // (§6.3); the count returned is how many bytes the file held.
 func (c *Client) ReadLarge(file, off uint32, dst []byte) (int, error) {
 	m := c.request(OpReadLarge, file, off, uint32(len(dst)))
-	if err := c.exchangeOp(&m, c.segment(dst, ipc.SegWrite)); err != nil {
+	c.readOp = true
+	err := c.exchangeOp(&m, c.segment(dst, ipc.SegWrite))
+	c.readOp = false
+	if err != nil {
 		return 0, err
 	}
 	_, n := parseReply(&m)
@@ -294,7 +356,10 @@ func (c *Client) WriteLarge(file, off uint32, data []byte) error {
 // extensions included).
 func (c *Client) QueryFile(file uint32) (int, error) {
 	m := c.request(OpQueryFile, file, 0, 0)
-	if err := c.exchangeOp(&m, nil); err != nil {
+	c.readOp = true
+	err := c.exchangeOp(&m, nil)
+	c.readOp = false
+	if err != nil {
 		return 0, err
 	}
 	_, n := parseReply(&m)

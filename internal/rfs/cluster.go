@@ -18,6 +18,12 @@ type ClusterConfig struct {
 	// shards (volume i goes to server i mod Shards). Nil → one volume
 	// per shard, ids 1..Shards.
 	Volumes []uint32
+	// Replicas gives every volume that many read replicas, replica r of
+	// volume i hosted on server (i+r) mod Shards with its own store from
+	// NewStore — so killing the primary's shard leaves r live copies.
+	// Capped at Shards-1 (a replica on the primary's own shard would die
+	// with it). 0 keeps the pre-replication single-copy layout.
+	Replicas int
 	// UDP selects loopback UDP sockets instead of the in-memory mesh.
 	UDP bool
 	// Seed seeds the in-memory mesh's fault rng (0 → 7); Faults is its
@@ -46,7 +52,8 @@ type ClusterServer struct {
 	Node *ipc.Node
 	Srv  *Server
 
-	addr *net.UDPAddr // UDP listen address, rebound on Restart
+	addr *net.UDPAddr      // UDP listen address, rebound on Restart
+	utr  *ipc.UDPTransport // live UDP transport, for peer wiring; nil when dead or on mesh
 }
 
 // Cluster is the multi-server fixture: StartCluster boots the shards,
@@ -86,11 +93,26 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.Mesh = ipc.NewMemNetwork(seed, cfg.Faults)
 	}
+	replicas := cfg.Replicas
+	if replicas > cfg.Shards-1 {
+		replicas = cfg.Shards - 1
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		cs := &ClusterServer{Index: i, Host: ipc.LogicalHost(i + 1)}
 		for j, vol := range cfg.Volumes {
 			if j%cfg.Shards == i {
-				cs.Specs = append(cs.Specs, VolumeSpec{ID: vol, Store: cfg.NewStore(vol)})
+				cs.Specs = append(cs.Specs, VolumeSpec{ID: vol, Store: cfg.NewStore(vol), Replicas: replicas})
+			}
+			// Replica r of volume j lands r shards past its primary.
+			for r := 1; r <= replicas; r++ {
+				if (j+r)%cfg.Shards == i {
+					cs.Specs = append(cs.Specs, VolumeSpec{
+						ID:        vol,
+						Store:     cfg.NewStore(vol),
+						Role:      RoleReplica,
+						ReplicaID: uint32(r),
+					})
+				}
 			}
 		}
 		c.Servers = append(c.Servers, cs)
@@ -115,6 +137,19 @@ func (c *Cluster) boot(cs *ClusterServer) error {
 			return fmt.Errorf("rfs: cluster shard %d: %w", cs.Index, err)
 		}
 		cs.addr = utr.Addr()
+		cs.utr = utr
+		// Cross-wire this shard with every other live shard, both ways:
+		// UDP transports learn peers from inbound datagrams, but the
+		// first server-to-server broadcast (a replica's GetPid for its
+		// primary, a rejoin probe) needs an explicit peer entry to leave
+		// the node at all.
+		for _, other := range c.Servers {
+			if other == cs || other.utr == nil {
+				continue
+			}
+			utr.AddPeer(other.Host, other.addr)
+			other.utr.AddPeer(cs.Host, cs.addr)
+		}
 		tr = utr
 	} else {
 		tr = c.Mesh.Transport(cs.Host)
@@ -124,6 +159,7 @@ func (c *Cluster) boot(cs *ClusterServer) error {
 	if err != nil {
 		_ = cs.Node.Close()
 		cs.Node = nil
+		cs.utr = nil
 		return fmt.Errorf("rfs: cluster shard %d: %w", cs.Index, err)
 	}
 	cs.Srv = srv
@@ -172,15 +208,24 @@ func (c *Cluster) Kill(i int) {
 		_ = cs.Node.Close()
 		cs.Node = nil
 	}
+	cs.utr = nil
 }
 
 // Restart brings a killed shard back on the same host with the same
 // volume stores. The revived server re-registers its volume names, so
-// routed clients re-resolve to it on their next retry.
+// routed clients re-resolve to it on their next retry. Primary-role
+// specs come back with Rejoin set: if a replica promoted while the
+// shard was down, the restarted server demotes itself to a replica of
+// the new primary instead of split-braining the volume.
 func (c *Cluster) Restart(i int) error {
 	cs := c.Servers[i]
 	if cs.Srv != nil {
 		return fmt.Errorf("rfs: cluster shard %d still running", i)
+	}
+	for j := range cs.Specs {
+		if cs.Specs[j].Role == RolePrimary && cs.Specs[j].Replicas > 0 {
+			cs.Specs[j].Rejoin = true
+		}
 	}
 	return c.boot(cs)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"vkernel/internal/bufpool"
 	"vkernel/internal/ipc"
 )
 
@@ -368,6 +369,226 @@ func TestRouterFailoverMem(t *testing.T) {
 func TestRouterFailoverUDP(t *testing.T) {
 	failoverScenario(t, startCluster(t, ClusterConfig{Shards: 2, UDP: true, Node: tightNode()}))
 }
+
+// TestClusterKillRestartLeakUDP: killing a shard under UDP must release
+// every pooled frame the dead server, its node and its transport held —
+// while the rest of the cluster (including a replica promoting itself
+// and clients churning retries against the dead address) keeps running.
+// The mid-test drain check catches leaks Kill would otherwise park
+// until Close; the startCluster leak check covers final teardown.
+func TestClusterKillRestartLeakUDP(t *testing.T) {
+	c := startCluster(t, ClusterConfig{
+		Shards:   2,
+		UDP:      true,
+		Replicas: 1,
+		Node:     tightNode(),
+		Server: Config{
+			ReplicaLease:      150 * time.Millisecond,
+			ReplicaAckTimeout: 50 * time.Millisecond,
+		},
+	})
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	c1 := NewVolumeClient(attach(t, node, "app1"), r, 1)
+	c2 := NewVolumeClient(attach(t, node, "app2"), r, 2)
+	for b := uint32(0); b < 8; b++ {
+		if err := c1.WriteBlock(3, b, pattern(b, 512)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.WriteBlock(3, b, pattern(b+8, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Volume 1's replica (shard 1) must be enrolled in-sync before the
+	// kills, so the later failover pass has something eligible to promote.
+	waitReplicaServing(t, node, c.Servers[1].Srv.Pid(), 3, 7, pattern(7, 512))
+
+	// Kill every shard. With only idle clients left alive, every pooled
+	// frame the dead servers held — block caches, replication logs'
+	// senders, transport read loops, in-flight requests — must come
+	// back to the pool. This is the per-kill leak check; accumulating
+	// frames here would leak once per crash/recovery cycle.
+	c.Kill(0)
+	c.Kill(1)
+	drainDeadline := time.Now().Add(5 * time.Second)
+	for bufpool.Outstanding() != 0 {
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("bufpool leak after kill: %d frames outstanding", bufpool.Outstanding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Both shards come back on their old addresses with their old
+	// stores; the Rejoin probes find no promoted usurper (everyone was
+	// down) so the primaries stay primaries, and the data survived.
+	if err := c.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 512)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := c1.WriteBlock(3, 0, pattern(42, 512)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("volume 1 writes never recovered after restart")
+		}
+	}
+	if _, err := c2.ReadBlock(3, 1, page); err != nil {
+		t.Fatalf("volume 2 after restart: %v", err)
+	}
+	if !bytes.Equal(page, pattern(9, 512)) {
+		t.Fatal("volume 2 corrupted across the kill/restart cycle")
+	}
+
+	// Second cycle, this time a failover: kill volume 1's primary under
+	// an established replica and let the replica promote; the teardown
+	// leak check (startCluster) covers this path's frames.
+	waitReplicaServing(t, node, c.Servers[1].Srv.Pid(), 3, 0, pattern(42, 512))
+	c.Kill(0)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c1.ReadBlock(3, 0, page); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("volume 1 never failed over to its replica")
+		}
+	}
+	if !bytes.Equal(page, pattern(42, 512)) {
+		t.Fatal("promoted replica served wrong bytes")
+	}
+}
+
+// writerCrashFanOutScenario: a caching client crashes while its write's
+// invalidation fan-out is in flight. The registry must not wedge its
+// invalidator pool on the dead client's watcher registration — later
+// writes complete promptly, revoking the unreachable registration —
+// and a surviving client that misses callbacks converges once its
+// lease runs out (fake clocks on both the server registry and the
+// surviving client).
+func writerCrashFanOutScenario(t *testing.T, udp bool) {
+	t.Helper()
+	c := startCluster(t, ClusterConfig{
+		Shards: 1,
+		UDP:    udp,
+		Node:   tightNode(),
+		Server: Config{CacheLease: time.Second},
+	})
+	srv := c.Servers[0].Srv
+
+	// Shared fake clock: the server registry's lease sweeps and the
+	// surviving reader's renewals both follow it.
+	var mu sync.Mutex
+	var skew time.Duration
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return time.Now().Add(skew) }
+	srv.registry.setNow(clock)
+
+	doomedNode := clientNode(t, c)
+	liveNode := clientNode(t, c)
+	liveRouter := newRouter(t, liveNode)
+	doomedRouter := newRouter(t, doomedNode)
+
+	w, err := NewVolumeCachingClient(attach(t, doomedNode, "doomed-writer"), doomedRouter, 1, CacheClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crash is the node dying, not an orderly shutdown — but the
+	// client object itself still owns pooled cache buffers, so release
+	// them at test end (the exchanges inside fail fast on the dead node).
+	t.Cleanup(w.Close)
+	reader, err := NewVolumeCachingClient(attach(t, liveNode, "survivor"), liveRouter, 1, CacheClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reader.Close)
+	reader.setNow(clock)
+	p := NewVolumeClient(attach(t, liveNode, "plain-writer"), liveRouter, 1)
+
+	page := make([]byte, 512)
+	if err := p.WriteBlock(9, 0, versionedPage(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Both caching clients read v1 and register as watchers.
+	if _, err := w.ReadBlock(9, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.ReadBlock(9, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.registry.watcherCount(); got != 2 {
+		t.Fatalf("watchers before the crash: %d, want 2", got)
+	}
+
+	// The doomed writer writes v2 and its node dies while the write —
+	// and the server's invalidation fan-out it triggers — is in flight.
+	var crashWG sync.WaitGroup
+	crashWG.Add(1)
+	go func() {
+		defer crashWG.Done()
+		time.Sleep(time.Millisecond)
+		_ = doomedNode.Close()
+	}()
+	_ = w.WriteBlock(9, 0, versionedPage(0, 2)) // may fail: the node is dying under it
+	crashWG.Wait()
+
+	// The next write's fan-out hits the dead writer's registration. It
+	// must complete promptly — the pool bounds the dead callback and
+	// revokes the registration — and the survivor, whose callback
+	// arrived, converges immediately.
+	start := time.Now()
+	if err := p.WriteBlock(9, 0, versionedPage(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("write wedged behind the crashed writer's watcher: %v", elapsed)
+	}
+	if _, err := reader.ReadBlock(9, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page, versionedPage(0, 3)) {
+		t.Fatal("survivor served stale bytes after the writer crashed")
+	}
+	if got := srv.Stats().CacheCallbackErrs; got == 0 {
+		t.Fatal("fan-out to the dead writer reported no callback error")
+	}
+	// The pool is not wedged: a burst of further writes stays prompt.
+	start = time.Now()
+	for v := uint32(4); v < 9; v++ {
+		if err := p.WriteBlock(9, 0, versionedPage(0, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("invalidator pool wedged: 5 writes took %v", elapsed)
+	}
+
+	// Lease-expiry convergence: the survivor goes quiet past its lease,
+	// the registry sweeps its registration, and a write it never hears
+	// about lands. Its next read must renew, purge, and see fresh bytes
+	// instead of trusting its stale cache.
+	mu.Lock()
+	skew = 10 * time.Second
+	mu.Unlock()
+	if err := p.WriteBlock(9, 0, versionedPage(0, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.ReadBlock(9, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page, versionedPage(0, 9)) {
+		t.Fatal("survivor failed to converge via lease expiry")
+	}
+	if got := srv.Stats().CacheLeaseExpiries; got == 0 {
+		t.Fatal("registry never swept an expired registration")
+	}
+}
+
+func TestWriterCrashFanOutMem(t *testing.T) { writerCrashFanOutScenario(t, false) }
+func TestWriterCrashFanOutUDP(t *testing.T) { writerCrashFanOutScenario(t, true) }
 
 // TestRoutedCachingFailoverReadYourWrites: within a volume, cross-client
 // read-your-writes must hold through a server crash and recovery. Before

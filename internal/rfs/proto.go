@@ -78,6 +78,57 @@ const (
 	// answers regardless of the request's volume word. DiscoverAll plus
 	// one OpQueryVolumes per responder yields the cluster map.
 	OpQueryVolumes uint32 = 11
+
+	// Volume replication protocol. A volume's primary streams every
+	// acked mutation to its read replicas as a sequenced record stream:
+	// the per-volume sequence counter extends the registry's per-file
+	// version counters to a total order over the volume's writes.
+	// Control ops (join/pull/files/heartbeat/query) address the primary
+	// server process and carry the volume in word 5 as usual; the data
+	// ops (OpReplicate/OpRepCreate) address the replica's per-volume
+	// apply process — the volume is implied by the destination pid, which
+	// frees word 5 for the record sequence number.
+
+	// OpRepJoin enrolls a replica with the primary: word 2 = replica id,
+	// word 3 = the replica's last applied sequence, word 4 = segment
+	// length (8: the replica's apply pid and server pid as big-endian
+	// uint32s). The reply (see stampRepJoin) tells the replica whether it
+	// was accepted in-sync (pushed), must pull the gap, or needs a full
+	// snapshot resync.
+	OpRepJoin uint32 = 12
+	// OpRepPull is replica-driven catch-up: word 2 = replica id, word 3 =
+	// first wanted sequence, word 4 = grant length. The primary MoveTo-
+	// streams encoded records (encodeRepRecord) into the grant and the
+	// reply reports bytes, record count and the primary's current
+	// sequence (stampRepPull). StatusRepSnapshot means the log no longer
+	// reaches back that far.
+	OpRepPull uint32 = 13
+	// OpRepFiles enumerates the primary's files for a snapshot resync:
+	// word 4 = grant length; the reply segment carries (file id uint32,
+	// size uint64) pairs, reply word 2 = entry count, word 3 = the
+	// snapshot sequence the enumeration is consistent with.
+	OpRepFiles uint32 = 14
+	// OpRepHeartbeat is the replica's lease renewal on the primary:
+	// word 2 = replica id, word 3 = last applied sequence. The reply
+	// (stampRepHeartbeat) carries the primary's sequence, the current
+	// promotion candidate (lowest in-sync replica id) and whether the
+	// primary still counts the sender as in-sync.
+	OpRepHeartbeat uint32 = 15
+	// OpQueryReplicas asks the volume's primary for the live read set:
+	// the reply segment holds server pids as big-endian uint32s (primary
+	// first, then in-sync replicas), reply word 2 = count. The Router
+	// spreads reads over this set.
+	OpQueryReplicas uint32 = 16
+
+	// OpReplicate pushes one write record to a replica's apply process:
+	// word 2 = file, word 3 = byte offset, word 4 = count, word 5 =
+	// sequence; the data rides inline with the Send, any remainder pulled
+	// with MoveFrom (the page-write pattern). The reply carries the
+	// replica's last applied sequence in word 2.
+	OpReplicate uint32 = 17
+	// OpRepCreate pushes a create/truncate record: word 2 = file,
+	// word 3 = size, word 5 = sequence.
+	OpRepCreate uint32 = 18
 )
 
 // InvalidateAll as an OpInvalidate block count names the whole file
@@ -93,7 +144,19 @@ const (
 	// StatusNoVolume reports that the server does not host the request's
 	// volume — the signal that makes a routed client drop its cached
 	// route and re-discover (the volume moved, or the route was stale).
+	// Replicas answer every mutating op with it (writes pin to the
+	// primary), and a demoted ex-primary answers replication control ops
+	// with it, so the existing reroute machinery covers failover too.
 	StatusNoVolume
+	// StatusRepSnapshot tells a joining or pulling replica that the
+	// primary's catch-up log no longer reaches its last applied
+	// sequence: it must resync from a full snapshot (OpRepFiles + large
+	// reads) before pulling again.
+	StatusRepSnapshot
+	// StatusRepGap is a replica's refusal of an out-of-order push: the
+	// record's sequence is not the next one it expects. The primary
+	// drops the connection; the replica rejoins and pulls the gap.
+	StatusRepGap
 )
 
 // Errors returned by the client stubs.
@@ -202,3 +265,102 @@ func writeVersion(m *ipc.Message) (version uint32, ok bool) {
 	}
 	return m.Word(3), true
 }
+
+// OpRepJoin reply flags (word 3).
+const (
+	// repJoinPush: the replica is enrolled in-sync (or near-sync); the
+	// primary pushes records from lastApplied+1 on.
+	repJoinPush uint32 = 1 << iota
+	// repJoinPull: the replica is enrolled but behind; it must pull the
+	// gap (OpRepPull) and rejoin once caught up.
+	repJoinPull
+)
+
+// stampRepJoin finishes an OpRepJoin reply: word 2 = the primary's
+// current sequence, word 3 = the repJoin decision flags.
+func stampRepJoin(m *ipc.Message, seq, flags uint32) {
+	m.SetWord(2, seq)
+	m.SetWord(3, flags)
+}
+
+// repJoinReply reads an OpRepJoin reply's sequence and decision flags.
+func repJoinReply(m *ipc.Message) (seq, flags uint32) {
+	return m.Word(2), m.Word(3)
+}
+
+// stampRepPull finishes an OpRepPull reply: word 2 = streamed bytes,
+// word 3 = record count, word 4 = the primary's current sequence (so
+// the replica knows when it has drained the gap).
+func stampRepPull(m *ipc.Message, bytes, records, seq uint32) {
+	m.SetWord(2, bytes)
+	m.SetWord(3, records)
+	m.SetWord(4, seq)
+}
+
+// repPullReply reads an OpRepPull reply.
+func repPullReply(m *ipc.Message) (bytes, records, seq uint32) {
+	return m.Word(2), m.Word(3), m.Word(4)
+}
+
+// stampRepFiles finishes an OpRepFiles reply: word 2 = entry count,
+// word 3 = the snapshot sequence the enumeration is consistent with.
+func stampRepFiles(m *ipc.Message, entries, seq uint32) {
+	m.SetWord(2, entries)
+	m.SetWord(3, seq)
+}
+
+// repFilesReply reads an OpRepFiles reply.
+func repFilesReply(m *ipc.Message) (entries, seq uint32) {
+	return m.Word(2), m.Word(3)
+}
+
+// OpRepHeartbeat reply flags (word 4).
+const (
+	// repHBInSync: the primary counts the sender among the in-sync read
+	// set (it may serve reads).
+	repHBInSync uint32 = 1 << iota
+	// repHBUnknown: the primary has no connection for the sender's
+	// replica id (dropped, or the primary restarted) — rejoin.
+	repHBUnknown
+)
+
+// stampRepHeartbeat finishes an OpRepHeartbeat reply: word 2 = the
+// primary's sequence, word 3 = the promotion candidate replica id
+// (lowest in-sync id; 0 when there is none), word 4 = flags.
+func stampRepHeartbeat(m *ipc.Message, seq, candidate, flags uint32) {
+	m.SetWord(2, seq)
+	m.SetWord(3, candidate)
+	m.SetWord(4, flags)
+}
+
+// repHeartbeatReply reads an OpRepHeartbeat reply.
+func repHeartbeatReply(m *ipc.Message) (seq, candidate, flags uint32) {
+	return m.Word(2), m.Word(3), m.Word(4)
+}
+
+// buildReplicate assembles an OpReplicate/OpRepCreate push addressed to
+// a replica's apply process. The volume is implied by the destination,
+// so word 5 carries the record sequence.
+func buildReplicate(op, file, offOrSize, count, seq uint32) ipc.Message {
+	m := buildRequest(0, op, file, offOrSize, count)
+	m.SetWord(5, seq)
+	return m
+}
+
+// replicateSeq reads the sequence word of an OpReplicate/OpRepCreate
+// push.
+func replicateSeq(m *ipc.Message) uint32 { return m.Word(5) }
+
+// Replication record kinds (the catch-up log's and pull stream's wire
+// encoding; see encodeRepRecord).
+const (
+	repKindWrite  = 1 // off = byte offset, data follows
+	repKindCreate = 2 // off = file size, no data
+)
+
+// repRecordHeader is the encoded record header size: kind (1 byte) plus
+// file, off, len and seq as big-endian uint32s.
+const repRecordHeader = 1 + 4*4
+
+// repFileEntry is one OpRepFiles entry: file id (uint32) + size (uint64).
+const repFileEntry = 4 + 8

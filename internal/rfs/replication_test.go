@@ -1,0 +1,534 @@
+package rfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vkernel/internal/ipc"
+)
+
+// replConfig is the two-shard, one-replica fixture the replication
+// tests share: volume 1's primary on shard 0, its replica on shard 1,
+// with a lease short enough that failover completes in milliseconds.
+func replConfig(udp bool) ClusterConfig {
+	return ClusterConfig{
+		Shards:   2,
+		Volumes:  []uint32{1},
+		Replicas: 1,
+		UDP:      udp,
+		Node:     tightNode(),
+		Server: Config{
+			ReplicaLease:      150 * time.Millisecond,
+			ReplicaAckTimeout: 50 * time.Millisecond,
+		},
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline kills the test.
+func waitUntil(t testing.TB, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// shardWithRole finds the live shard holding vol in the given role.
+func shardWithRole(c *Cluster, vol uint32, role VolumeRole) *ClusterServer {
+	for _, cs := range c.Servers {
+		if cs.Srv == nil {
+			continue
+		}
+		if r, ok := cs.Srv.Role(vol); ok && r == role {
+			return cs
+		}
+	}
+	return nil
+}
+
+// pageVersion decodes the version a versionedPage write stamped.
+func pageVersion(page []byte) uint32 {
+	return binary.BigEndian.Uint32(page) & 0xffff
+}
+
+// directClient builds an unrouted client pinned to one server and one
+// volume — the probe the tests use to ask a specific replica what it
+// would serve.
+func directClient(p *ipc.Proc, server ipc.Pid, vol uint32) *Client {
+	return &Client{p: p, server: server, vol: vol, retry: DefaultRetryPolicy, sleep: time.Sleep}
+}
+
+// waitReplicaServing polls a direct (unrouted) read against the replica
+// server until it serves the expected bytes: serving implies the primary
+// counted the replica in-sync on its last heartbeat, and the matching
+// payload implies the record stream caught up through that write.
+var probeSeq atomic.Int32
+
+func waitReplicaServing(t testing.TB, node *ipc.Node, replica ipc.Pid, file, block uint32, want []byte) {
+	t.Helper()
+	p := attach(t, node, fmt.Sprintf("direct-probe-%d", probeSeq.Add(1)))
+	cl := directClient(p, replica, 1)
+	page := make([]byte, len(want))
+	waitUntil(t, 5*time.Second, "replica to serve the replicated bytes", func() bool {
+		n, err := cl.ReadBlock(file, block, page)
+		return err == nil && n == len(want) && bytes.Equal(page[:n], want)
+	})
+}
+
+// TestReplicatedReadFanOut: acked writes stream to the replica, and a
+// SpreadReads client round-robins reads over the primary and the
+// in-sync replica while its writes stay pinned to the primary.
+func TestReplicatedReadFanOut(t *testing.T) {
+	c := startCluster(t, replConfig(false))
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	w := NewVolumeClient(attach(t, node, "writer"), r, 1)
+
+	for b := uint32(0); b < 4; b++ {
+		if err := w.WriteBlock(9, b, versionedPage(b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary := shardWithRole(c, 1, RolePrimary)
+	replica := shardWithRole(c, 1, RoleReplica)
+	if primary == nil || replica == nil || primary == replica {
+		t.Fatalf("bad role assignment: primary=%v replica=%v", primary, replica)
+	}
+	if primary.Index != 0 || replica.Index != 1 {
+		t.Fatalf("volume 1 placed primary=%d replica=%d, want 0/1", primary.Index, replica.Index)
+	}
+	waitReplicaServing(t, node, replica.Srv.Pid(), 9, 3, versionedPage(3, 1))
+
+	rd := NewVolumeClient(attach(t, node, "reader"), r, 1)
+	rd.SpreadReads(true)
+	pReads := primary.Srv.Stats().PageReads
+	rReads := replica.Srv.Stats().PageReads
+	page := make([]byte, 512)
+	for i := 0; i < 10; i++ {
+		b := uint32(i % 4)
+		if _, err := rd.ReadBlock(9, b, page); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(page, versionedPage(b, 1)) {
+			t.Fatalf("spread read %d returned wrong bytes", i)
+		}
+	}
+	if got := replica.Srv.Stats().PageReads - rReads; got == 0 {
+		t.Fatal("replica served no reads under SpreadReads")
+	} else if primary.Srv.Stats().PageReads == pReads {
+		t.Fatal("primary served no reads under SpreadReads")
+	}
+
+	// Writes from the spreading client still pin to the primary.
+	pWrites := primary.Srv.Stats().PageWrites
+	if err := rd.WriteBlock(9, 0, versionedPage(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if primary.Srv.Stats().PageWrites == pWrites {
+		t.Fatal("write from a SpreadReads client did not reach the primary")
+	}
+	if got := replica.Srv.Stats().PageWrites; got != 0 {
+		t.Fatalf("replica took %d direct writes", got)
+	}
+}
+
+// TestReplicaKillPrimaryMidWriteBurst: the primary dies in the middle
+// of a write burst; the replica promotes within the lease, the routed
+// writer reroutes to it, and every write acked before or during the
+// crash is still readable afterwards — synchronous commit means an ack
+// implies the replica had the bytes before the primary could die.
+func TestReplicaKillPrimaryMidWriteBurst(t *testing.T) {
+	c := startCluster(t, replConfig(false))
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	w := NewVolumeClient(attach(t, node, "burst-writer"), r, 1)
+
+	rv := c.Servers[1].Srv.volumes[1].rv
+	const blocks = 8
+	var acked [blocks]uint32
+	version := uint32(1)
+	write := func() error {
+		b := version % blocks
+		err := w.WriteBlock(9, b, versionedPage(b, version))
+		if err == nil {
+			acked[b] = version
+			version++
+		}
+		return err
+	}
+
+	// Enroll first: promotion eligibility requires the replica to have
+	// been in-sync at last contact, and synchronous commit only covers
+	// replicas that have joined.
+	waitUntil(t, 5*time.Second, "replica to enroll in-sync", func() bool { return rv.eligible.Load() })
+	for i := 0; i < 40; i++ {
+		if err := write(); err != nil {
+			t.Fatalf("pre-kill write %d: %v", i, err)
+		}
+	}
+
+	var killOnce sync.Once
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(2 * time.Millisecond)
+		killOnce.Do(func() { c.Kill(0) })
+	}()
+	// Keep writing through the crash; count acks that land after the
+	// kill has definitely finished.
+	postKill := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for postKill < 10 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never recovered after the primary was killed")
+		}
+		err := write()
+		select {
+		case <-done:
+			if err == nil {
+				postKill++
+			}
+		default:
+		}
+	}
+
+	// The survivor promoted exactly once and now owns the volume.
+	srv := c.Servers[1].Srv
+	if got := srv.Stats().Promotions; got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+	if role, ok := srv.Role(1); !ok || role != RolePrimary {
+		t.Fatalf("survivor role = %v, %v; want promoted primary", role, ok)
+	}
+
+	// No acked write lost: each block reads back at least its last acked
+	// version, untorn.
+	rd := NewVolumeClient(attach(t, node, "burst-reader"), r, 1)
+	page := make([]byte, 512)
+	for b := uint32(0); b < blocks; b++ {
+		if acked[b] == 0 {
+			continue
+		}
+		if _, err := rd.ReadBlock(9, b, page); err != nil {
+			t.Fatalf("read block %d after failover: %v", b, err)
+		}
+		if err := checkVersionedPage(b, page); err != nil {
+			t.Fatalf("block %d torn after failover: %v", b, err)
+		}
+		if got := pageVersion(page); got < acked[b] {
+			t.Fatalf("block %d lost acked write: version %d < acked %d", b, got, acked[b])
+		}
+	}
+}
+
+// TestReplicaFailoverUDP is the kill/promote/reroute cycle over real
+// loopback sockets — exercising the server-to-server UDP peer wiring
+// the replica's name lookups and join exchanges depend on.
+func TestReplicaFailoverUDP(t *testing.T) {
+	c := startCluster(t, replConfig(true))
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	w := NewVolumeClient(attach(t, node, "writer"), r, 1)
+
+	if err := w.WriteBlock(9, 0, versionedPage(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaServing(t, node, c.Servers[1].Srv.Pid(), 9, 0, versionedPage(0, 1))
+
+	c.Kill(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := w.WriteBlock(9, 0, versionedPage(0, 2)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes never recovered after killing the primary over UDP")
+		}
+	}
+	srv := c.Servers[1].Srv
+	if got := srv.Stats().Promotions; got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+	page := make([]byte, 512)
+	rd := NewVolumeClient(attach(t, node, "reader"), r, 1)
+	if _, err := rd.ReadBlock(9, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page, versionedPage(0, 2)) {
+		t.Fatal("promoted replica served stale bytes")
+	}
+}
+
+// TestReplicaKillDuringCatchUp: with two replicas, one dies, misses a
+// few hundred writes (past the push slack, so its rejoin must pull the
+// backlog — the surviving member keeps the log alive), and dies again
+// mid-pull. The primary must shrug twice — writes stay fast once the
+// laggard is dropped — and the third incarnation still converges to
+// the full data set.
+func TestReplicaKillDuringCatchUp(t *testing.T) {
+	cfg := replConfig(false)
+	cfg.Shards = 3
+	cfg.Replicas = 2
+	// A 1ms-per-op store stretches the catch-up so the test can reliably
+	// kill the replica while the pull is in progress.
+	cfg.NewStore = func(uint32) Store { return NewDelayStore(NewMemStore(), time.Millisecond) }
+	c := startCluster(t, cfg)
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	w := NewVolumeClient(attach(t, node, "writer"), r, 1)
+
+	if err := w.WriteBlock(9, 0, versionedPage(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 2 lives on shard 2; wait for it to enroll and serve.
+	waitReplicaServing(t, node, c.Servers[2].Srv.Pid(), 9, 0, versionedPage(0, 1))
+
+	// Crash replica 2 and build a backlog past the push slack. Replica 1
+	// stays enrolled, so every write commits synchronously to it and the
+	// log is retained for the rejoin.
+	c.Kill(2)
+	const backlog = 300
+	for i := 1; i <= backlog; i++ {
+		if err := w.WriteBlock(9, uint32(i), versionedPage(uint32(i), 1)); err != nil {
+			t.Fatalf("write %d with replica 2 down: %v", i, err)
+		}
+	}
+
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	// Kill it again once the pull is demonstrably in progress.
+	waitUntil(t, 10*time.Second, "pull catch-up to start", func() bool {
+		n := c.Servers[2].Srv.Stats().ReplicaRecords
+		return n > 0 && n < backlog
+	})
+	c.Kill(2)
+
+	// The primary must not wedge on the vanished puller: a run of writes
+	// completes promptly (replica 1 acks; the dead puller is not in the
+	// in-sync wait).
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := w.WriteBlock(9, uint32(i), versionedPage(uint32(i), 2)); err != nil {
+			t.Fatalf("write %d after replica 2 vanished: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("writes wedged behind dead replica: 20 writes took %v", elapsed)
+	}
+
+	// Third incarnation converges: once it serves reads it has caught up
+	// through the whole history, including the post-crash overwrites.
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaServing(t, node, c.Servers[2].Srv.Pid(), 9, backlog, versionedPage(backlog, 1))
+	waitReplicaServing(t, node, c.Servers[2].Srv.Pid(), 9, 5, versionedPage(5, 2))
+}
+
+// TestReplicaPromotionUnderLoss: failover must complete through 40%
+// packet loss — heartbeats, the lease-expiry detection, the promotion
+// name registration and the client's re-resolution all ride retries.
+func TestReplicaPromotionUnderLoss(t *testing.T) {
+	cfg := replConfig(false)
+	cfg.Faults = ipc.FaultConfig{DropProb: 0.4}
+	cfg.Node = ipc.NodeConfig{
+		RetransmitTimeout: 5 * time.Millisecond,
+		Retries:           15,
+		GetPidTimeout:     10 * time.Millisecond,
+		GetPidRetries:     15,
+	}
+	cfg.Server.ReplicaLease = 300 * time.Millisecond
+	c := startCluster(t, cfg)
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	w := NewVolumeClient(attach(t, node, "writer"), r, 1)
+
+	var lastAcked uint32
+	for v := uint32(1); v <= 5; v++ {
+		if err := w.WriteBlock(9, 0, versionedPage(0, v)); err != nil {
+			t.Fatalf("write v%d under loss: %v", v, err)
+		}
+		lastAcked = v
+	}
+	rv := c.Servers[1].Srv.volumes[1].rv
+	waitUntil(t, 10*time.Second, "replica to enroll in-sync under loss", func() bool {
+		return rv.eligible.Load()
+	})
+
+	c.Kill(0)
+	deadline := time.Now().Add(20 * time.Second)
+	page := make([]byte, 512)
+	for {
+		if _, err := w.ReadBlock(9, 0, page); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reads never recovered through 40% loss after killing the primary")
+		}
+	}
+	if got := pageVersion(page); got < lastAcked {
+		t.Fatalf("promoted replica lost acked writes under loss: v%d < v%d", got, lastAcked)
+	}
+	if got := c.Servers[1].Srv.Stats().Promotions; got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+	// And it takes writes.
+	waitUntil(t, 10*time.Second, "writes to recover under loss", func() bool {
+		return w.WriteBlock(9, 0, versionedPage(0, lastAcked+1)) == nil
+	})
+}
+
+// TestReplicaFullCycle: kill the primary, let the replica promote and
+// take writes, then restart the dead shard — whose Rejoin probe finds
+// the promoted primary and demotes the restarted server to a replica
+// (snapshot-resyncing the writes it slept through) instead of
+// split-braining the volume.
+func TestReplicaFullCycle(t *testing.T) {
+	c := startCluster(t, replConfig(false))
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	w := NewVolumeClient(attach(t, node, "writer"), r, 1)
+
+	if err := w.WriteBlock(9, 0, versionedPage(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteLarge(10, 0, pattern(10, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaServing(t, node, c.Servers[1].Srv.Pid(), 9, 0, versionedPage(0, 1))
+
+	c.Kill(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := w.WriteBlock(9, 0, versionedPage(0, 2)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes never failed over to the replica")
+		}
+	}
+	if got := c.Servers[1].Srv.Stats().Promotions; got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+
+	// Restart the ex-primary: it must come back as a replica of the
+	// promoted server, not a second primary.
+	if err := c.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "restarted ex-primary to demote itself", func() bool {
+		role, ok := c.Servers[0].Srv.Role(1)
+		return ok && role == RoleReplica
+	})
+	if role, _ := c.Servers[1].Srv.Role(1); role != RolePrimary {
+		t.Fatal("promoted server lost the primary role after the old one rejoined")
+	}
+
+	// The demoted rejoiner resyncs and serves the post-crash write it
+	// slept through — plus the large file from before the crash.
+	waitReplicaServing(t, node, c.Servers[0].Srv.Pid(), 9, 0, versionedPage(0, 2))
+	p := attach(t, node, "cycle-probe")
+	direct := directClient(p, c.Servers[0].Srv.Pid(), 1)
+	got := make([]byte, 4096)
+	if _, err := direct.ReadLarge(10, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(10, 4096)) {
+		t.Fatal("rejoined replica resynced wrong bytes for file 10")
+	}
+
+	// New writes replicate to the rejoiner: read-your-writes via the
+	// demoted server once the stream delivers.
+	if err := w.WriteBlock(9, 0, versionedPage(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaServing(t, node, c.Servers[0].Srv.Pid(), 9, 0, versionedPage(0, 3))
+}
+
+// TestReplicaFailoverCachingReadYourWrites: promotion-flavored twin of
+// the restart failover test — caching clients must purge and
+// re-register against the promoted replica so cross-client
+// read-your-writes holds across the primary's death.
+func TestReplicaFailoverCachingReadYourWrites(t *testing.T) {
+	c := startCluster(t, replConfig(false))
+	node := clientNode(t, c)
+	r := newRouter(t, node)
+	a, err := NewVolumeCachingClient(attach(t, node, "writer"), r, 1, CacheClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err := NewVolumeCachingClient(attach(t, node, "reader"), r, 1, CacheClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+
+	var mu sync.Mutex
+	var skew time.Duration
+	b.setNow(func() time.Time { mu.Lock(); defer mu.Unlock(); return time.Now().Add(skew) })
+
+	page := make([]byte, 512)
+	read := func(who *CachingClient) []byte {
+		t.Helper()
+		if _, err := who.ReadBlock(9, 0, page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	if err := a.WriteBlock(9, 0, versionedPage(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(read(b), versionedPage(0, 1)) {
+		t.Fatal("reader missed v1 before the crash")
+	}
+	waitReplicaServing(t, node, c.Servers[1].Srv.Pid(), 9, 0, versionedPage(0, 1))
+
+	c.Kill(0)
+
+	// The writer's next successful op lands on the promoted replica,
+	// purging its cache and registering there.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err = a.WriteBlock(9, 0, versionedPage(0, 2)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("caching writer never failed over: %v", err)
+		}
+	}
+	if a.Stats().Purges == 0 {
+		t.Fatal("writer never purged on reroute to the promoted replica")
+	}
+
+	// The reader's registration died with the old primary; after its
+	// lease runs out it re-registers — with the new primary — purges,
+	// and reads the post-promotion write.
+	mu.Lock()
+	skew = 10 * time.Second
+	mu.Unlock()
+	if !bytes.Equal(read(b), versionedPage(0, 2)) {
+		t.Fatal("reader served stale bytes after promotion + lease expiry")
+	}
+	if b.Stats().Purges == 0 {
+		t.Fatal("reader never purged on reroute")
+	}
+	// Fully re-established: the invalidation protocol carries the next
+	// write synchronously.
+	if err := a.WriteBlock(9, 0, versionedPage(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(read(b), versionedPage(0, 3)) {
+		t.Fatal("read-your-writes broken after promotion")
+	}
+}

@@ -84,6 +84,21 @@ type Config struct {
 	// process must not stall the write path; the revoked client falls
 	// back to the lease/version staleness bound.
 	CallbackTimeout time.Duration
+	// ReplicaLease is the replication heartbeat lease (0 → 2s). Replicas
+	// renew at a quarter lease; a primary silent for a whole lease is
+	// presumed dead and the promotion rule runs (see replica.go). The
+	// primary prunes members silent for two leases.
+	ReplicaLease time.Duration
+	// ReplicaAckTimeout bounds one write's wait for its in-sync replica
+	// acks (0 → 1s). Replicas still lagging when it fires are dropped
+	// from the in-sync set, so a dead replica costs the write path one
+	// timeout, once, instead of wedging it.
+	ReplicaAckTimeout time.Duration
+	// ReplicaLogMax and ReplicaLogMaxBytes bound the per-volume catch-up
+	// log in records and bytes (0 → 1024 / 4 MiB). A replica trimmed out
+	// of the log resyncs from a snapshot instead.
+	ReplicaLogMax      int
+	ReplicaLogMaxBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +153,18 @@ func (c Config) withDefaults() Config {
 	if c.CallbackTimeout <= 0 {
 		c.CallbackTimeout = time.Second
 	}
+	if c.ReplicaLease <= 0 {
+		c.ReplicaLease = 2 * time.Second
+	}
+	if c.ReplicaAckTimeout <= 0 {
+		c.ReplicaAckTimeout = time.Second
+	}
+	if c.ReplicaLogMax <= 0 {
+		c.ReplicaLogMax = 1024
+	}
+	if c.ReplicaLogMaxBytes <= 0 {
+		c.ReplicaLogMaxBytes = 4 << 20
+	}
 	return c
 }
 
@@ -175,6 +202,11 @@ type Stats struct {
 	CacheCallbackErrs     int64
 	CacheCallbackTimeouts int64
 	CacheLeaseExpiries    int64
+	// Replication activity: replica volumes promoted to primary, records
+	// applied while in replica role, and snapshot resyncs run.
+	Promotions     int64
+	ReplicaRecords int64
+	ReplicaResyncs int64
 }
 
 type serverCounters struct {
@@ -190,6 +222,9 @@ type serverCounters struct {
 	bytesRead   atomic.Int64
 	bytesWrite  atomic.Int64
 	prefetches  atomic.Int64
+	promotions  atomic.Int64
+	replApplied atomic.Int64
+	replResyncs atomic.Int64
 }
 
 // request is one received exchange awaiting a worker. Requests are
@@ -205,10 +240,51 @@ type request struct {
 
 var requestPool = sync.Pool{New: func() any { return new(request) }}
 
+// VolumeRole is a hosted volume's replication role.
+type VolumeRole int32
+
+const (
+	// RolePrimary (the zero value, so unreplicated specs are unchanged)
+	// owns the volume: it registers the volume's logical name, serves
+	// writes and fans acked mutations out to its replicas.
+	RolePrimary VolumeRole = iota
+	// RoleReplica mirrors a primary: it applies the primary's record
+	// stream, serves reads while in-sync, and promotes itself if the
+	// primary dies (see replica.go).
+	RoleReplica
+)
+
+// Internal int32 forms for the volume's atomic role word.
+const (
+	rolePrimary = int32(RolePrimary)
+	roleReplica = int32(RoleReplica)
+)
+
+// rejoinReplicaBase offsets the replica ids a Rejoin demotion
+// synthesizes, so a restarted ex-primary never outranks a configured
+// replica in the promotion order (lowest id wins).
+const rejoinReplicaBase uint32 = 1 << 12
+
 // VolumeSpec names one volume a server hosts and the store backing it.
 type VolumeSpec struct {
 	ID    uint32
 	Store Store
+	// Role picks primary (default) or replica; StartCluster assigns it.
+	Role VolumeRole
+	// Replicas is the read-replica count a primary expects; > 0 enables
+	// the replication engine for the volume (zero keeps the pre-
+	// replication single-copy behavior, with no write-path overhead).
+	Replicas int
+	// ReplicaID identifies a replica within its volume's replica set
+	// (1..N; required for RoleReplica — 0 is reserved). It is also the
+	// promotion rank: the lowest in-sync id promotes first.
+	ReplicaID uint32
+	// Rejoin makes a primary spec probe the name service before
+	// registering: if another server already advertises the volume (a
+	// replica promoted while this server was down), the spec demotes
+	// itself to a replica of the new primary instead of fighting it —
+	// the restart half of the kill/promote/restart cycle.
+	Rejoin bool
 }
 
 // volume is one hosted volume: an independent store behind an
@@ -220,6 +296,25 @@ type volume struct {
 	id    uint32
 	store Store
 	cache *blockCache
+	// role is the volume's current replication role; promotion flips a
+	// replica to primary at runtime (role is the acquire/release gate:
+	// repl is published before the primary role is stored).
+	role atomic.Int32
+	// repl is the primary-side replication state (nil when the volume is
+	// a replica or replication is off).
+	repl *replState
+	// rv is the replica-side machinery (nil on primaries; it survives a
+	// promotion with its run loop stopped).
+	rv *replicaVol
+}
+
+// readable reports whether the volume may answer reads: a primary
+// always may; a replica only while its primary counts it in-sync.
+func (v *volume) readable() bool {
+	if v.role.Load() == rolePrimary {
+		return true
+	}
+	return v.rv != nil && v.rv.serving.Load()
 }
 
 // volBlock keys per-(volume, block) server state (read-ahead dedup).
@@ -285,21 +380,32 @@ func StartVolumes(node *ipc.Node, vols []VolumeSpec, cfg Config) (*Server, error
 	if s.cfg.WriteThrough {
 		flushers = 0 // write-behind machinery idle; writes invalidate instead
 	}
-	closeCaches := func() {
+	cleanup := func() {
 		for _, v := range s.volumes {
+			if v.rv != nil {
+				v.rv.close()
+			}
 			v.cache.close()
 		}
 	}
-	for _, spec := range vols {
+	specs := make([]VolumeSpec, len(vols))
+	copy(specs, vols)
+	for i := range specs {
+		spec := &specs[i]
 		if _, dup := s.volumes[spec.ID]; dup {
-			closeCaches()
+			cleanup()
 			return nil, fmt.Errorf("rfs: duplicate volume %d", spec.ID)
 		}
 		if spec.Store == nil {
-			closeCaches()
+			cleanup()
 			return nil, fmt.Errorf("rfs: volume %d has no store", spec.ID)
 		}
+		if spec.Role == RoleReplica && spec.ReplicaID == 0 {
+			cleanup()
+			return nil, fmt.Errorf("rfs: replica volume %d needs a replica id", spec.ID)
+		}
 		v := &volume{id: spec.ID, store: spec.Store}
+		v.role.Store(int32(spec.Role))
 		v.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.BlockSize, s.cfg.DirtyBudget, flushers,
 			s.cfg.MaxDirtyAge,
 			func(file uint32, off int64, p []byte) error { return v.store.WriteAt(file, p, off) })
@@ -307,28 +413,103 @@ func StartVolumes(node *ipc.Node, vols []VolumeSpec, cfg Config) (*Server, error
 	}
 	registry, err := newCacheRegistry(node, s.cfg.CacheLease, s.cfg.CallbackTimeout, s.cfg.Invalidators)
 	if err != nil {
-		closeCaches()
+		cleanup()
 		return nil, err
 	}
 	s.registry = registry
+
+	// Rejoin probes: a restarting ex-primary asks the name service first
+	// whether another server took its volume over while it was down (a
+	// replica promoted), and if so demotes the spec to a replica of the
+	// new primary — synthesizing a replica id above every configured one
+	// so it never jumps the promotion queue.
+	rejoin := false
+	for i := range specs {
+		if specs[i].Rejoin && specs[i].Role == RolePrimary {
+			rejoin = true
+		}
+	}
+	if rejoin {
+		probe, err := node.Attach("rfs-rejoin-probe")
+		if err != nil {
+			s.registry.close()
+			cleanup()
+			return nil, err
+		}
+		for i := range specs {
+			spec := &specs[i]
+			if !spec.Rejoin || spec.Role != RolePrimary {
+				continue
+			}
+			if probe.GetPid(LogicalVolumeBase+spec.ID, ipc.ScopeRemote) != vproto.Nil {
+				spec.Role = RoleReplica
+				spec.ReplicaID = rejoinReplicaBase + uint32(probe.Pid())>>16
+				s.volumes[spec.ID].role.Store(roleReplica)
+			}
+		}
+		node.Detach(probe)
+	}
+
+	for i := range specs {
+		spec := &specs[i]
+		v := s.volumes[spec.ID]
+		if v.role.Load() != roleReplica {
+			continue
+		}
+		rv, err := s.startReplica(v, spec.ReplicaID)
+		if err != nil {
+			s.registry.close()
+			cleanup()
+			return nil, err
+		}
+		v.rv = rv
+	}
+
 	s.queue = make(chan *request, s.cfg.QueueDepth)
 	proc, err := node.Spawn("fileserver", s.serve)
 	if err != nil {
 		s.registry.close()
-		closeCaches()
+		cleanup()
 		return nil, err
 	}
 	s.proc = proc
 	proc.SetQueueLimit(s.cfg.ReceiveQueueDepth)
 	proc.SetPid(LogicalFileServer, proc.Pid(), ipc.ScopeBoth)
-	for id := range s.volumes {
-		proc.SetPid(LogicalVolumeBase+id, proc.Pid(), ipc.ScopeBoth)
+	for i := range specs {
+		spec := &specs[i]
+		v := s.volumes[spec.ID]
+		if v.role.Load() != rolePrimary {
+			continue
+		}
+		if spec.Replicas > 0 {
+			v.repl = newReplState(s, spec.ID, 0)
+		}
+		// Only primaries advertise the volume's logical name — the name
+		// service doubles as the routing table, and writes pin here.
+		proc.SetPid(LogicalVolumeBase+spec.ID, proc.Pid(), ipc.ScopeBoth)
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	// Control loops start last: a replica's join carries the server pid,
+	// so the server process must exist first.
+	for _, v := range s.volumes {
+		if v.rv != nil {
+			v.rv.start()
+		}
+	}
 	return s, nil
+}
+
+// Role returns a hosted volume's current replication role; promotion
+// flips a replica to RolePrimary at runtime.
+func (s *Server) Role(vol uint32) (VolumeRole, bool) {
+	v := s.volumes[vol]
+	if v == nil {
+		return 0, false
+	}
+	return VolumeRole(v.role.Load()), true
 }
 
 // Pid returns the server process id.
@@ -367,6 +548,10 @@ func (s *Server) Stats() Stats {
 		CacheCallbackErrs:     s.registry.callbackErrs.Load(),
 		CacheCallbackTimeouts: s.registry.callbackTimeouts.Load(),
 		CacheLeaseExpiries:    s.registry.leaseExpiries.Load(),
+
+		Promotions:     s.stats.promotions.Load(),
+		ReplicaRecords: s.stats.replApplied.Load(),
+		ReplicaResyncs: s.stats.replResyncs.Load(),
 	}
 	for _, v := range s.volumes {
 		st.CacheHits += v.cache.hits.Load()
@@ -398,11 +583,25 @@ func (s *Server) Flush() error {
 // pool. The backing stores are not closed.
 func (s *Server) Close() {
 	s.closed.Do(func() {
+		// Replica control loops stop first: a promotion racing the
+		// teardown would re-register a name this server is abandoning.
+		// After close a promotion either happened (v.repl is set and torn
+		// down below) or never will.
+		for _, v := range s.volumes {
+			if v.rv != nil {
+				v.rv.close()
+			}
+		}
 		s.node.Detach(s.proc)
 		s.workers.Wait()
 		// Workers are quiesced, so no write can fan out callbacks anymore;
 		// the invalidator pool can go.
 		s.registry.close()
+		for _, v := range s.volumes {
+			if v.repl != nil {
+				v.repl.close()
+			}
+		}
 		s.raWG.Wait()
 		for _, v := range s.volumes {
 			v.cache.close()
@@ -449,7 +648,7 @@ func (s *Server) fastRead(msg *ipc.Message, src ipc.Pid) bool {
 		return false
 	}
 	v := s.volumes[reqVolume(msg)]
-	if v == nil {
+	if v == nil || !v.readable() {
 		return false
 	}
 	b, _, ok := v.cache.getEnd(blockID{file: file, block: block})
@@ -494,6 +693,39 @@ func (s *Server) handle(req *request) {
 		return
 	}
 	switch op {
+	case OpRepJoin:
+		s.handleRepJoin(v, req)
+		return
+	case OpRepPull:
+		s.handleRepPull(v, req)
+		return
+	case OpRepFiles:
+		s.handleRepFiles(v, req)
+		return
+	case OpRepHeartbeat:
+		s.handleRepHeartbeat(v, req)
+		return
+	case OpQueryReplicas:
+		s.handleQueryReplicas(v, req)
+		return
+	}
+	if v.role.Load() != rolePrimary {
+		switch op {
+		case OpReadBlock, OpReadLarge, OpQueryFile:
+			// A replica answers reads only while its primary counts it
+			// in-sync — then its copy holds every acked write.
+			if !v.readable() {
+				s.replyStatus(req.src, StatusNoVolume, 0)
+				return
+			}
+		default:
+			// Mutations and cache registrations pin to the primary; the
+			// NoVolume reply makes the routed client re-resolve.
+			s.replyStatus(req.src, StatusNoVolume, 0)
+			return
+		}
+	}
+	switch op {
 	case OpReadBlock:
 		s.pageRead(v, req, file, arg, count)
 	case OpWriteBlock:
@@ -519,6 +751,7 @@ func (s *Server) handle(req *request) {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
+		s.replicate(v, repKindCreate, file, arg)
 		ver, tracked := s.registry.invalidate(v.id, file, 0, InvalidateAll, req.src)
 		s.replyWritten(req.src, 0, ver, tracked)
 	case OpSync:
@@ -550,11 +783,19 @@ func (s *Server) handle(req *request) {
 	}
 }
 
-// queryVolumes answers OpQueryVolumes: the hosted volume ids as
-// big-endian uint32s in the reply segment, count in reply word 2. The
-// set is capped by the client's grant and by one reply packet.
+// queryVolumes answers OpQueryVolumes: the volume ids this server OWNS
+// (is primary for) as big-endian uint32s in the reply segment, count in
+// reply word 2 — replica-hosted volumes are not ownership, so the
+// cluster map stays one-server-per-volume. The set is capped by the
+// client's grant and by one reply packet.
 func (s *Server) queryVolumes(req *request, count uint32) {
-	ids := s.Volumes()
+	ids := make([]uint32, 0, len(s.volumes))
+	for id, v := range s.volumes {
+		if v.role.Load() == rolePrimary {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	limit := int(count) / 4
 	if limit > vproto.MaxData/4 {
 		limit = vproto.MaxData / 4
@@ -752,6 +993,7 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 			return
 		}
 		v.cache.invalidate(blockID{file: file, block: block})
+		s.replicate(v, repKindWrite, file, block*bs, req.buf[:count])
 		s.stats.bytesWrite.Add(int64(count))
 		ver, tracked := s.registry.invalidate(v.id, file, block, 1, req.src)
 		s.replyWritten(req.src, count, ver, tracked)
@@ -767,6 +1009,7 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
+		s.replicate(v, repKindWrite, file, block*bs)
 		ver, tracked := s.registry.invalidate(v.id, file, block, 0, req.src)
 		s.replyWritten(req.src, 0, ver, tracked)
 		return
@@ -781,11 +1024,15 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 		}
 	}
 	err := s.stageBlock(v, blockID{file: file, block: block}, buf, 0, int(count))
-	buf.Release()
 	if err != nil {
+		buf.Release()
 		s.replyStatus(req.src, StatusIOError, 0)
 		return
 	}
+	// Replicate from the staged payload before returning the buffer:
+	// append copies the data into the log under the replication lock.
+	s.replicate(v, repKindWrite, file, block*bs, buf.Data[:count])
+	buf.Release()
 	s.stats.bytesWrite.Add(int64(count))
 	// The page is staged (readable by everyone through this server), so
 	// other clients' cached copies go stale NOW: call them back before
@@ -943,15 +1190,27 @@ func (s *Server) buildSpans(file, pos, m uint32, spans []span, slices [][]byte) 
 // absorbSpans stages one chunk's filled block buffers into the cache as
 // dirty blocks (completing partial head/tail blocks from the old image)
 // and releases them. It runs on its own goroutine so the next chunk's
-// MoveFromVec overlaps it — the WriteLarge pipeline.
-func (s *Server) absorbSpans(v *volume, spans []span) error {
+// MoveFromVec overlaps it — the WriteLarge pipeline. Absorbs of one
+// write are strictly serialized (the pipeline waits for the previous
+// absorb before launching the next), so the per-chunk replication
+// records it appends land in chunk order; the write path commits them
+// all at once at the end (replicateSync). pos is the chunk's absolute
+// byte offset; file its file id.
+func (s *Server) absorbSpans(v *volume, file, pos uint32, spans []span) error {
 	var err error
 	for _, sp := range spans {
 		if err == nil {
 			err = s.stageBlock(v, sp.id, sp.buf, sp.payStart, sp.payEnd)
 		}
-		sp.buf.Release()
 	}
+	if err == nil {
+		parts := make([][]byte, len(spans))
+		for i, sp := range spans {
+			parts[i] = sp.buf.Data[sp.payStart:sp.payEnd]
+		}
+		s.replicateAppend(v, repKindWrite, file, pos, parts...)
+	}
+	releaseSpans(spans)
 	return err
 }
 
@@ -998,9 +1257,9 @@ func (s *Server) largeWrite(v *volume, req *request, file, off, count uint32) {
 		inflight = false
 		return <-ch
 	}
-	launch := func(spans []span) {
+	launch := func(spans []span, pos uint32) {
 		inflight = true
-		go func() { ch <- s.absorbSpans(v, spans) }()
+		go func() { ch <- s.absorbSpans(v, file, pos, spans) }()
 	}
 
 	done := uint32(0)
@@ -1012,7 +1271,7 @@ func (s *Server) largeWrite(v *volume, req *request, file, off, count uint32) {
 			n := copy(sl, rest)
 			rest = rest[n:]
 		}
-		launch(spans)
+		launch(spans, off)
 		which ^= 1
 		done = pre
 	}
@@ -1034,7 +1293,7 @@ func (s *Server) largeWrite(v *volume, req *request, file, off, count uint32) {
 			s.replyStatus(req.src, StatusIOError, done)
 			return
 		}
-		launch(spans)
+		launch(spans, off+done)
 		which ^= 1
 		done += m
 	}
@@ -1042,6 +1301,9 @@ func (s *Server) largeWrite(v *volume, req *request, file, off, count uint32) {
 		s.replyStatus(req.src, StatusIOError, done)
 		return
 	}
+	// All chunks are staged and their records appended; one commit waits
+	// for the in-sync replicas to ack the lot.
+	s.replicateSync(v)
 	s.stats.bytesWrite.Add(int64(count))
 	ver, tracked := s.invalidateRange(v, req.src, file, off, count)
 	s.replyWritten(req.src, count, ver, tracked)
@@ -1076,6 +1338,7 @@ func (s *Server) largeWriteThrough(v *volume, req *request, file, off, count uin
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
+		s.replicateAppend(v, repKindWrite, file, off, req.buf[:pre])
 	}
 	unit := uint32(s.cfg.TransferUnit)
 	staging := bufpool.Get(int(unit))
@@ -1093,6 +1356,7 @@ func (s *Server) largeWriteThrough(v *volume, req *request, file, off, count uin
 			s.replyStatus(req.src, StatusIOError, done)
 			return
 		}
+		s.replicateAppend(v, repKindWrite, file, off+done, staging.Data[:m])
 		done += m
 	}
 	if count > 0 {
@@ -1100,6 +1364,7 @@ func (s *Server) largeWriteThrough(v *volume, req *request, file, off, count uin
 			v.cache.invalidate(blockID{file: file, block: blk})
 		}
 	}
+	s.replicateSync(v)
 	s.stats.bytesWrite.Add(int64(count))
 	ver, tracked := s.invalidateRange(v, req.src, file, off, count)
 	s.replyWritten(req.src, count, ver, tracked)

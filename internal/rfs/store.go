@@ -28,6 +28,9 @@ type Store interface {
 	// Create makes an empty file of the given size (truncating any
 	// existing content).
 	Create(file uint32, size int64) error
+	// Files enumerates the ids of every file the store holds, in no
+	// particular order (snapshot resync walks it to mirror a primary).
+	Files() ([]uint32, error)
 	// Close releases store resources.
 	Close() error
 }
@@ -97,6 +100,17 @@ func (s *MemStore) Create(file uint32, size int64) error {
 	return nil
 }
 
+// Files implements Store.
+func (s *MemStore) Files() ([]uint32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint32, 0, len(s.files))
+	for id := range s.files {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
@@ -148,6 +162,9 @@ func (s *DelayStore) Create(file uint32, size int64) error {
 	s.occupy()
 	return s.inner.Create(file, size)
 }
+
+// Files implements Store; like Size it is served without delay.
+func (s *DelayStore) Files() ([]uint32, error) { return s.inner.Files() }
 
 // Close implements Store.
 func (s *DelayStore) Close() error { return s.inner.Close() }
@@ -244,6 +261,22 @@ func (s *FileStore) Create(file uint32, size int64) error {
 		return err
 	}
 	return f.Truncate(size)
+}
+
+// Files implements Store: the backing directory's f%08x.dat entries.
+func (s *FileStore) Files() ([]uint32, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint32
+	for _, e := range ents {
+		var id uint32
+		if _, err := fmt.Sscanf(e.Name(), "f%08x.dat", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
 }
 
 // Close implements Store.
