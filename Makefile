@@ -9,7 +9,7 @@ GO ?= go
 # stable local numbers.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet lint fmt-check crosscheck bench bench-ipc bench-rfs bench-alloc bench-ccache bench-shard bench-transport bench-replica check
+.PHONY: all build test race vet lint fmt-check crosscheck bench bench-ipc bench-rfs bench-alloc bench-ccache bench-shard bench-transport bench-replica obs-smoke check
 
 all: build test
 
@@ -54,10 +54,15 @@ bench-rfs:
 # Allocation pressure on the zero-copy data path: page reads and writes,
 # streamed 64 KB reads and writes (write-behind and write-through modes)
 # and the parallel IPC transactions report allocs/op and B/op at 1/4/16
-# clients so pooling regressions are visible at a glance.
+# clients so pooling regressions are visible at a glance. The obs
+# benches ride along: the histogram/counter record paths sit inside the
+# same hot loops, so they must stay allocation-free (and the histogram
+# under ~30ns) for the instrumented paths to stay zero-alloc.
 bench-alloc:
 	$(GO) test -run=- -bench='BenchmarkPageRead|BenchmarkPageWrite|BenchmarkReadLarge64K|BenchmarkWriteLarge64K|BenchmarkParallel' \
 		-benchmem -benchtime=$(BENCHTIME) ./internal/ipc/ ./internal/rfs/
+	$(GO) test -run=- -bench='BenchmarkHistogram|BenchmarkCounterAdd|BenchmarkTiming|BenchmarkTraceRecord' \
+		-benchmem -benchtime=$(BENCHTIME) ./internal/obs/
 
 # The §6.2 client-cache comparison: warm page reads and the write-heavy
 # shared-file mix, client cache on vs. off, 1/4/16 clients, mem + udp.
@@ -95,4 +100,12 @@ bench-replica:
 	$(GO) run ./cmd/vbench -replica -replica-duration $(REPLICATIME) \
 		-replica-trials $(REPLICATRIALS) -replica-out BENCH_replica.json
 
-check: build lint fmt-check test race
+# Observability smoke: boot a two-shard replicated cluster in-process
+# (in-memory mesh and loopback UDP), run traced traffic, scrape every
+# shard over OpQueryStats, and assert the expected metrics are present,
+# counters are monotonic across scrapes, and the traced writes left a
+# cross-node span timeline. Exits nonzero on any miss.
+obs-smoke:
+	$(GO) run ./cmd/vstat -smoke
+
+check: build lint fmt-check test race obs-smoke

@@ -360,15 +360,27 @@ func transportPhase(clients []*rfs.Client, window time.Duration, bufSize int, op
 }
 
 // profileTo is a development hook: set VBENCH_PROFILE to a path to
-// capture a CPU profile of the benchmark run.
+// capture a CPU profile of the benchmark run. A profile that can't be
+// started is reported, not swallowed — a silent no-op here means a run
+// you thought was profiled wasn't.
 func profileTo(path string) func() {
 	if path == "" {
 		return func() {}
 	}
 	f, err := os.Create(path)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "vbench: profile disabled: %v\n", err)
 		return func() {}
 	}
-	_ = pprof.StartCPUProfile(f)
-	return func() { pprof.StopCPUProfile(); f.Close() }
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "vbench: profile disabled: %v\n", err)
+		f.Close()
+		return func() {}
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "vbench: profile write: %v\n", err)
+		}
+	}
 }

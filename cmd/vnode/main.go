@@ -37,9 +37,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,6 +51,7 @@ import (
 	"time"
 
 	"vkernel/internal/ipc"
+	"vkernel/internal/obs"
 	"vkernel/internal/rfs"
 )
 
@@ -61,6 +65,9 @@ func main() {
 		udpqueue     = flag.Int("udpqueue", 0, "dispatch queue depth between socket reads and handler workers (0 = default 512)")
 		udpworkers   = flag.Int("udpworkers", 0, "packet-dispatch worker goroutines (0 = per-CPU default, capped at 16)")
 		adaptiveRTO  = flag.Bool("adaptiverto", false, "per-peer adaptive retransmission timing (smoothed RTT/RTTVAR) instead of the fixed timeout")
+		metricsAddr  = flag.String("metrics", "", "serve the node's metrics registry over HTTP at this address (expvar JSON at /debug/vars, pprof under /debug/pprof/); empty = off")
+		timing       = flag.Bool("timing", false, "enable latency timing (per-op histograms); off by default so the hot paths cost one atomic load")
+		slowOp       = flag.Duration("slowop", 0, "server: auto-capture a trace span for any request slower than this (implies -timing); 0 = off")
 		serve        = flag.Bool("serve", false, "run the file server")
 		volumes      = flag.String("volumes", "", "server: comma-separated volumes to host — 'id' for a primary, 'id:rid' for read replica rid of volume id (empty = the single default volume)")
 		nreplicas    = flag.Int("replicas", 0, "server: read replicas each hosted primary keeps in sync (0 = replication off)")
@@ -85,6 +92,15 @@ func main() {
 	flag.Var(&peers, "peer", "host=addr peer entry; repeatable, and each may be a comma-separated list")
 	flag.Parse()
 
+	// One registry labels the whole node: transport, kernel and (when
+	// serving) the file server all record into it, so one scrape — HTTP
+	// expvar or a remote OpQueryStats — covers every layer.
+	reg := obs.New()
+	reg.SetNode(fmt.Sprintf("host%d", *host))
+	if *timing {
+		reg.SetTiming(true)
+	}
+
 	// Both wire transports register peers and expose their bound address
 	// the same way; everything past construction is Transport-agnostic.
 	type wireTransport interface {
@@ -97,11 +113,13 @@ func main() {
 	switch *transport {
 	case "udp":
 		tr, err = ipc.NewUDPTransportConfig(*listen, ipc.UDPConfig{
+			Metrics:    reg,
 			QueueDepth: *udpqueue,
 			Workers:    *udpworkers,
 		})
 	case "batched":
 		tr, err = ipc.NewBatchedUDPTransport(*listen, ipc.BatchConfig{
+			Metrics:    reg,
 			Shards:     *rxshards,
 			QueueDepth: *udpqueue,
 			Workers:    *udpworkers,
@@ -110,6 +128,9 @@ func main() {
 		err = fmt.Errorf("unknown -transport %q (want udp or batched)", *transport)
 	}
 	fatalIf(err)
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, reg)
+	}
 	for _, spec := range peers {
 		parts := strings.SplitN(spec, "=", 2)
 		if len(parts) != 2 {
@@ -121,12 +142,14 @@ func main() {
 		fatalIf(err)
 		tr.AddPeer(ipc.LogicalHost(h), addr)
 	}
-	node := ipc.NewNode(ipc.LogicalHost(*host), tr, ipc.NodeConfig{AdaptiveRTO: *adaptiveRTO})
+	node := ipc.NewNode(ipc.LogicalHost(*host), tr, ipc.NodeConfig{AdaptiveRTO: *adaptiveRTO, Metrics: reg})
 	defer node.Close()
 	fmt.Printf("vnode: host %d listening on %v (%s transport)\n", *host, tr.Addr(), *transport)
 
 	if *serve {
 		runServer(node, *volumes, *storeDir, *nreplicas, *rejoin, rfs.Config{
+			Metrics:      reg,
+			SlowOp:       *slowOp,
 			CacheBlocks:  *cacheBlks,
 			ReadAhead:    *readahead,
 			WriteThrough: *writeThrough,
@@ -138,6 +161,26 @@ func main() {
 		return
 	}
 	runClient(node, uint32(*fileID), *reads, *writes, *large, *clientCache, *ccBlocks, *volumeID, *spreadReads)
+}
+
+// serveMetrics exposes the registry over HTTP: expvar JSON at
+// /debug/vars (the registry published as "vkernel", plus the stdlib
+// memstats/cmdline vars) and the pprof profiling endpoints under
+// /debug/pprof/. A dedicated mux keeps the node off http.DefaultServeMux
+// side effects.
+func serveMetrics(addr string, reg *obs.Registry) {
+	obs.Publish("vkernel", reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	fatalIf(err)
+	fmt.Printf("vnode: metrics at http://%v/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
 }
 
 // peerList accumulates -peer flags: the flag is repeatable (the usage

@@ -19,3 +19,9 @@ func named(m *vproto.Message) uint32 {
 func suppressed(m *vproto.Message) {
 	m.SetWord(4, 1) //vlint:ignore wireword fixture: demonstrates a justified suppression
 }
+
+func bytes(m *vproto.Message, i int) byte {
+	m[1] = 0xff // want "raw byte index into a wire message"
+	b := m[i]   // want "raw byte index into a wire message"
+	return b + byteAt(m, i)
+}

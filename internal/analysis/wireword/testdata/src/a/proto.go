@@ -5,3 +5,5 @@ package a
 import "vkernel/internal/vproto"
 
 func accessor(m *vproto.Message) uint32 { return m.Word(5) }
+
+func byteAt(m *vproto.Message, i int) byte { return m[i] }

@@ -7,6 +7,12 @@
 // protocol-layout decision hiding in the data path; it must go through
 // a named constant or an accessor defined in a file named proto.go or
 // vproto.go (the allowlisted homes of wire-layout knowledge).
+//
+// The same rule applies one level down: subscripting a Message's bytes
+// directly (m[1], m[i]) bakes byte-level layout — like the 24-bit trace
+// id in bytes 1–3 — into whatever file does it. Byte access goes
+// through vproto accessors (Trace/SetTrace, Word/SetWord) or lives in
+// the allowlisted proto files.
 package wireword
 
 import (
@@ -51,6 +57,16 @@ func run(pass *analysis.Pass) []analysis.Diagnostic {
 				continue
 			}
 			ast.Inspect(file, func(n ast.Node) bool {
+				if idx, ok := n.(*ast.IndexExpr); ok {
+					recv := pkg.Info.Types[idx.X]
+					if recv.Type != nil && isMessage(recv.Type) {
+						diags = append(diags, analysis.Diagnostic{
+							Pos:     idx.Pos(),
+							Message: "raw byte index into a wire message: use a vproto accessor or move this to proto.go/vproto.go",
+						})
+					}
+					return true
+				}
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true

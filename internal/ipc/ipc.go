@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"vkernel/internal/bufpool"
+	"vkernel/internal/obs"
 	"vkernel/internal/vproto"
 )
 
@@ -77,6 +78,13 @@ const (
 
 // NodeConfig tunes a node; the zero value gets defaults.
 type NodeConfig struct {
+	// Metrics is the observability registry the node registers its
+	// ipc.* counters, gauges and histograms in. Nil gets the node a
+	// private registry (reachable via Node.Metrics), so counting always
+	// works; share one registry between the transport, the node and any
+	// embedded server to scrape them as a unit. Latency histograms are
+	// recorded only while the registry has timing enabled.
+	Metrics *obs.Registry
 	// RetransmitTimeout is the kernel-level retransmission period. With
 	// AdaptiveRTO it is the initial per-peer timeout, used until the
 	// first clean round-trip sample.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vkernel/internal/bufpool"
+	"vkernel/internal/obs"
 	"vkernel/internal/vproto"
 )
 
@@ -39,7 +40,13 @@ type Node struct {
 	names   nameTable
 	rtt     rttTable
 
-	stats nodeCounters
+	// metrics is the node's registry (NodeConfig.Metrics, or a private
+	// one); stats are its ipc.* counters, exchangeNs the Send→Reply
+	// latency histogram (recorded only while the registry has timing
+	// enabled).
+	metrics    *obs.Registry
+	stats      nodeCounters
+	exchangeNs *obs.Histogram
 }
 
 // NodeStats counts protocol activity (snapshot via Stats).
@@ -51,10 +58,14 @@ type NodeStats struct {
 	ReplyPendingsSent int
 	ReplyPendingsSeen int
 	NacksSent         int
-	BadPackets        int
-	MoveOps           int
-	MoveBytes         int64
-	RTTSamples        int
+	// OverloadSheds counts inbound Sends refused by receive-queue
+	// backpressure (each remote shed also sends one overload Nack,
+	// counted in NacksSent; local sheds appear only here).
+	OverloadSheds int
+	BadPackets    int
+	MoveOps       int
+	MoveBytes     int64
+	RTTSamples    int
 }
 
 type nameEntry struct {
@@ -158,6 +169,13 @@ func NewNode(host LogicalHost, tr Transport, cfg NodeConfig) *Node {
 		cfg:       cfg.withDefaults(),
 		transport: tr,
 	}
+	n.metrics = cfg.Metrics
+	if n.metrics == nil {
+		n.metrics = obs.New()
+	}
+	n.stats = newNodeCounters(n.metrics)
+	n.exchangeNs = n.metrics.Histogram("ipc.exchange_ns")
+	n.registerRTTGauges()
 	n.sendBuf, _ = tr.(BufSender)
 	n.procs.init()
 	n.aliens.init()
@@ -182,6 +200,12 @@ func (n *Node) Host() LogicalHost { return n.host }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() NodeStats { return n.stats.snapshot() }
+
+// Metrics returns the node's observability registry (the one from
+// NodeConfig.Metrics, or the private registry the node made for
+// itself). Embedding servers adopt it so one scrape covers both the
+// IPC layer and the service built on it.
+func (n *Node) Metrics() *obs.Registry { return n.metrics }
 
 // Close shuts the node down: outstanding operations fail with ErrClosed
 // and blocked receivers are released.
@@ -362,6 +386,7 @@ func (n *Node) handleSend(pkt *vproto.Packet, f *bufpool.Buf) {
 				// Duplicate of a message we refused under overload: shed
 				// it again (the first Nack may have been lost).
 				t.mu.Unlock()
+				n.stats.overloadSheds.Add(1)
 				n.stats.nacksSent.Add(1)
 				n.send(&vproto.Packet{
 					Kind:  vproto.KindNack,
@@ -447,6 +472,7 @@ func (n *Node) handleSend(pkt *vproto.Packet, f *bufpool.Buf) {
 		// retry is a new Send with a higher seq and replaces it.
 		env.releaseFrame()
 		n.aliens.markShed(a)
+		n.stats.overloadSheds.Add(1)
 		n.stats.nacksSent.Add(1)
 		n.send(&vproto.Packet{
 			Kind:  vproto.KindNack,

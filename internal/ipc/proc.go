@@ -240,6 +240,7 @@ func (p *Proc) Send(msg *Message, dst Pid, seg *Segment) error {
 	case enqClosed:
 		return ErrNoProcess
 	case enqOverflow:
+		p.node.stats.overloadSheds.Add(1)
 		return ErrOverloaded
 	}
 	res := <-ctx.replyCh
@@ -302,9 +303,13 @@ func (p *Proc) remoteSend(msg *Message, dst Pid, seg *Segment) error {
 	}
 	n.stats.remoteSends.Add(1)
 
+	t0 := n.metrics.Start()
 	n.xmit(dst.Host(), f)
 	res := <-ps.replyCh
 	f.Release() // exchange over; in-flight retransmits hold their own refs
+	if res.err == nil {
+		n.exchangeNs.Since(t0)
+	}
 	// A clean (never retransmitted — Karn) completed round trip is an
 	// RTT sample for this peer. Reading ps.retransmitted here is
 	// race-free: it only changes under the pendingTable lock before the

@@ -151,3 +151,44 @@ func (n *Node) bumpRTO(host LogicalHost) {
 func (n *Node) PeerRTT(host LogicalHost) (srtt, rttvar time.Duration, samples int64) {
 	return n.rtt.snapshot(host)
 }
+
+// avg reports the mean srtt and mean current timeout (srtt + 4·rttvar,
+// before backoff/clamping) across peers with at least one sample.
+func (t *rttTable) avg() (srtt, rto int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var peers int64
+	for _, e := range t.m {
+		if e.samples == 0 {
+			continue
+		}
+		peers++
+		srtt += int64(e.srtt)
+		rto += int64(e.srtt + 4*e.rttvar)
+	}
+	if peers == 0 {
+		return 0, 0
+	}
+	return srtt / peers, rto / peers
+}
+
+// registerRTTGauges publishes the adaptive-timing estimates as
+// pull-time gauges: the mean smoothed RTT and mean retransmission
+// timeout across sampled peers (0 before any sample; with AdaptiveRTO
+// off, rto reports the fixed configured timeout).
+func (n *Node) registerRTTGauges() {
+	n.metrics.GaugeFunc("ipc.srtt_ns", func() int64 {
+		srtt, _ := n.rtt.avg()
+		return srtt
+	})
+	n.metrics.GaugeFunc("ipc.rto_ns", func() int64 {
+		if !n.cfg.AdaptiveRTO {
+			return int64(n.cfg.RetransmitTimeout)
+		}
+		_, rto := n.rtt.avg()
+		if rto == 0 {
+			return int64(n.cfg.RetransmitTimeout)
+		}
+		return rto
+	})
+}

@@ -1,22 +1,47 @@
 package ipc
 
-import "sync/atomic"
+import "vkernel/internal/obs"
 
-// nodeCounters holds the node's protocol statistics as independent atomic
-// counters, so hot paths on different subsystems never contend on a stats
-// lock.
+// nodeCounters holds the node's protocol statistics as named counters in
+// the node's obs registry — independent atomics, so hot paths on
+// different subsystems never contend on a stats lock, and one uniform
+// namespace (`ipc.*`) that OpQueryStats/vstat scrape alongside every
+// other subsystem. NodeStats remains as a thin snapshot view.
 type nodeCounters struct {
-	remoteSends       atomic.Int64
-	remoteReplies     atomic.Int64
-	retransmits       atomic.Int64
-	dupsFiltered      atomic.Int64
-	replyPendingsSent atomic.Int64
-	replyPendingsSeen atomic.Int64
-	nacksSent         atomic.Int64
-	badPackets        atomic.Int64
-	moveOps           atomic.Int64
-	moveBytes         atomic.Int64
-	rttSamples        atomic.Int64
+	remoteSends       *obs.Counter
+	remoteReplies     *obs.Counter
+	retransmits       *obs.Counter
+	dupsFiltered      *obs.Counter
+	replyPendingsSent *obs.Counter
+	replyPendingsSeen *obs.Counter
+	nacksSent         *obs.Counter
+	overloadSheds     *obs.Counter
+	badPackets        *obs.Counter
+	moveOps           *obs.Counter
+	moveBytes         *obs.Counter
+	rttSamples        *obs.Counter
+}
+
+// newNodeCounters registers the node counters under their wire-visible
+// names. Every name the batched transport also touches (retransmits,
+// nacks, sheds are node-layer; batching is transport-layer `net.*`)
+// lives here exactly once, so NodeStats and scrapes can never disagree
+// about what a counter means.
+func newNodeCounters(r *obs.Registry) nodeCounters {
+	return nodeCounters{
+		remoteSends:       r.Counter("ipc.remote_sends"),
+		remoteReplies:     r.Counter("ipc.remote_replies"),
+		retransmits:       r.Counter("ipc.retransmits"),
+		dupsFiltered:      r.Counter("ipc.dups_filtered"),
+		replyPendingsSent: r.Counter("ipc.reply_pendings_sent"),
+		replyPendingsSeen: r.Counter("ipc.reply_pendings_seen"),
+		nacksSent:         r.Counter("ipc.nacks_sent"),
+		overloadSheds:     r.Counter("ipc.overload_sheds"),
+		badPackets:        r.Counter("ipc.bad_packets"),
+		moveOps:           r.Counter("ipc.move_ops"),
+		moveBytes:         r.Counter("ipc.move_bytes"),
+		rttSamples:        r.Counter("ipc.rtt_samples"),
+	}
 }
 
 // snapshot materializes the exported NodeStats view.
@@ -29,6 +54,7 @@ func (c *nodeCounters) snapshot() NodeStats {
 		ReplyPendingsSent: int(c.replyPendingsSent.Load()),
 		ReplyPendingsSeen: int(c.replyPendingsSeen.Load()),
 		NacksSent:         int(c.nacksSent.Load()),
+		OverloadSheds:     int(c.overloadSheds.Load()),
 		BadPackets:        int(c.badPackets.Load()),
 		MoveOps:           int(c.moveOps.Load()),
 		MoveBytes:         c.moveBytes.Load(),

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"vkernel/internal/bufpool"
+	"vkernel/internal/obs"
 	"vkernel/internal/vproto"
 )
 
@@ -21,6 +22,11 @@ const udpQueueDepth = 512
 // UDPConfig tunes a UDPTransport; the zero value gets the defaults that
 // used to be compile-time constants.
 type UDPConfig struct {
+	// Metrics is the observability registry for the transport's net.*
+	// counters (same names as BatchedUDPTransport's, minus the batching
+	// ones — this transport moves one datagram per kernel crossing).
+	// Nil gets a private registry.
+	Metrics *obs.Registry
 	// QueueDepth bounds datagrams buffered between the socket read loop
 	// and the handler workers (0 = 512).
 	QueueDepth int
@@ -81,6 +87,9 @@ type UDPTransport struct {
 	handler atomic.Pointer[func(*bufpool.Buf)]
 	peers   peerTable
 
+	sends *obs.Counter // set once at construction
+	recvs *obs.Counter
+
 	mu      sync.Mutex
 	closed  bool
 	started bool
@@ -108,10 +117,16 @@ func NewUDPTransportConfig(listen string, cfg UDPConfig) (*UDPTransport, error) 
 		return nil, fmt.Errorf("ipc: listen %q: %w", listen, err)
 	}
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	t := &UDPTransport{
 		conn:  conn,
 		cfg:   cfg,
 		queue: make(chan *bufpool.Buf, cfg.QueueDepth),
+		sends: reg.Counter("net.sends"),
+		recvs: reg.Counter("net.recvs"),
 	}
 	t.peers.init()
 	return t, nil
@@ -149,6 +164,7 @@ func (t *UDPTransport) readLoop() {
 		f := bufpool.Get(n)
 		copy(f.Data, scratch[:n])
 		t.peers.learn(f.Data, from)
+		t.recvs.Add(1)
 		t.queue <- f
 	}
 }
@@ -180,6 +196,7 @@ func (t *UDPTransport) Send(to LogicalHost, pkt []byte) error {
 		// Unknown host: broadcast, as the kernel does (§3.1).
 		return t.Broadcast(pkt)
 	}
+	t.sends.Add(1)
 	_, err := t.conn.WriteToUDP(pkt, addr)
 	return err
 }

@@ -7,11 +7,16 @@ import (
 	"sync/atomic"
 
 	"vkernel/internal/bufpool"
+	"vkernel/internal/obs"
 	"vkernel/internal/vproto"
 )
 
 // BatchConfig tunes a BatchedUDPTransport; the zero value gets defaults.
 type BatchConfig struct {
+	// Metrics is the observability registry for the transport's net.*
+	// counters. Nil gets the transport a private registry; pass the
+	// node's registry to scrape transport and node as one unit.
+	Metrics *obs.Registry
 	// Shards is the number of SO_REUSEPORT sockets sharing the listen
 	// port; the kernel hashes inbound flows across them so receive
 	// processing scales over cores (0 = one per CPU, capped at 4).
@@ -124,13 +129,28 @@ type BatchedUDPTransport struct {
 	workerWG sync.WaitGroup
 }
 
+// batchCounters are the transport's batching statistics, named net.*
+// in the registry (the node layer's protocol counters are ipc.*; the
+// two namespaces never overlap, so NodeStats and BatchStats cannot
+// disagree about what a number counts).
 type batchCounters struct {
-	recvs        atomic.Int64
-	recvBatches  atomic.Int64
-	sends        atomic.Int64
-	sendBatches  atomic.Int64
-	inlineSends  atomic.Int64
-	hotPromotion atomic.Int64
+	recvs        *obs.Counter
+	recvBatches  *obs.Counter
+	sends        *obs.Counter
+	sendBatches  *obs.Counter
+	inlineSends  *obs.Counter
+	hotPromotion *obs.Counter
+}
+
+func newBatchCounters(r *obs.Registry) batchCounters {
+	return batchCounters{
+		recvs:        r.Counter("net.recvs"),
+		recvBatches:  r.Counter("net.recv_batches"),
+		sends:        r.Counter("net.sends"),
+		sendBatches:  r.Counter("net.send_batches"),
+		inlineSends:  r.Counter("net.inline_sends"),
+		hotPromotion: r.Counter("net.hot_promotions"),
+	}
 }
 
 // batchSock is one socket of the transport: a shard of the shared port,
@@ -163,12 +183,17 @@ func NewBatchedUDPTransport(listen string, cfg BatchConfig) (*BatchedUDPTranspor
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	t := &BatchedUDPTransport{
 		cfg:     cfg,
 		addr:    conns[0].LocalAddr().(*net.UDPAddr),
 		hot:     make(map[LogicalHost]*batchSock),
 		sendsTo: make(map[LogicalHost]int),
 		queue:   make(chan []*bufpool.Buf, cfg.QueueDepth),
+		stats:   newBatchCounters(reg),
 	}
 	t.peers.init()
 	for _, c := range conns {

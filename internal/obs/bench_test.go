@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The record path must stay allocation-free and under ~30ns so that
+// always-on instrumentation is invisible next to a ~60µs network
+// exchange. make bench-alloc runs these with -benchmem; allocs/op
+// must read 0.
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v += 7919
+		}
+	})
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := New()
+	c := r.Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkTimingDisabled is the cost every instrumented site pays
+// when timing is off: one atomic load, no clock read.
+func BenchmarkTimingDisabled(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench.ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Since(r.Start())
+	}
+}
+
+// BenchmarkTimingEnabled is the full record path: two clock reads plus
+// one Observe.
+func BenchmarkTimingEnabled(b *testing.B) {
+	r := New()
+	r.SetTiming(true)
+	h := r.Histogram("bench.ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Since(r.Start())
+	}
+}
+
+func BenchmarkStat(b *testing.B) {
+	h := &Histogram{}
+	for i := 0; i < 1_000_000; i++ {
+		h.Observe(int64(i % 100_000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Stat()
+	}
+}
+
+var sinkDur time.Duration
+
+func BenchmarkTraceRecord(b *testing.B) {
+	r := New()
+	ring := r.Trace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ring.Record(7, "bench.span", uint64(i), sinkDur)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishMu sync.Mutex
+var published = map[string]bool{}
+
+// Publish exposes the registry under the given expvar name as a JSON
+// map: counters and gauges as numbers, histograms as
+// {count,sum,max,p50,p95,p99} objects. Republishing the same name
+// replaces the backing registry instead of panicking (expvar.Publish
+// panics on duplicates), so tests and restarts are safe.
+func Publish(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	cur := &registryVar{}
+	cur.r.Store(r)
+	if published[name] {
+		if v, ok := expvar.Get(name).(*registryVar); ok {
+			v.r.Store(r)
+			return
+		}
+	}
+	published[name] = true
+	expvar.Publish(name, cur)
+}
+
+type registryVar struct {
+	r registryBox
+}
+
+// registryBox is a tiny typed wrapper over sync (atomic.Pointer needs
+// go1.19+, present) kept separate so registryVar satisfies expvar.Var.
+type registryBox struct {
+	mu sync.Mutex
+	v  *Registry
+}
+
+func (b *registryBox) Store(r *Registry) {
+	b.mu.Lock()
+	b.v = r
+	b.mu.Unlock()
+}
+
+func (b *registryBox) Load() *Registry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+func (v *registryVar) String() string {
+	r := v.r.Load()
+	m := expvar.Map{}
+	r.Do(
+		func(name string, val int64) {
+			i := new(expvar.Int)
+			i.Set(val)
+			m.Set(name, i)
+		},
+		func(name string, val int64) {
+			i := new(expvar.Int)
+			i.Set(val)
+			m.Set(name, i)
+		},
+		func(name string, s HistStat) {
+			hm := new(expvar.Map).Init()
+			for _, kv := range []struct {
+				k string
+				v int64
+			}{
+				{"count", s.Count}, {"sum", s.Sum}, {"max", s.Max},
+				{"p50", s.P50}, {"p95", s.P95}, {"p99", s.P99},
+			} {
+				i := new(expvar.Int)
+				i.Set(kv.v)
+				hm.Set(kv.k, i)
+			}
+			m.Set(name, hm)
+		},
+	)
+	return m.String()
+}

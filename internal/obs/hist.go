@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-bucketed latency histogram. Values are
+// nanoseconds (any non-negative int64 works). Buckets are exact for
+// 0..7 and then logarithmic with four sub-buckets per octave, which
+// bounds the relative error of any reported percentile to under 25%
+// — plenty for telling a 60µs page read from a 6ms one — while keeping
+// the whole histogram at 2KB of independent atomics.
+//
+// Observe is one atomic add per bucket, one for the running sum, and a
+// compare-and-swap for the max that only executes when a new maximum
+// is actually set. There is no count field: a snapshot derives the
+// count by summing the buckets it read, so count == Σbuckets holds in
+// every snapshot by construction and a scrape racing a million
+// Observes can never return a torn (count ≠ buckets) view.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// histBuckets covers bucketOf's full index range: 8 exact buckets plus
+// 4 sub-buckets for each of the 61 octaves of an int64.
+const histBuckets = 8 + 61*4
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0.
+func bucketOf(v int64) int {
+	if v < 8 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	u := uint64(v)
+	exp := bits.Len64(u) - 3 // ≥ 1 for v ≥ 8
+	return 8 + (exp-1)*4 + int((u>>uint(exp))&3)
+}
+
+// bucketMax is the largest value that lands in bucket i (the inclusive
+// upper bound reported for percentiles in that bucket).
+func bucketMax(i int) int64 {
+	if i < 8 {
+		return int64(i)
+	}
+	exp := uint((i-8)/4 + 1)
+	sub := uint64((i - 8) % 4)
+	return int64((4+sub+1)<<exp - 1)
+}
+
+// Observe records one value. It is allocation-free and wait-free
+// except for the max update, which retries only while v is a new
+// maximum racing other new maxima.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Since records the elapsed time since t0 in nanoseconds, unless t0 is
+// the zero time (the Registry.Start "timing disabled" sentinel), and
+// reports the elapsed nanoseconds (0 when disabled).
+func (h *Histogram) Since(t0 time.Time) int64 {
+	if t0.IsZero() {
+		return 0
+	}
+	d := int64(time.Since(t0))
+	h.Observe(d)
+	return d
+}
+
+// HistStat is a point-in-time summary of a histogram.
+type HistStat struct {
+	Count int64
+	Sum   int64
+	Max   int64
+	P50   int64
+	P95   int64
+	P99   int64
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistStat) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Stat summarizes the histogram. Count is derived from the buckets
+// read, so it always equals the sum of the snapshot's buckets.
+func (h *Histogram) Stat() HistStat {
+	if h == nil {
+		return HistStat{}
+	}
+	var counts [histBuckets]uint64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += int64(counts[i])
+	}
+	s := HistStat{
+		Count: total,
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if total == 0 {
+		return s
+	}
+	s.P50 = percentile(&counts, total, 50)
+	s.P95 = percentile(&counts, total, 95)
+	s.P99 = percentile(&counts, total, 99)
+	if s.P99 > s.Max && s.Max > 0 {
+		// The percentile is a bucket upper bound; never report it past
+		// the true max.
+		s.P99 = s.Max
+	}
+	return s
+}
+
+// percentile returns the upper bound of the bucket holding the p'th
+// percentile observation.
+func percentile(counts *[histBuckets]uint64, total int64, p int64) int64 {
+	rank := (total*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range counts {
+		seen += int64(counts[i])
+		if seen >= rank {
+			return bucketMax(i)
+		}
+	}
+	return bucketMax(histBuckets - 1)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Wire-level request tracing.
+//
+// A trace id is a 24-bit nonzero token a client stamps into the spare
+// bytes of the V message word 0 (vproto.Message.SetTrace); zero means
+// untraced, which is what every pre-existing sender puts on the wire,
+// so traced and untraced nodes interoperate freely. Servers propagate
+// the id into whatever work the request fans out to — worker dispatch,
+// write-behind flushes, replication pushes, invalidation callbacks —
+// and every node that touches the request appends timestamped span
+// events to its own TraceRing. A scraper that collects the rings of
+// all nodes and filters by id reconstructs the multi-node timeline of
+// one request.
+//
+// The ring additionally captures outliers on its own: when the
+// registry's slow-op threshold is set, an operation whose duration
+// crosses it is recorded even when untraced (trace id 0), so tail
+// pathologies surface without anyone having asked to trace in advance.
+
+// Event is one span event on one node.
+type Event struct {
+	Trace uint32        // 24-bit trace id; 0 for slow-op captures of untraced requests
+	When  time.Time     // event completion time
+	Node  string        // recording node's label
+	What  string        // event name, e.g. "rfs.page_write" (no spaces)
+	Arg   uint64        // event-specific argument (file id, byte count, sequence…)
+	Dur   time.Duration // span duration; 0 for instantaneous marks
+}
+
+// defaultRingSize bounds a node's retained events. Events are rare
+// (traced or slow operations only), so a small ring covers minutes of
+// traced traffic while bounding memory at ~64KB per node.
+const defaultRingSize = 1024
+
+// TraceRing is a fixed-size ring of span events. The mutex is fine
+// here: the ring is only touched for traced or slow operations, never
+// on the untraced hot path.
+type TraceRing struct {
+	mu    sync.Mutex
+	node  string
+	buf   []Event
+	next  int
+	count int // total events ever recorded
+}
+
+func newTraceRing(size int) *TraceRing {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	return &TraceRing{buf: make([]Event, size)}
+}
+
+func (t *TraceRing) setNode(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.node = name
+	t.mu.Unlock()
+}
+
+// Record appends one span event, stamping the ring's node label and
+// the current time.
+func (t *TraceRing) Record(trace uint32, what string, arg uint64, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.next] = Event{
+		Trace: trace,
+		When:  time.Now(),
+		Node:  t.node,
+		What:  what,
+		Arg:   arg,
+		Dur:   dur,
+	}
+	t.next = (t.next + 1) % len(t.buf)
+	t.count++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *TraceRing) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.count
+	if n > len(t.buf) {
+		n = len(t.buf)
+	}
+	out := make([]Event, 0, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// EventsFor returns the retained events carrying the given trace id,
+// oldest first.
+func (t *TraceRing) EventsFor(trace uint32) []Event {
+	all := t.Events()
+	out := all[:0]
+	for _, e := range all {
+		if e.Trace == trace {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained events.
+func (t *TraceRing) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count > len(t.buf) {
+		return len(t.buf)
+	}
+	return t.count
+}
+
+// TraceMask bounds trace ids to the 24 bits the wire carries.
+const TraceMask = 1<<24 - 1
+
+// NewTraceID returns a random nonzero 24-bit trace id.
+func NewTraceID() uint32 {
+	for {
+		if id := uint32(rand.Int63()) & TraceMask; id != 0 {
+			return id
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vkernel/internal/bufpool"
+	"vkernel/internal/obs"
 )
 
 // errCacheClosed reports a stage attempted after close; the server
@@ -111,6 +112,12 @@ type blockCache struct {
 
 	gens [256]atomic.Uint64 // invalidation stamps, sharded by block id
 
+	// ring, when set (the server wires its registry's trace ring in),
+	// receives a span event per flush run that writes back a traced
+	// block — the asynchronous tail of a traced write's timeline. Nil
+	// (standalone cache tests) disables flush tracing.
+	ring *obs.TraceRing
+
 	hits          atomic.Int64
 	misses        atomic.Int64
 	flushRuns     atomic.Int64
@@ -125,6 +132,10 @@ type cacheEntry struct {
 	state   int
 	redirty bool // staged again while its flush was in flight
 	flushes int  // completed write-backs; lets a drain spot "flushed since"
+	// trace is the last staging writer's trace id (0 = untraced); the
+	// flusher that writes the entry back logs the flush under it, so a
+	// traced write's timeline covers its asynchronous write-back too.
+	trace uint32
 	// dirtiedAt is when the entry's current unflushed bytes entered the
 	// cache (maintained only under scheduled flushing, maxDirtyAge > 0).
 	dirtiedAt time.Time
@@ -134,9 +145,10 @@ type cacheEntry struct {
 // retained snapshot of the buffer and extent being written, so completion
 // can tell whether the entry was re-staged or invalidated meanwhile.
 type flushItem struct {
-	e   *cacheEntry
-	buf *bufpool.Buf
-	end int
+	e     *cacheEntry
+	buf   *bufpool.Buf
+	end   int
+	trace uint32
 }
 
 // newBlockCache builds the cache. write is the store write-back hook for
@@ -287,7 +299,7 @@ func (c *blockCache) put(id blockID, buf *bufpool.Buf, gen uint64, end int) {
 // stage blocks while the dirty budget is exhausted — that is the
 // write-behind backpressure: writers run ahead of the store by at most
 // budget blocks, then throttle to flush speed.
-func (c *blockCache) stage(id blockID, buf *bufpool.Buf, payStart, payEnd int, spare []byte, spareEnd int, spareGen uint64) error {
+func (c *blockCache) stage(id blockID, buf *bufpool.Buf, payStart, payEnd int, spare []byte, spareEnd int, spareGen uint64, trace uint32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for !c.closed && c.budget > 0 && c.dirtyCount >= c.budget {
@@ -332,6 +344,7 @@ func (c *blockCache) stage(id blockID, buf *bufpool.Buf, payStart, payEnd int, s
 		e.buf.Release()
 		e.buf = buf.Retain()
 		e.end = end
+		e.trace = trace
 		switch e.state {
 		case stateClean:
 			e.state = stateDirty
@@ -347,7 +360,7 @@ func (c *blockCache) stage(id blockID, buf *bufpool.Buf, payStart, payEnd int, s
 		}
 		c.lru.MoveToFront(el)
 	} else {
-		e := &cacheEntry{id: id, buf: buf.Retain(), end: end, state: stateDirty}
+		e := &cacheEntry{id: id, buf: buf.Retain(), end: end, state: stateDirty, trace: trace}
 		c.stampDirtiedLocked(e)
 		c.entries[id] = c.lru.PushFront(e)
 		c.dirty[id] = e
@@ -630,7 +643,7 @@ func (c *blockCache) claimRunFromLocked(seed *cacheEntry) (file uint32, start ui
 		}
 		e.state = stateFlushing
 		delete(c.dirty, e.id)
-		items = append(items, flushItem{e: e, buf: e.buf.Retain(), end: e.end})
+		items = append(items, flushItem{e: e, buf: e.buf.Retain(), end: e.end, trace: e.trace})
 		if e.end != c.blockSize {
 			break
 		}
@@ -645,6 +658,21 @@ func (c *blockCache) claimRunFromLocked(seed *cacheEntry) (file uint32, start ui
 func (c *blockCache) flushRun(file uint32, start uint32, items []flushItem) {
 	last := items[len(items)-1]
 	total := (len(items)-1)*c.blockSize + last.end
+	// A traced block in the run makes the whole run's write-back part of
+	// that trace's timeline; only then is the clock read at all.
+	var traced uint32
+	if c.ring != nil {
+		for _, it := range items {
+			if it.trace != 0 {
+				traced = it.trace
+				break
+			}
+		}
+	}
+	var t0 time.Time
+	if traced != 0 {
+		t0 = time.Now()
+	}
 	var err error
 	if total > 0 {
 		staging := bufpool.Get(total)
@@ -653,6 +681,9 @@ func (c *blockCache) flushRun(file uint32, start uint32, items []flushItem) {
 		}
 		err = c.write(file, int64(start)*int64(c.blockSize), staging.Data)
 		staging.Release()
+	}
+	if traced != 0 {
+		c.ring.Record(traced, "rfs.flush", uint64(file)<<32|uint64(len(items)), time.Since(t0))
 	}
 	c.flushRuns.Add(1)
 	c.flushedBlocks.Add(int64(len(items)))

@@ -87,6 +87,11 @@ type Client struct {
 	readOp      bool
 	lastTarget  ipc.Pid
 	retry       RetryPolicy
+	// trace, when nonzero, stamps every outgoing request with a 24-bit
+	// trace id (SetTrace): the server records spans for the request and
+	// everything it fans out (flushes, replication pushes, invalidation
+	// callbacks) under that id.
+	trace uint32
 	// sleep is the backoff hook; tests substitute a recording no-op so
 	// retry schedules stay deterministic and instantaneous.
 	sleep func(time.Duration)
@@ -195,9 +200,17 @@ func (c *Client) Server() ipc.Pid {
 // Volume returns the volume the client addresses.
 func (c *Client) Volume() uint32 { return c.vol }
 
+// SetTrace makes every subsequent request carry the given 24-bit trace
+// id (0 restores untraced operation). Use obs.NewTraceID for fresh ids.
+func (c *Client) SetTrace(id uint32) { c.trace = id & vproto.TraceMask }
+
 // request assembles a request message addressed to the client's volume.
 func (c *Client) request(op, file, blockOrOff, count uint32) ipc.Message {
-	return buildRequest(c.vol, op, file, blockOrOff, count)
+	m := buildRequest(c.vol, op, file, blockOrOff, count)
+	if c.trace != 0 {
+		m.SetTrace(c.trace)
+	}
+	return m
 }
 
 // target resolves the pid this operation goes to. For a routed client a
@@ -391,6 +404,28 @@ func (c *Client) QueryVolumes() ([]uint32, error) {
 		vols[i] = binary.BigEndian.Uint32(buf[i*4:])
 	}
 	return vols, nil
+}
+
+// QueryStats scrapes the server's metrics registry over V IPC: the
+// server streams its serialized snapshot (the obs text wire format —
+// parse with obs.ParseSnapshot) into dst with MoveTo. It returns the
+// bytes streamed and the full snapshot size; streamed < total means dst
+// was too small and the snapshot was cut at a line boundary. Like
+// QueryVolumes the op is volume-agnostic: any server answers for its
+// whole node.
+func (c *Client) QueryStats(dst []byte) (streamed, total int, err error) {
+	m := c.request(OpQueryStats, 0, 0, uint32(len(dst)))
+	c.readOp = true
+	err = c.exchangeOp(&m, c.segment(dst, ipc.SegWrite))
+	c.readOp = false
+	if err != nil {
+		return 0, 0, err
+	}
+	st, tot := statsReply(&m)
+	if int(st) > len(dst) {
+		return 0, 0, fmt.Errorf("%w: streamed %d into %d-byte grant", ErrBadStatus, st, len(dst))
+	}
+	return int(st), int(tot), nil
 }
 
 // Sync asks the server to drain its write-behind blocks to the backing

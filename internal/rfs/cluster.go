@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"vkernel/internal/ipc"
+	"vkernel/internal/obs"
 )
 
 // ClusterConfig describes a sharded rfs deployment for tests and
@@ -125,14 +126,24 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 }
 
 // boot builds the shard's transport and node and starts its server.
+// Every boot gets a fresh per-shard registry (labelled shard<i>) shared
+// by the transport, node and server, so one OpQueryStats scrape of the
+// shard covers net.*, ipc.* and rfs.* together — and a Restart starts
+// its counters from zero, like any rebooted host would.
 func (c *Cluster) boot(cs *ClusterServer) error {
+	reg := obs.New()
+	reg.SetNode(fmt.Sprintf("shard%d", cs.Index))
+	nodeCfg := c.cfg.Node
+	nodeCfg.Metrics = reg
+	srvCfg := c.cfg.Server
+	srvCfg.Metrics = reg
 	var tr ipc.Transport
 	if c.cfg.UDP {
 		listen := "127.0.0.1:0"
 		if cs.addr != nil { // Restart: rebind the crashed server's address
 			listen = cs.addr.String()
 		}
-		utr, err := ipc.NewUDPTransport(listen)
+		utr, err := ipc.NewUDPTransportConfig(listen, ipc.UDPConfig{Metrics: reg})
 		if err != nil {
 			return fmt.Errorf("rfs: cluster shard %d: %w", cs.Index, err)
 		}
@@ -154,8 +165,8 @@ func (c *Cluster) boot(cs *ClusterServer) error {
 	} else {
 		tr = c.Mesh.Transport(cs.Host)
 	}
-	cs.Node = ipc.NewNode(cs.Host, tr, c.cfg.Node)
-	srv, err := StartVolumes(cs.Node, cs.Specs, c.cfg.Server)
+	cs.Node = ipc.NewNode(cs.Host, tr, nodeCfg)
+	srv, err := StartVolumes(cs.Node, cs.Specs, srvCfg)
 	if err != nil {
 		_ = cs.Node.Close()
 		cs.Node = nil

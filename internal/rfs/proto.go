@@ -129,6 +129,18 @@ const (
 	// OpRepCreate pushes a create/truncate record: word 2 = file,
 	// word 3 = size, word 5 = sequence.
 	OpRepCreate uint32 = 18
+
+	// OpQueryStats scrapes the server's metrics registry over V IPC:
+	// word 4 bounds the reply bytes; the serialized snapshot
+	// (obs.Registry.Serialize — counters, gauges, histogram summaries and
+	// recent trace events in the obs text wire format) is MoveTo-streamed
+	// into the granted segment. Volume-agnostic like OpQueryVolumes: any
+	// server answers for its whole registry, so DiscoverAll plus one
+	// OpQueryStats per responder is a full-cluster scrape (cmd/vstat).
+	// The reply carries the streamed byte count in word 2 and the full
+	// snapshot size in word 3, so a scraper can detect a grant too small
+	// for the whole snapshot (the stream is cut at a line boundary).
+	OpQueryStats uint32 = 19
 )
 
 // InvalidateAll as an OpInvalidate block count names the whole file
@@ -302,6 +314,19 @@ func repPullReply(m *ipc.Message) (bytes, records, seq uint32) {
 	return m.Word(2), m.Word(3), m.Word(4)
 }
 
+// stampStatsReply finishes an OpQueryStats reply: word 2 = streamed
+// bytes, word 3 = the full snapshot size (larger than word 2 when the
+// grant could not hold the whole snapshot).
+func stampStatsReply(m *ipc.Message, streamed, total uint32) {
+	m.SetWord(2, streamed)
+	m.SetWord(3, total)
+}
+
+// statsReply reads an OpQueryStats reply.
+func statsReply(m *ipc.Message) (streamed, total uint32) {
+	return m.Word(2), m.Word(3)
+}
+
 // stampRepFiles finishes an OpRepFiles reply: word 2 = entry count,
 // word 3 = the snapshot sequence the enumeration is consistent with.
 func stampRepFiles(m *ipc.Message, entries, seq uint32) {
@@ -359,8 +384,12 @@ const (
 )
 
 // repRecordHeader is the encoded record header size: kind (1 byte) plus
-// file, off, len and seq as big-endian uint32s.
-const repRecordHeader = 1 + 4*4
+// file, off, len, seq and trace as big-endian uint32s. The trace word
+// carries the originating client's 24-bit trace id (0 = untraced)
+// through the catch-up log and pull stream, so a traced write's span
+// timeline extends onto replicas that applied it by pull as well as by
+// push.
+const repRecordHeader = 1 + 5*4
 
 // repFileEntry is one OpRepFiles entry: file id (uint32) + size (uint64).
 const repFileEntry = 4 + 8

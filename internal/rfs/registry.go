@@ -3,10 +3,10 @@ package rfs
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"vkernel/internal/ipc"
+	"vkernel/internal/obs"
 )
 
 // cacheRegistry is the server half of the client-cache consistency
@@ -43,12 +43,12 @@ type cacheRegistry struct {
 	poolSize int
 	workers  sync.WaitGroup
 
-	registrations    atomic.Int64
-	callbacks        atomic.Int64
-	callbackErrs     atomic.Int64
-	callbackTimeouts atomic.Int64
-	leaseExpiries    atomic.Int64
-	abandoned        atomic.Int64 // callback exchanges left parked past their deadline
+	registrations    *obs.Counter
+	callbacks        *obs.Counter
+	callbackErrs     *obs.Counter
+	callbackTimeouts *obs.Counter
+	leaseExpiries    *obs.Counter
+	abandoned        *obs.Counter // callback exchanges left parked past their deadline
 }
 
 // volFile names one file within one volume — the registry's key.
@@ -78,6 +78,7 @@ type watcher struct {
 type invJob struct {
 	cb                               ipc.Pid
 	vol, file, first, count, version uint32
+	trace                            uint32 // the triggering write's trace id, re-stamped on the callback
 	done                             chan<- invResult
 }
 
@@ -98,7 +99,7 @@ var errCallbackTimeout = errors.New("rfs: invalidation callback timed out")
 // goroutine, not a pool worker, and close never deadlocks behind it.
 // Abandoned exchanges self-clean when the Send finally fails (at the
 // latest when the node closes).
-func newCacheRegistry(node *ipc.Node, lease, timeout time.Duration, workers int) (*cacheRegistry, error) {
+func newCacheRegistry(node *ipc.Node, lease, timeout time.Duration, workers int, reg *obs.Registry) (*cacheRegistry, error) {
 	r := &cacheRegistry{
 		files:    make(map[volFile]*fileReg),
 		lease:    lease,
@@ -107,6 +108,13 @@ func newCacheRegistry(node *ipc.Node, lease, timeout time.Duration, workers int)
 		node:     node,
 		jobs:     make(chan invJob),
 		poolSize: workers,
+
+		registrations:    reg.Counter("rfs.cache_registrations"),
+		callbacks:        reg.Counter("rfs.cache_callbacks"),
+		callbackErrs:     reg.Counter("rfs.cache_callback_errs"),
+		callbackTimeouts: reg.Counter("rfs.cache_callback_timeouts"),
+		leaseExpiries:    reg.Counter("rfs.cache_lease_expiries"),
+		abandoned:        reg.Counter("rfs.cache_callbacks_abandoned"),
 	}
 	for i := 0; i < workers; i++ {
 		r.workers.Add(1)
@@ -170,6 +178,7 @@ func (r *cacheRegistry) callbackExchange(job invJob, resCh chan<- invResult) {
 	delay := 200 * time.Microsecond
 	for attempt := 0; ; attempt++ {
 		m := buildInvalidate(job.vol, job.file, job.first, job.count, job.version)
+		m.SetTrace(job.trace)
 		err = p.Send(&m, job.cb, nil)
 		if err == nil {
 			if status, _ := parseReply(&m); status != StatusOK {
@@ -274,7 +283,7 @@ func (r *cacheRegistry) watcherCount() int {
 // whether the file is version-tracked at all — untracked files (no
 // registration ever) skip the counter so the registry stays empty for
 // cache-less workloads and the write path costs one mutex acquisition.
-func (r *cacheRegistry) invalidate(vol, file, first, count uint32, owner ipc.Pid) (version uint32, tracked bool) {
+func (r *cacheRegistry) invalidate(vol, file, first, count uint32, owner ipc.Pid, trace uint32) (version uint32, tracked bool) {
 	k := volFile{vol: vol, file: file}
 	r.mu.Lock()
 	fr := r.files[k]
@@ -335,7 +344,7 @@ func (r *cacheRegistry) invalidate(vol, file, first, count uint32, owner ipc.Pid
 	sent, timedOut := 0, false
 feed:
 	for _, w := range targets {
-		job := invJob{cb: w.cb, vol: vol, file: file, first: first, count: count, version: version, done: done}
+		job := invJob{cb: w.cb, vol: vol, file: file, first: first, count: count, version: version, trace: trace, done: done}
 		for {
 			select {
 			case r.jobs <- job:

@@ -139,6 +139,7 @@ func (rv *replicaVol) applyLoop(p *ipc.Proc) {
 		}
 		op, file, offOrSize, count := parseRequest(&msg)
 		seq := replicateSeq(&msg)
+		trace := msg.Trace()
 		status := uint32(StatusBadRequest)
 		switch {
 		case rv.promoted.Load():
@@ -157,10 +158,10 @@ func (rv *replicaVol) applyLoop(p *ipc.Proc) {
 				}
 			}
 			if status == StatusOK {
-				status = rv.applyRecord(repKindWrite, file, offOrSize, f.Data[:count], seq)
+				status = rv.applyRecord(repKindWrite, file, offOrSize, f.Data[:count], seq, trace)
 			}
 		case op == OpRepCreate:
-			status = rv.applyRecord(repKindCreate, file, offOrSize, nil, seq)
+			status = rv.applyRecord(repKindCreate, file, offOrSize, nil, seq, trace)
 		}
 		f.Release()
 		m := buildReply(status, rv.lastApplied.Load())
@@ -174,7 +175,9 @@ func (rv *replicaVol) applyLoop(p *ipc.Proc) {
 // caching pre-write bytes), creates truncate through the cache.
 // Duplicates (a retransmitted push) ack silently; a sequence gap is
 // refused — the primary drops the connection and the replica pulls.
-func (rv *replicaVol) applyRecord(kind byte, file, off uint32, data []byte, seq uint32) uint32 {
+// A traced record logs a span event on the replica's own trace ring —
+// the remote leg of a multi-node write timeline.
+func (rv *replicaVol) applyRecord(kind byte, file, off uint32, data []byte, seq, trace uint32) uint32 {
 	rv.applyMu.Lock()
 	defer rv.applyMu.Unlock()
 	last := rv.lastApplied.Load()
@@ -210,6 +213,9 @@ func (rv *replicaVol) applyRecord(kind byte, file, off uint32, data []byte, seq 
 	}
 	rv.lastApplied.Store(seq)
 	rv.s.stats.replApplied.Add(1)
+	if trace != 0 {
+		rv.s.metrics.Trace().Record(trace, "repl.apply", uint64(seq), 0)
+	}
 	return StatusOK
 }
 
@@ -406,7 +412,7 @@ func (rv *replicaVol) pullLoop(primary ipc.Pid, lastSeen *time.Time) error {
 				return errors.New("rfs: truncated pull record")
 			}
 			data = data[n:]
-			if st := rv.applyRecord(rec.kind, rec.file, rec.off, rec.data, rec.seq); st != StatusOK {
+			if st := rv.applyRecord(rec.kind, rec.file, rec.off, rec.data, rec.seq, rec.trace); st != StatusOK {
 				return fmt.Errorf("%w: pull apply status %d", ErrBadStatus, st)
 			}
 		}

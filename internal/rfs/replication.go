@@ -25,13 +25,17 @@ import (
 
 // repRecord is one logged mutation. data is an owned copy (nil for
 // creates) and immutable once logged, so senders and pulls may stream
-// it outside the lock.
+// it outside the lock. trace is the originating client's 24-bit trace
+// id (0 = untraced): it rides the push message's trace word and the
+// pull stream's record header, so a traced write's span timeline
+// continues on every replica that applies it.
 type repRecord struct {
-	kind byte
-	file uint32
-	off  uint32 // byte offset (write) or size (create)
-	seq  uint32
-	data []byte
+	kind  byte
+	file  uint32
+	off   uint32 // byte offset (write) or size (create)
+	seq   uint32
+	trace uint32
+	data  []byte
 }
 
 // encodedLen is the record's wire size in a pull stream.
@@ -44,6 +48,7 @@ func encodeRepRecord(dst []byte, r *repRecord) int {
 	binary.BigEndian.PutUint32(dst[5:], r.off)
 	binary.BigEndian.PutUint32(dst[9:], uint32(len(r.data)))
 	binary.BigEndian.PutUint32(dst[13:], r.seq)
+	binary.BigEndian.PutUint32(dst[17:], r.trace)
 	copy(dst[repRecordHeader:], r.data)
 	return r.encodedLen()
 }
@@ -59,6 +64,7 @@ func decodeRepRecord(src []byte) (r repRecord, n int, ok bool) {
 	r.off = binary.BigEndian.Uint32(src[5:])
 	dlen := int(binary.BigEndian.Uint32(src[9:]))
 	r.seq = binary.BigEndian.Uint32(src[13:])
+	r.trace = binary.BigEndian.Uint32(src[17:])
 	if len(src) < repRecordHeader+dlen {
 		return r, 0, false
 	}
@@ -131,7 +137,7 @@ func (rs *replState) current() uint32 {
 // replica is enrolled (the log only exists for catch-up; with no
 // members it stays empty and a later joiner resyncs from a snapshot).
 // parts are gathered into one owned copy.
-func (rs *replState) append(kind byte, file, off uint32, parts ...[]byte) uint32 {
+func (rs *replState) append(kind byte, file, off, trace uint32, parts ...[]byte) uint32 {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -149,7 +155,7 @@ func (rs *replState) append(kind byte, file, off uint32, parts ...[]byte) uint32
 				data = append(data, p...)
 			}
 		}
-		rs.log = append(rs.log, repRecord{kind: kind, file: file, off: off, seq: seq, data: data})
+		rs.log = append(rs.log, repRecord{kind: kind, file: file, off: off, seq: seq, trace: trace, data: data})
 		rs.logBytes += total
 		rs.trimLocked()
 	}
@@ -332,11 +338,22 @@ func (rs *replState) sender(conn *replicaConn) {
 			m = buildReplicate(OpReplicate, rec.file, rec.off, uint32(len(rec.data)), rec.seq)
 			seg = &ipc.Segment{Data: rec.data, Access: ipc.SegRead}
 		}
+		// A traced record's push carries the trace id on the wire (the
+		// fan-out half of request tracing) and logs a span event on the
+		// primary covering the push exchange.
+		var t0 time.Time
+		if rec.trace != 0 {
+			m.SetTrace(rec.trace)
+			t0 = time.Now()
+		}
 		err := p.Send(&m, conn.apply, seg)
 		ok := err == nil
 		if ok {
 			status, _ := parseReply(&m)
 			ok = status == StatusOK
+		}
+		if rec.trace != 0 {
+			rs.s.metrics.Trace().Record(rec.trace, "repl.push", uint64(rec.seq), time.Since(t0))
 		}
 		rs.mu.Lock()
 		if !ok {
@@ -422,6 +439,37 @@ func (rs *replState) candidateLocked() uint32 {
 	return c
 }
 
+// insyncCount reports how many replicas the commit path currently waits
+// on (the in-sync set, excluding the primary itself). Feeds the
+// rfs.vol<id>.repl_insync gauge.
+func (rs *replState) insyncCount() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := 0
+	for _, conn := range rs.replicas {
+		if conn.push && conn.inSync {
+			n++
+		}
+	}
+	return n
+}
+
+// lag reports how many sequenced records the furthest-behind member has
+// not yet proven applied (0 with no members). Feeds the
+// rfs.vol<id>.repl_lag gauge — the live replication-lag figure vstat
+// aggregates cluster-wide.
+func (rs *replState) lag() uint32 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var worst uint32
+	for _, conn := range rs.replicas {
+		if lag := rs.seq - conn.acked; lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
 // readSet is the live read fan-out set: the primary's own server pid
 // followed by every in-sync replica's server pid.
 func (rs *replState) readSet(self ipc.Pid) []ipc.Pid {
@@ -461,7 +509,7 @@ func (rs *replState) close() {
 // them, exactly as their unsynchronized writes already race on the
 // primary itself. Writes serialized by an ack (the read-your-writes
 // cases the failover tests check) are logged in ack order.
-func (s *Server) replicate(v *volume, kind byte, file, off uint32, parts ...[]byte) {
+func (s *Server) replicate(v *volume, kind byte, file, off, trace uint32, parts ...[]byte) {
 	if v.role.Load() != rolePrimary {
 		return
 	}
@@ -469,17 +517,17 @@ func (s *Server) replicate(v *volume, kind byte, file, off uint32, parts ...[]by
 	if rs == nil {
 		return
 	}
-	rs.commit(rs.append(kind, file, off, parts...))
+	rs.commit(rs.append(kind, file, off, trace, parts...))
 }
 
 // replicateAppend logs one record without waiting for acks — the
 // multi-chunk write paths append per chunk and commit once at the end.
-func (s *Server) replicateAppend(v *volume, kind byte, file, off uint32, parts ...[]byte) {
+func (s *Server) replicateAppend(v *volume, kind byte, file, off, trace uint32, parts ...[]byte) {
 	if v.role.Load() != rolePrimary {
 		return
 	}
 	if rs := v.repl; rs != nil {
-		rs.append(kind, file, off, parts...)
+		rs.append(kind, file, off, trace, parts...)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"vkernel/internal/bufpool"
 	"vkernel/internal/ipc"
+	"vkernel/internal/obs"
 	"vkernel/internal/vproto"
 )
 
@@ -21,6 +22,16 @@ import (
 // budget and flusher pool, so one volume's write backlog never starves
 // another's.
 type Config struct {
+	// Metrics is the observability registry the server registers its
+	// rfs.* counters, per-op latency histograms and per-volume gauges
+	// with. Nil defaults to the node's registry, so one OpQueryStats
+	// scrape covers the ipc, net and rfs layers together.
+	Metrics *obs.Registry
+	// SlowOp, when positive, captures a trace-ring span for any request
+	// slower than the threshold — traced or not — and enables latency
+	// timing on the registry. Zero leaves span capture to explicitly
+	// traced requests.
+	SlowOp time.Duration
 	// BlockSize is the page size in bytes (0 → 512, the paper's page).
 	// Pages travel in one reply packet, so it is capped at vproto.MaxData.
 	BlockSize int
@@ -207,24 +218,84 @@ type Stats struct {
 	Promotions     int64
 	ReplicaRecords int64
 	ReplicaResyncs int64
+	// StatScrapes counts OpQueryStats exchanges served.
+	StatScrapes int64
 }
 
+// serverCounters are the server's rfs.* registry counters, held as
+// direct pointers so the hot paths skip the registry's name lookup.
+// The names below ARE the scrape schema: Stats() is a thin view over
+// them and cmd/vstat renders them by name.
 type serverCounters struct {
-	requests    atomic.Int64
-	pageReads   atomic.Int64
-	pageWrites  atomic.Int64
-	largeReads  atomic.Int64
-	largeWrites atomic.Int64
-	queries     atomic.Int64
-	creates     atomic.Int64
-	syncs       atomic.Int64
-	badRequests atomic.Int64
-	bytesRead   atomic.Int64
-	bytesWrite  atomic.Int64
-	prefetches  atomic.Int64
-	promotions  atomic.Int64
-	replApplied atomic.Int64
-	replResyncs atomic.Int64
+	requests    *obs.Counter
+	pageReads   *obs.Counter
+	pageWrites  *obs.Counter
+	largeReads  *obs.Counter
+	largeWrites *obs.Counter
+	queries     *obs.Counter
+	creates     *obs.Counter
+	syncs       *obs.Counter
+	badRequests *obs.Counter
+	bytesRead   *obs.Counter
+	bytesWrite  *obs.Counter
+	prefetches  *obs.Counter
+	promotions  *obs.Counter
+	replApplied *obs.Counter
+	replResyncs *obs.Counter
+	statScrapes *obs.Counter
+}
+
+func newServerCounters(reg *obs.Registry) serverCounters {
+	return serverCounters{
+		requests:    reg.Counter("rfs.requests"),
+		pageReads:   reg.Counter("rfs.page_reads"),
+		pageWrites:  reg.Counter("rfs.page_writes"),
+		largeReads:  reg.Counter("rfs.large_reads"),
+		largeWrites: reg.Counter("rfs.large_writes"),
+		queries:     reg.Counter("rfs.queries"),
+		creates:     reg.Counter("rfs.creates"),
+		syncs:       reg.Counter("rfs.syncs"),
+		badRequests: reg.Counter("rfs.bad_requests"),
+		bytesRead:   reg.Counter("rfs.bytes_read"),
+		bytesWrite:  reg.Counter("rfs.bytes_written"),
+		prefetches:  reg.Counter("rfs.prefetches"),
+		promotions:  reg.Counter("rfs.promotions"),
+		replApplied: reg.Counter("rfs.repl_applied"),
+		replResyncs: reg.Counter("rfs.repl_resyncs"),
+		statScrapes: reg.Counter("rfs.stat_scrapes"),
+	}
+}
+
+// opName is the metric and span suffix for a protocol opcode.
+func opName(op uint32) string {
+	switch op {
+	case OpReadBlock:
+		return "read_block"
+	case OpWriteBlock:
+		return "write_block"
+	case OpReadLarge:
+		return "read_large"
+	case OpWriteLarge:
+		return "write_large"
+	case OpQueryFile:
+		return "query_file"
+	case OpCreateFile:
+		return "create_file"
+	case OpSync:
+		return "sync"
+	case OpRegisterCache:
+		return "register_cache"
+	case OpReleaseCache:
+		return "release_cache"
+	case OpQueryVolumes:
+		return "query_volumes"
+	case OpQueryStats:
+		return "query_stats"
+	case OpRepJoin, OpRepPull, OpRepFiles, OpRepHeartbeat, OpQueryReplicas:
+		return "repl_control"
+	default:
+		return "other"
+	}
 }
 
 // request is one received exchange awaiting a worker. Requests are
@@ -236,6 +307,7 @@ type request struct {
 	frame  *bufpool.Buf // pooled staging buffer backing buf; released after handling
 	buf    []byte       // staging: holds the inline segment prefix, reused for MoveFrom pulls
 	inline int          // bytes of buf filled by the Send's inline prefix
+	trace  uint32       // the request message's 24-bit trace id (0 = untraced)
 }
 
 var requestPool = sync.Pool{New: func() any { return new(request) }}
@@ -351,6 +423,14 @@ type Server struct {
 	raWG       sync.WaitGroup // outstanding read-ahead goroutines
 	raInflight map[volBlock]bool
 
+	// metrics is the server's observability registry (never nil; defaults
+	// to the node's, so ipc/net/rfs share one scrape). opHists holds the
+	// per-op latency histograms indexed by opcode; gaugeNames lists the
+	// per-volume pull-time gauges Close must unregister.
+	metrics    *obs.Registry
+	opHists    [OpQueryStats + 1]*obs.Histogram
+	gaugeNames []string
+
 	stats serverCounters
 }
 
@@ -375,6 +455,17 @@ func StartVolumes(node *ipc.Node, vols []VolumeSpec, cfg Config) (*Server, error
 		cfg:        cfg.withDefaults(),
 		volumes:    make(map[uint32]*volume, len(vols)),
 		raInflight: make(map[volBlock]bool),
+	}
+	s.metrics = s.cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = node.Metrics()
+	}
+	s.stats = newServerCounters(s.metrics)
+	if s.cfg.SlowOp > 0 {
+		s.metrics.SetSlowOp(s.cfg.SlowOp)
+	}
+	for op := OpReadBlock; op <= OpSync; op++ {
+		s.opHists[op] = s.metrics.Histogram("rfs.op." + opName(op))
 	}
 	flushers := s.cfg.Flushers
 	if s.cfg.WriteThrough {
@@ -409,14 +500,18 @@ func StartVolumes(node *ipc.Node, vols []VolumeSpec, cfg Config) (*Server, error
 		v.cache = newBlockCache(s.cfg.CacheBlocks, s.cfg.BlockSize, s.cfg.DirtyBudget, flushers,
 			s.cfg.MaxDirtyAge,
 			func(file uint32, off int64, p []byte) error { return v.store.WriteAt(file, p, off) })
+		v.cache.ring = s.metrics.Trace()
 		s.volumes[spec.ID] = v
+		s.registerVolumeGauges(v)
 	}
-	registry, err := newCacheRegistry(node, s.cfg.CacheLease, s.cfg.CallbackTimeout, s.cfg.Invalidators)
+	registry, err := newCacheRegistry(node, s.cfg.CacheLease, s.cfg.CallbackTimeout, s.cfg.Invalidators, s.metrics)
 	if err != nil {
 		cleanup()
 		return nil, err
 	}
 	s.registry = registry
+	s.metrics.GaugeFunc("rfs.cache_watchers", func() int64 { return int64(registry.watcherCount()) })
+	s.gaugeNames = append(s.gaugeNames, "rfs.cache_watchers")
 
 	// Rejoin probes: a restarting ex-primary asks the name service first
 	// whether another server took its volume over while it was down (a
@@ -502,6 +597,47 @@ func StartVolumes(node *ipc.Node, vols []VolumeSpec, cfg Config) (*Server, error
 	return s, nil
 }
 
+// registerVolumeGauges publishes one volume's pull-time gauges under
+// rfs.vol<id>.*. The closures gate every v.repl dereference on the
+// primary role word — promotion publishes repl before storing the role,
+// so the atomic load orders the reads. Close unregisters the names so a
+// stopped server's closures never outlive it in a shared registry.
+func (s *Server) registerVolumeGauges(v *volume) {
+	pfx := fmt.Sprintf("rfs.vol%d.", v.id)
+	add := func(name string, f func() int64) {
+		s.metrics.GaugeFunc(pfx+name, f)
+		s.gaugeNames = append(s.gaugeNames, pfx+name)
+	}
+	add("cache_hits", func() int64 { return v.cache.hits.Load() })
+	add("cache_misses", func() int64 { return v.cache.misses.Load() })
+	add("dirty_blocks", func() int64 { return int64(v.cache.dirtyBlocks()) })
+	add("flush_runs", func() int64 { return v.cache.flushRuns.Load() })
+	add("flushed_blocks", func() int64 { return v.cache.flushedBlocks.Load() })
+	add("flush_errs", func() int64 { return v.cache.flushErrs.Load() })
+	add("role", func() int64 { return int64(v.role.Load()) })
+	add("repl_seq", func() int64 {
+		if v.role.Load() == rolePrimary && v.repl != nil {
+			return int64(v.repl.current())
+		}
+		return 0
+	})
+	add("repl_insync", func() int64 {
+		if v.role.Load() == rolePrimary && v.repl != nil {
+			return int64(v.repl.insyncCount())
+		}
+		return 0
+	})
+	add("repl_lag", func() int64 {
+		if v.role.Load() == rolePrimary && v.repl != nil {
+			return int64(v.repl.lag())
+		}
+		return 0
+	})
+}
+
+// Metrics returns the server's observability registry.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
 // Role returns a hosted volume's current replication role; promotion
 // flips a replica to RolePrimary at runtime.
 func (s *Server) Role(vol uint32) (VolumeRole, bool) {
@@ -552,6 +688,7 @@ func (s *Server) Stats() Stats {
 		Promotions:     s.stats.promotions.Load(),
 		ReplicaRecords: s.stats.replApplied.Load(),
 		ReplicaResyncs: s.stats.replResyncs.Load(),
+		StatScrapes:    s.stats.statScrapes.Load(),
 	}
 	for _, v := range s.volumes {
 		st.CacheHits += v.cache.hits.Load()
@@ -605,6 +742,9 @@ func (s *Server) Close() {
 		s.raWG.Wait()
 		for _, v := range s.volumes {
 			v.cache.close()
+		}
+		for _, name := range s.gaugeNames {
+			s.metrics.Unregister(name)
 		}
 	})
 }
@@ -665,6 +805,9 @@ func (s *Server) fastRead(msg *ipc.Message, src ipc.Pid) bool {
 		// The client's grant was missing or too small: answer without data.
 		s.replyStatus(src, StatusBadRequest, 0)
 	}
+	if trace := msg.Trace(); trace != 0 {
+		s.metrics.Trace().Record(trace, "rfs.fast_read", uint64(file)<<32|uint64(block), 0)
+	}
 	return true
 }
 
@@ -678,36 +821,70 @@ func (s *Server) worker() {
 	}
 }
 
+// handle instruments one queued request around dispatch: when timing is
+// on (or the request is traced, which forces a measurement) the
+// request's latency lands in the per-op rfs.op.* histogram, and a span
+// is recorded for traced requests and for untraced ones that crossed
+// the slow-op threshold — the auto-capture that makes an anomalous
+// request visible after the fact without tracing everything.
 func (s *Server) handle(req *request) {
+	req.trace = req.msg.Trace()
+	t0 := s.metrics.Start()
+	if t0.IsZero() && req.trace != 0 {
+		t0 = time.Now()
+	}
+	op := s.dispatch(req)
+	if t0.IsZero() {
+		return
+	}
+	dur := time.Since(t0)
+	if s.metrics.TimingEnabled() {
+		if op < uint32(len(s.opHists)) && s.opHists[op] != nil {
+			s.opHists[op].Observe(int64(dur))
+		}
+	}
+	slow := s.metrics.SlowOpNs()
+	if req.trace != 0 || (slow > 0 && int64(dur) >= slow) {
+		s.metrics.Trace().Record(req.trace, "rfs."+opName(op), uint64(op), dur)
+	}
+}
+
+func (s *Server) dispatch(req *request) uint32 {
 	s.stats.requests.Add(1)
 	op, file, arg, count := parseRequest(&req.msg)
-	if op == OpQueryVolumes {
+	switch op {
+	case OpQueryVolumes:
 		// Volume-agnostic: part of cluster discovery, answered by every
 		// server regardless of the request's volume word.
 		s.queryVolumes(req, count)
-		return
+		return op
+	case OpQueryStats:
+		// Volume-agnostic too: the scrape covers the whole server (and
+		// its node), not one volume.
+		s.queryStats(req, count)
+		return op
 	}
 	v := s.volumes[reqVolume(&req.msg)]
 	if v == nil {
 		s.replyStatus(req.src, StatusNoVolume, 0)
-		return
+		return op
 	}
 	switch op {
 	case OpRepJoin:
 		s.handleRepJoin(v, req)
-		return
+		return op
 	case OpRepPull:
 		s.handleRepPull(v, req)
-		return
+		return op
 	case OpRepFiles:
 		s.handleRepFiles(v, req)
-		return
+		return op
 	case OpRepHeartbeat:
 		s.handleRepHeartbeat(v, req)
-		return
+		return op
 	case OpQueryReplicas:
 		s.handleQueryReplicas(v, req)
-		return
+		return op
 	}
 	if v.role.Load() != rolePrimary {
 		switch op {
@@ -716,13 +893,13 @@ func (s *Server) handle(req *request) {
 			// in-sync — then its copy holds every acked write.
 			if !v.readable() {
 				s.replyStatus(req.src, StatusNoVolume, 0)
-				return
+				return op
 			}
 		default:
 			// Mutations and cache registrations pin to the primary; the
 			// NoVolume reply makes the routed client re-resolve.
 			s.replyStatus(req.src, StatusNoVolume, 0)
-			return
+			return op
 		}
 	}
 	switch op {
@@ -739,7 +916,7 @@ func (s *Server) handle(req *request) {
 		size, err := s.sizeOf(v, file)
 		if err != nil {
 			s.replyStatus(req.src, statusFor(err), 0)
-			return
+			return op
 		}
 		s.replyStatus(req.src, StatusOK, uint32(size))
 	case OpCreateFile:
@@ -749,10 +926,10 @@ func (s *Server) handle(req *request) {
 		})
 		if err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
-			return
+			return op
 		}
-		s.replicate(v, repKindCreate, file, arg)
-		ver, tracked := s.registry.invalidate(v.id, file, 0, InvalidateAll, req.src)
+		s.replicate(v, repKindCreate, file, arg, req.trace)
+		ver, tracked := s.registry.invalidate(v.id, file, 0, InvalidateAll, req.src, req.trace)
 		s.replyWritten(req.src, 0, ver, tracked)
 	case OpSync:
 		// Word 2 selects the file to drain; zero drains the volume.
@@ -765,7 +942,7 @@ func (s *Server) handle(req *request) {
 		}
 		if err != nil {
 			s.replyStatus(req.src, StatusIOError, 0)
-			return
+			return op
 		}
 		s.replyStatus(req.src, StatusOK, 0)
 	case OpRegisterCache:
@@ -781,6 +958,36 @@ func (s *Server) handle(req *request) {
 	default:
 		s.replyStatus(req.src, StatusBadRequest, 0)
 	}
+	return op
+}
+
+// queryStats answers OpQueryStats: the server's whole registry —
+// counters, gauges (per-volume ones included) and histogram summaries —
+// serialized to the obs text wire format and streamed into the client's
+// granted buffer with MoveTo. count is the grant size. The reply
+// carries streamed bytes in word 2 and the full snapshot size in word
+// 3, so an undersized grant is detectable (streamed < total): the
+// snapshot is cut at a line boundary, never mid-metric.
+func (s *Server) queryStats(req *request, count uint32) {
+	s.stats.statScrapes.Add(1)
+	snap := s.metrics.Serialize()
+	total := uint32(len(snap))
+	if uint32(len(snap)) > count {
+		cut := int(count)
+		for cut > 0 && snap[cut-1] != '\n' {
+			cut--
+		}
+		snap = snap[:cut]
+	}
+	if len(snap) > 0 {
+		if err := s.proc.MoveTo(req.src, 0, snap); err != nil {
+			s.replyStatus(req.src, StatusBadRequest, 0)
+			return
+		}
+	}
+	m := buildReply(StatusOK, uint32(len(snap)))
+	stampStatsReply(&m, uint32(len(snap)), total)
+	_ = s.proc.Reply(&m, req.src)
 }
 
 // queryVolumes answers OpQueryVolumes: the volume ids this server OWNS
@@ -993,9 +1200,9 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 			return
 		}
 		v.cache.invalidate(blockID{file: file, block: block})
-		s.replicate(v, repKindWrite, file, block*bs, req.buf[:count])
+		s.replicate(v, repKindWrite, file, block*bs, req.trace, req.buf[:count])
 		s.stats.bytesWrite.Add(int64(count))
-		ver, tracked := s.registry.invalidate(v.id, file, block, 1, req.src)
+		ver, tracked := s.registry.invalidate(v.id, file, block, 1, req.src, req.trace)
 		s.replyWritten(req.src, count, ver, tracked)
 		return
 	}
@@ -1009,8 +1216,8 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		s.replicate(v, repKindWrite, file, block*bs)
-		ver, tracked := s.registry.invalidate(v.id, file, block, 0, req.src)
+		s.replicate(v, repKindWrite, file, block*bs, req.trace)
+		ver, tracked := s.registry.invalidate(v.id, file, block, 0, req.src, req.trace)
 		s.replyWritten(req.src, 0, ver, tracked)
 		return
 	}
@@ -1023,7 +1230,7 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 			return
 		}
 	}
-	err := s.stageBlock(v, blockID{file: file, block: block}, buf, 0, int(count))
+	err := s.stageBlock(v, blockID{file: file, block: block}, buf, 0, int(count), req.trace)
 	if err != nil {
 		buf.Release()
 		s.replyStatus(req.src, StatusIOError, 0)
@@ -1031,13 +1238,13 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 	}
 	// Replicate from the staged payload before returning the buffer:
 	// append copies the data into the log under the replication lock.
-	s.replicate(v, repKindWrite, file, block*bs, buf.Data[:count])
+	s.replicate(v, repKindWrite, file, block*bs, req.trace, buf.Data[:count])
 	buf.Release()
 	s.stats.bytesWrite.Add(int64(count))
 	// The page is staged (readable by everyone through this server), so
 	// other clients' cached copies go stale NOW: call them back before
 	// the writer learns its write completed.
-	ver, tracked := s.registry.invalidate(v.id, file, block, 1, req.src)
+	ver, tracked := s.registry.invalidate(v.id, file, block, 1, req.src, req.trace)
 	s.replyWritten(req.src, count, ver, tracked)
 }
 
@@ -1050,7 +1257,7 @@ func (s *Server) pageWrite(v *volume, req *request, file, block, count uint32) {
 // transient read error destroy store data on the next flush. Plain
 // ErrNoFile means the block genuinely has no prior contents and zeros
 // are correct.
-func (s *Server) stageBlock(v *volume, id blockID, buf *bufpool.Buf, payStart, payEnd int) error {
+func (s *Server) stageBlock(v *volume, id blockID, buf *bufpool.Buf, payStart, payEnd int, trace uint32) error {
 	bs := s.cfg.BlockSize
 	for {
 		var spareBuf *bufpool.Buf
@@ -1069,7 +1276,7 @@ func (s *Server) stageBlock(v *volume, id blockID, buf *bufpool.Buf, payStart, p
 				return err
 			}
 		}
-		err := v.cache.stage(id, buf, payStart, payEnd, spare, spareEnd, gen)
+		err := v.cache.stage(id, buf, payStart, payEnd, spare, spareEnd, gen, trace)
 		spareBuf.Release()
 		if err != errStaleSpare {
 			return err
@@ -1196,11 +1403,11 @@ func (s *Server) buildSpans(file, pos, m uint32, spans []span, slices [][]byte) 
 // records it appends land in chunk order; the write path commits them
 // all at once at the end (replicateSync). pos is the chunk's absolute
 // byte offset; file its file id.
-func (s *Server) absorbSpans(v *volume, file, pos uint32, spans []span) error {
+func (s *Server) absorbSpans(v *volume, file, pos uint32, spans []span, trace uint32) error {
 	var err error
 	for _, sp := range spans {
 		if err == nil {
-			err = s.stageBlock(v, sp.id, sp.buf, sp.payStart, sp.payEnd)
+			err = s.stageBlock(v, sp.id, sp.buf, sp.payStart, sp.payEnd, trace)
 		}
 	}
 	if err == nil {
@@ -1208,7 +1415,7 @@ func (s *Server) absorbSpans(v *volume, file, pos uint32, spans []span) error {
 		for i, sp := range spans {
 			parts[i] = sp.buf.Data[sp.payStart:sp.payEnd]
 		}
-		s.replicateAppend(v, repKindWrite, file, pos, parts...)
+		s.replicateAppend(v, repKindWrite, file, pos, trace, parts...)
 	}
 	releaseSpans(spans)
 	return err
@@ -1259,7 +1466,7 @@ func (s *Server) largeWrite(v *volume, req *request, file, off, count uint32) {
 	}
 	launch := func(spans []span, pos uint32) {
 		inflight = true
-		go func() { ch <- s.absorbSpans(v, file, pos, spans) }()
+		go func() { ch <- s.absorbSpans(v, file, pos, spans, req.trace) }()
 	}
 
 	done := uint32(0)
@@ -1305,21 +1512,21 @@ func (s *Server) largeWrite(v *volume, req *request, file, off, count uint32) {
 	// for the in-sync replicas to ack the lot.
 	s.replicateSync(v)
 	s.stats.bytesWrite.Add(int64(count))
-	ver, tracked := s.invalidateRange(v, req.src, file, off, count)
+	ver, tracked := s.invalidateRange(v, req.src, file, off, count, req.trace)
 	s.replyWritten(req.src, count, ver, tracked)
 }
 
 // invalidateRange runs the client-cache fan-out for a byte-range write;
 // both large-write modes share its block-range arithmetic. The returned
 // version/tracked pair feeds replyWritten.
-func (s *Server) invalidateRange(v *volume, src ipc.Pid, file, off, count uint32) (uint32, bool) {
+func (s *Server) invalidateRange(v *volume, src ipc.Pid, file, off, count uint32, trace uint32) (uint32, bool) {
 	bs := uint32(s.cfg.BlockSize)
 	first := off / bs
 	nblocks := uint32(0)
 	if count > 0 {
 		nblocks = (off+count-1)/bs - first + 1
 	}
-	return s.registry.invalidate(v.id, file, first, nblocks, src)
+	return s.registry.invalidate(v.id, file, first, nblocks, src, trace)
 }
 
 // largeWriteThrough is the pre-overhaul §6.2 baseline: chunks pulled
@@ -1338,7 +1545,7 @@ func (s *Server) largeWriteThrough(v *volume, req *request, file, off, count uin
 			s.replyStatus(req.src, StatusIOError, 0)
 			return
 		}
-		s.replicateAppend(v, repKindWrite, file, off, req.buf[:pre])
+		s.replicateAppend(v, repKindWrite, file, off, req.trace, req.buf[:pre])
 	}
 	unit := uint32(s.cfg.TransferUnit)
 	staging := bufpool.Get(int(unit))
@@ -1356,7 +1563,7 @@ func (s *Server) largeWriteThrough(v *volume, req *request, file, off, count uin
 			s.replyStatus(req.src, StatusIOError, done)
 			return
 		}
-		s.replicateAppend(v, repKindWrite, file, off+done, staging.Data[:m])
+		s.replicateAppend(v, repKindWrite, file, off+done, req.trace, staging.Data[:m])
 		done += m
 	}
 	if count > 0 {
@@ -1366,6 +1573,6 @@ func (s *Server) largeWriteThrough(v *volume, req *request, file, off, count uin
 	}
 	s.replicateSync(v)
 	s.stats.bytesWrite.Add(int64(count))
-	ver, tracked := s.invalidateRange(v, req.src, file, off, count)
+	ver, tracked := s.invalidateRange(v, req.src, file, off, count, req.trace)
 	s.replyWritten(req.src, count, ver, tracked)
 }

@@ -81,6 +81,27 @@ func (m *Message) Segment() (start, size uint32, access byte, ok bool) {
 		true
 }
 
+// TraceMask bounds the trace id carried in a message (24 bits).
+const TraceMask = 1<<24 - 1
+
+// SetTrace stamps a 24-bit trace id into the message. The id lives in
+// bytes 1..3 of word 0 — below the segment flag byte — which every
+// sender historically left zero, so zero means "untraced" and traced
+// messages are wire-compatible with nodes that have never heard of
+// tracing. Replies do not inherit the id automatically: each protocol
+// layer that builds a reply or fans a request out (rfs replies,
+// replication pushes, invalidation callbacks) re-stamps it explicitly.
+func (m *Message) SetTrace(id uint32) {
+	m[1] = byte(id >> 16)
+	m[2] = byte(id >> 8)
+	m[3] = byte(id)
+}
+
+// Trace returns the message's 24-bit trace id (0 = untraced).
+func (m *Message) Trace() uint32 {
+	return uint32(m[1])<<16 | uint32(m[2])<<8 | uint32(m[3])
+}
+
 // Word returns the i'th 32-bit word of the message (0..7).
 func (m *Message) Word(i int) uint32 {
 	return binary.BigEndian.Uint32(m[4*i : 4*i+4])

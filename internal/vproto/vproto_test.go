@@ -43,6 +43,32 @@ func TestMessageSegment(t *testing.T) {
 	}
 }
 
+func TestMessageTrace(t *testing.T) {
+	var m Message
+	if m.Trace() != 0 {
+		t.Fatal("zero message claims a trace id")
+	}
+	// The trace id coexists with segment flags (byte 0) and survives a
+	// full round trip; ids are truncated to 24 bits.
+	m.SetSegment(0x1000, 512, SegFlagRead)
+	m.SetTrace(0xabcdef)
+	if m.Trace() != 0xabcdef {
+		t.Fatalf("trace = %#x, want 0xabcdef", m.Trace())
+	}
+	start, size, access, ok := m.Segment()
+	if !ok || start != 0x1000 || size != 512 || access != SegFlagRead {
+		t.Fatalf("segment clobbered by SetTrace: %v %v %v %v", start, size, access, ok)
+	}
+	m.SetTrace(0xff000001)
+	if m.Trace() != 0x000001 {
+		t.Fatalf("trace not truncated to 24 bits: %#x", m.Trace())
+	}
+	m.SetTrace(0)
+	if m.Trace() != 0 {
+		t.Fatal("trace id not clearable")
+	}
+}
+
 func TestMessageWords(t *testing.T) {
 	var m Message
 	for i := 0; i < 8; i++ {
